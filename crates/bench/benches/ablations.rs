@@ -1,0 +1,131 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out. Each
+//! measures the *simulation cost* of the variants; the printed summary of
+//! each variant's *outcome* lives in the experiment harness and tests.
+//!
+//! * DVFS matching: the paper's fleet-wide level stepping vs per-job
+//!   greedy fitting.
+//! * Bin granularity: 1 / 3 / 10 factory bins.
+//! * Stability test: 10-minute stress vs 29-second SBFT scans.
+//! * Variation model: full PV statistics vs a uniform (variation-free)
+//!   control fleet.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iscope::prelude::*;
+use iscope::DvfsMode;
+use iscope_pvmodel::{Binning, DvfsConfig, Fleet, OperatingPlan, VariationParams};
+use iscope_scanner::{Scanner, ScannerConfig, TestKind};
+use iscope_sched::Scheme;
+use std::hint::black_box;
+
+const FLEET: usize = 48;
+const JOBS: usize = 120;
+
+fn hybrid() -> Supply {
+    Supply::hybrid_farm(
+        &WindFarm::default(),
+        SimDuration::from_hours(96),
+        FLEET as f64 / 4800.0,
+        3,
+    )
+}
+
+fn bench_dvfs_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_dvfs_mode");
+    g.sample_size(10);
+    for (name, mode) in [
+        ("global_level", DvfsMode::GlobalLevel),
+        ("per_job_greedy", DvfsMode::PerJobGreedy),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    GreenDatacenterSim::builder()
+                        .fleet_size(FLEET)
+                        .synthetic_jobs(JOBS)
+                        .scheme(Scheme::ScanFair)
+                        .supply(hybrid())
+                        .dvfs_mode(mode)
+                        .seed(3)
+                        .build()
+                        .run(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_bin_granularity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_bin_granularity");
+    let fleet = Fleet::generate(
+        4800,
+        DvfsConfig::paper_default(),
+        &VariationParams::default(),
+        3,
+    );
+    for bins in [1usize, 3, 10] {
+        g.bench_with_input(BenchmarkId::from_parameter(bins), &bins, |b, &bins| {
+            b.iter(|| {
+                let binning = Binning::by_efficiency(&fleet, bins);
+                black_box(OperatingPlan::from_binning(&fleet, &binning))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_test_kinds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_stability_test");
+    g.sample_size(10);
+    let fleet = Fleet::generate(
+        64,
+        DvfsConfig::paper_default(),
+        &VariationParams::default(),
+        3,
+    );
+    for (name, kind) in [
+        ("stress_10min", TestKind::Stress),
+        ("sbft_29s", TestKind::Sbft),
+    ] {
+        g.bench_function(name, |b| {
+            let scanner = Scanner::new(ScannerConfig {
+                test_kind: kind,
+                ..ScannerConfig::default()
+            });
+            b.iter(|| black_box(scanner.profile_fleet(&fleet, 5)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_variation_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_variation");
+    g.sample_size(10);
+    for (name, params) in [
+        ("full_pv", VariationParams::default()),
+        ("uniform_control", VariationParams::uniform()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    GreenDatacenterSim::builder()
+                        .fleet_size(FLEET)
+                        .synthetic_jobs(JOBS)
+                        .scheme(Scheme::ScanEffi)
+                        .variation(params.clone())
+                        .seed(3)
+                        .build()
+                        .run(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dvfs_modes, bench_bin_granularity, bench_test_kinds, bench_variation_model
+);
+criterion_main!(benches);

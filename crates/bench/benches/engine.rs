@@ -1,0 +1,131 @@
+//! Microbenchmarks of the simulation substrate: event queue, samplers,
+//! statistics, wind generation, workload generation, SWF parsing.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use iscope_dcsim::{EventQueue, SimDuration, SimRng, SimTime, TimeWeighted};
+use iscope_energy::WindFarm;
+use iscope_workload::{parse_swf, write_swf, Shaper, SwfRecord, SyntheticTrace};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.bench_function("schedule_pop_10k", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = SimRng::new(1);
+                (0..10_000u64)
+                    .map(|i| (SimTime::from_millis(rng.index(1_000_000) as u64), i))
+                    .collect::<Vec<_>>()
+            },
+            |items| {
+                let mut q = EventQueue::new();
+                for (t, e) in items {
+                    q.schedule(t, e);
+                }
+                let mut sum = 0u64;
+                while let Some((_, e)) = q.pop() {
+                    sum += e;
+                }
+                black_box(sum)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("cancel_half_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let handles: Vec<_> = (0..10_000u64)
+                .map(|i| q.schedule(SimTime::from_millis(i % 997), i))
+                .collect();
+            for h in handles.iter().step_by(2) {
+                q.cancel(*h);
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.bench_function("normal_100k", |b| {
+        let mut rng = SimRng::new(2);
+        b.iter(|| {
+            let mut s = 0.0;
+            for _ in 0..100_000 {
+                s += rng.normal(7.5, 0.75);
+            }
+            black_box(s)
+        })
+    });
+    g.bench_function("poisson65_10k", |b| {
+        let mut rng = SimRng::new(3);
+        b.iter(|| {
+            let mut s = 0u64;
+            for _ in 0..10_000 {
+                s += rng.poisson(65.0);
+            }
+            black_box(s)
+        })
+    });
+    g.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    c.bench_function("time_weighted_100k_updates", |b| {
+        b.iter(|| {
+            let mut tw = TimeWeighted::new();
+            for i in 0..100_000u64 {
+                tw.set(SimTime::from_millis(i * 10), (i % 997) as f64);
+            }
+            black_box(tw.integral())
+        })
+    });
+}
+
+fn bench_wind(c: &mut Criterion) {
+    c.bench_function("wind_trace_30_days", |b| {
+        let farm = WindFarm::default();
+        b.iter(|| black_box(farm.generate(SimDuration::from_hours(24 * 30), 5)))
+    });
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    g.bench_function("synthetic_1k_jobs_shaped", |b| {
+        let trace = SyntheticTrace::default();
+        let shaper = Shaper::default();
+        b.iter(|| {
+            let raw = trace.generate(7);
+            black_box(shaper.shape(&raw, 7))
+        })
+    });
+    g.bench_function("swf_round_trip_1k", |b| {
+        let records: Vec<SwfRecord> = (0..1000)
+            .map(|i| SwfRecord {
+                job_number: i,
+                submit_s: i as f64 * 60.0,
+                wait_s: 0.0,
+                run_s: 600.0,
+                allocated_procs: 8,
+                requested_procs: 8,
+                requested_s: 900.0,
+                status: 1,
+            })
+            .collect();
+        let text = write_swf(&records, "bench");
+        b.iter(|| black_box(parse_swf(&text).expect("valid")))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_event_queue, bench_rng, bench_stats, bench_wind, bench_workload
+);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! One benchmark group per paper table/figure: each measures the cost of
+//! regenerating (a bench-scale cell of) that artifact through the same
+//! code paths `iscope-exp` uses. Tables 1/2 and Figures 4–10 plus the
+//! §VI.E overhead arithmetic are all covered.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iscope_experiments::common::{ExpConfig, ExpScale};
+use iscope_experiments::{fig10, fig4, fig5, fig6, fig7, fig8, fig9, tables};
+use std::hint::black_box;
+
+fn cfg() -> ExpConfig {
+    ExpConfig::new(ExpScale::Fast)
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.bench_function("table1_binning", |b| {
+        b.iter(|| black_box(tables::table1(&cfg())))
+    });
+    g.bench_function("table2_schemes", |b| b.iter(|| black_box(tables::table2())));
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4_vmin_profiling", |b| {
+        b.iter(|| black_box(fig4::run(fig4::CALIBRATED_SEED)))
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_utility_only");
+    g.sample_size(10);
+    g.bench_function("full_sweep", |b| b.iter(|| black_box(fig5::run(&cfg()))));
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_hybrid");
+    g.sample_size(10);
+    g.bench_function("full_sweep", |b| b.iter(|| black_box(fig6::run(&cfg()))));
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_power_traces");
+    g.sample_size(10);
+    g.bench_function("three_scan_schemes", |b| {
+        b.iter(|| black_box(fig7::run(&cfg())))
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_energy_cost");
+    g.sample_size(10);
+    g.bench_function("three_scenarios", |b| {
+        b.iter(|| black_box(fig8::run(&cfg())))
+    });
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_lifetime_variance");
+    g.sample_size(10);
+    g.bench_function("swp_sweep", |b| b.iter(|| black_box(fig9::run(&cfg()))));
+    g.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_profiling_window");
+    g.sample_size(10);
+    g.bench_function("day_trace_analysis", |b| {
+        b.iter(|| black_box(fig10::run(42)))
+    });
+    g.finish();
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overhead_vi_e");
+    g.sample_size(10);
+    g.bench_function("scan_and_price", |b| {
+        b.iter(|| black_box(tables::overhead(&cfg())))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tables,
+        bench_fig4,
+        bench_fig5,
+        bench_fig6,
+        bench_fig7,
+        bench_fig8,
+        bench_fig9,
+        bench_fig10,
+        bench_overhead
+);
+criterion_main!(benches);

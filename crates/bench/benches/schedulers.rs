@@ -1,0 +1,104 @@
+//! Scheduler and scanner hot-path benchmarks: placement decision latency
+//! per scheme, fleet scanning, binning, and plan construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iscope_dcsim::{SimDuration, SimRng, SimTime};
+use iscope_pvmodel::{Binning, CpuBoundness, DvfsConfig, Fleet, OperatingPlan, VariationParams};
+use iscope_scanner::{Scanner, ScannerConfig};
+use iscope_sched::{EfficiencyPlacement, FairPlacement, Placement, ProcView, RandomPlacement};
+use iscope_workload::{Job, JobId, Urgency};
+use std::hint::black_box;
+
+fn fleet(n: usize) -> Fleet {
+    Fleet::generate(
+        n,
+        DvfsConfig::paper_default(),
+        &VariationParams::default(),
+        9,
+    )
+}
+
+fn job(cpus: u32) -> Job {
+    Job {
+        id: JobId(0),
+        submit: SimTime::ZERO,
+        cpus,
+        runtime_at_fmax: SimDuration::from_secs(600),
+        gamma: CpuBoundness::new(0.85),
+        deadline: SimTime::from_secs(7200),
+        urgency: Urgency::Low,
+    }
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("placement_decision");
+    for &n in &[480usize, 4800] {
+        let f = fleet(n);
+        let plan = OperatingPlan::oracle(&f);
+        // A half-busy pool: realistic decision conditions.
+        let mut rng = SimRng::new(4);
+        let avail: Vec<SimTime> = (0..n)
+            .map(|_| SimTime::from_secs(rng.index(1800) as u64))
+            .collect();
+        let usage: Vec<SimDuration> = (0..n)
+            .map(|_| SimDuration::from_secs(rng.index(36_000) as u64))
+            .collect();
+        let policies: [(&str, &dyn Placement); 3] = [
+            ("Ran", &RandomPlacement),
+            ("Effi", &EfficiencyPlacement),
+            ("Fair", &FairPlacement),
+        ];
+        for (name, policy) in policies {
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                let mut rng = SimRng::new(5);
+                let j = job(16);
+                b.iter(|| {
+                    let view = ProcView {
+                        now: SimTime::ZERO,
+                        avail: &avail,
+                        usage: &usage,
+                        plan: &plan,
+                        dvfs: &f.dvfs,
+                        blocked: &[],
+                    };
+                    black_box(policy.place(&j, &view, true, &mut rng))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_scanner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scanner");
+    g.sample_size(10);
+    let f = fleet(64);
+    g.bench_function("profile_fleet_64_chips", |b| {
+        let scanner = Scanner::new(ScannerConfig::default());
+        b.iter(|| black_box(scanner.profile_fleet(&f, 11)))
+    });
+    g.finish();
+}
+
+fn bench_plans(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plans");
+    let f = fleet(4800);
+    g.bench_function("binning_4800", |b| {
+        b.iter(|| black_box(Binning::by_efficiency(&f, 3)))
+    });
+    let binning = Binning::by_efficiency(&f, 3);
+    g.bench_function("bin_plan_4800", |b| {
+        b.iter(|| black_box(OperatingPlan::from_binning(&f, &binning)))
+    });
+    g.bench_function("oracle_plan_4800", |b| {
+        b.iter(|| black_box(OperatingPlan::oracle(&f)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_placement, bench_scanner, bench_plans
+);
+criterion_main!(benches);

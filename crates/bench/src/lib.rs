@@ -1,0 +1,4 @@
+//! Criterion benchmark crate for iScope; see the `benches/` directory.
+//! One group per paper table/figure (`figures`), substrate microbenches
+//! (`engine`), scheduler/scanner hot paths (`schedulers`), and design
+//! ablations (`ablations`).

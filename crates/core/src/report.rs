@@ -1,0 +1,172 @@
+//! Run reports: everything a simulation measures, serializable for the
+//! experiment harness.
+
+use iscope_dcsim::{Running, SimTime, TimeSeries};
+use iscope_energy::{EnergyLedger, PriceBook};
+use serde::{Deserialize, Serialize};
+
+/// The measured outcome of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Scheme name (e.g. `"ScanFair"`).
+    pub scheme: String,
+    /// Wind/utility energy split over the run.
+    pub ledger: EnergyLedger,
+    /// Prices used for the cost columns.
+    pub prices: PriceBook,
+    /// Number of jobs simulated.
+    pub jobs: usize,
+    /// Jobs that finished after their deadline.
+    pub deadline_misses: usize,
+    /// Completion time of the last job.
+    pub makespan: SimTime,
+    /// Per-processor cumulative busy time, in hours.
+    pub usage_hours: Vec<f64>,
+    /// Sampled power series (demand / wind budget / utility draw / wind
+    /// draw), present when tracing was enabled.
+    pub power_series: Vec<TimeSeries>,
+    /// In-situ profiling statistics, when opportunistic scanning ran
+    /// inside the simulation.
+    pub profiling: Option<ProfilingStats>,
+}
+
+/// What the in-situ scanner accomplished during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfilingStats {
+    /// Chips whose scan completed and whose plan entry was upgraded.
+    pub chips_profiled: usize,
+    /// Total chips in the fleet.
+    pub fleet_size: usize,
+    /// Energy drawn by chips under test, kWh (included in the ledger;
+    /// broken out here as the overhead).
+    pub profiling_energy_kwh: f64,
+    /// Stability tests executed.
+    pub tests_run: u64,
+}
+
+impl RunReport {
+    /// Utility energy drawn, kWh.
+    pub fn utility_kwh(&self) -> f64 {
+        self.ledger.utility_kwh()
+    }
+
+    /// Wind energy drawn, kWh.
+    pub fn wind_kwh(&self) -> f64 {
+        self.ledger.wind_kwh()
+    }
+
+    /// Cost of the utility share, USD.
+    pub fn utility_cost_usd(&self) -> f64 {
+        self.ledger.utility_cost_usd(&self.prices)
+    }
+
+    /// Total (wind + utility) energy cost, USD.
+    pub fn total_cost_usd(&self) -> f64 {
+        self.ledger.total_cost_usd(&self.prices)
+    }
+
+    /// Variance of per-processor utilization time (hours²) — the Fig. 9
+    /// lifetime-balance metric.
+    pub fn usage_variance(&self) -> f64 {
+        self.usage_stats().variance()
+    }
+
+    /// Mean per-processor utilization time (hours).
+    pub fn usage_mean(&self) -> f64 {
+        self.usage_stats().mean()
+    }
+
+    /// Streaming stats over per-processor usage.
+    pub fn usage_stats(&self) -> Running {
+        let mut r = Running::new();
+        for &h in &self.usage_hours {
+            r.push(h);
+        }
+        r
+    }
+
+    /// Fraction of jobs that missed their deadline.
+    pub fn miss_rate(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.jobs as f64
+        }
+    }
+
+    /// A named series from the power trace, if recorded.
+    pub fn series(&self, name: &str) -> Option<&TimeSeries> {
+        self.power_series.iter().find(|s| s.name == name)
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<9} utility {:>9.1} kWh  wind {:>9.1} kWh  cost ${:>8.2} (utility ${:>8.2})  \
+             misses {}/{} ({:.1}%)  usage var {:.3} h^2  makespan {}",
+            self.scheme,
+            self.utility_kwh(),
+            self.wind_kwh(),
+            self.total_cost_usd(),
+            self.utility_cost_usd(),
+            self.deadline_misses,
+            self.jobs,
+            100.0 * self.miss_rate(),
+            self.usage_variance(),
+            self.makespan,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            scheme: "ScanFair".into(),
+            ledger: EnergyLedger {
+                wind_j: 7.2e9,    // 2000 kWh
+                utility_j: 3.6e9, // 1000 kWh
+            },
+            prices: PriceBook::paper_default(),
+            jobs: 100,
+            deadline_misses: 3,
+            makespan: SimTime::from_secs(86_400),
+            usage_hours: vec![1.0, 2.0, 3.0],
+            power_series: vec![],
+            profiling: None,
+        }
+    }
+
+    #[test]
+    fn cost_columns() {
+        let r = report();
+        assert!((r.utility_kwh() - 1000.0).abs() < 1e-9);
+        assert!((r.wind_kwh() - 2000.0).abs() < 1e-9);
+        assert!((r.utility_cost_usd() - 130.0).abs() < 1e-9);
+        assert!((r.total_cost_usd() - 230.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn usage_statistics() {
+        let r = report();
+        assert!((r.usage_mean() - 2.0).abs() < 1e-12);
+        assert!((r.usage_variance() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r.miss_rate() - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.scheme, "ScanFair");
+        assert_eq!(back.ledger, r.ledger);
+    }
+
+    #[test]
+    fn summary_mentions_the_scheme() {
+        assert!(report().summary().contains("ScanFair"));
+    }
+}

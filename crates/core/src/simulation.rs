@@ -1,0 +1,1057 @@
+//! The green-datacenter discrete-event simulation: jobs, gang queues,
+//! supply/demand matching, and energy accounting, wired onto the
+//! `iscope-dcsim` engine.
+//!
+//! Event model:
+//!
+//! * `Arrival(i)` — job `i` is submitted; the scheme's placement picks its
+//!   processors and the job enters their FIFO queues.
+//! * `Completion{job, gen}` — a running job finished (stale generations
+//!   from cancelled reschedules are ignored).
+//! * `WindSample` — the renewable budget changed (every 10 minutes);
+//!   re-run the DVFS budget matcher.
+//!
+//! Energy is integrated exactly: demand is piecewise-constant between
+//! events, wind is piecewise-constant between `WindSample`s, so the
+//! ledger's wind/utility split is event-by-event exact.
+
+use crate::report::RunReport;
+use iscope_dcsim::{Ctx, Engine, Model, Sampler, SimDuration, SimRng, SimTime, StopReason};
+use iscope_energy::{EnergyLedger, Supply};
+use iscope_pvmodel::{speed_factor, ChipId, CoolingModel, Fleet, FreqLevel, OperatingPlan};
+use iscope_scanner::{ProfilingRecords, Scanner, ScannerConfig, VoltageGrid};
+use iscope_sched::{match_budget, DvfsCandidate, Placement, ProcView};
+use iscope_workload::{Job, Workload};
+use std::collections::VecDeque;
+
+/// Inputs of one simulation run.
+pub struct SimInput {
+    /// Display name of the scheme driving placement.
+    pub scheme_name: String,
+    /// The processor fleet (hidden ground truth).
+    pub fleet: Fleet,
+    /// Operating plan (applied voltages + scheduler estimates).
+    pub plan: OperatingPlan,
+    /// Placement policy.
+    pub placement: Box<dyn Placement>,
+    /// Power supply (utility-only or hybrid).
+    pub supply: Supply,
+    /// Cooling model applied on top of IT power.
+    pub cooling: CoolingModel,
+    /// The jobs to run.
+    pub workload: Workload,
+    /// RNG seed for placement randomness.
+    pub seed: u64,
+    /// If set, sample the power traces at this interval (Fig. 7 uses
+    /// 350 s); `None` disables tracing.
+    pub trace_interval: Option<SimDuration>,
+    /// How the supply/demand matcher applies DVFS.
+    pub dvfs_mode: DvfsMode,
+    /// Optional GreenSlot-style job deferral (macro-only green
+    /// scheduling, after Goiri et al. \[5\]): hold submitted jobs back
+    /// during wind deficit while their slack allows, releasing them when
+    /// wind returns or the slack runs out.
+    pub deferral: Option<DeferralConfig>,
+    /// Optional in-situ profiling: the fleet starts on its factory-bin
+    /// plan and the iScope scanner runs opportunistically *during*
+    /// operation (§III.C / Fig. 3), upgrading chips to their measured
+    /// operating points as their scans complete.
+    pub in_situ: Option<InSituConfig>,
+    /// How ScanFair decides whether wind is in surplus at placement time.
+    pub surplus_signal: SurplusSignal,
+}
+
+/// ScanFair's wind-surplus detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SurplusSignal {
+    /// The paper's signal: instantaneous wind vs instantaneous demand
+    /// (plus the incoming job's own draw).
+    #[default]
+    Instantaneous,
+    /// Extension: compare demand against the *forecast mean* wind over
+    /// the incoming job's runtime (persistence-toward-climatology fitted
+    /// on the trace's own past) — a surplus that will not outlive the job
+    /// no longer counts.
+    ForecastAware,
+}
+
+/// Configuration of in-situ (opportunistic) profiling.
+#[derive(Debug, Clone)]
+pub struct InSituConfig {
+    /// Scanner settings (test kind, grid, domain size).
+    pub scanner: ScannerConfig,
+    /// Profile only while fleet utilization is below this fraction
+    /// (the paper analyses a 30 % threshold in Fig. 10).
+    pub utilization_threshold: f64,
+    /// How often the master checks for profiling opportunities.
+    pub check_interval: SimDuration,
+    /// Never take chips out of service if doing so would leave fewer than
+    /// this fraction of the fleet available (gang jobs need room).
+    pub min_available_fraction: f64,
+}
+
+impl Default for InSituConfig {
+    fn default() -> Self {
+        InSituConfig {
+            scanner: ScannerConfig::default(),
+            utilization_threshold: 0.3,
+            check_interval: SimDuration::from_mins(10),
+            min_available_fraction: 0.6,
+        }
+    }
+}
+
+/// Configuration of the deferral baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct DeferralConfig {
+    /// Slack (beyond the nominal runtime) a job must retain when finally
+    /// released; jobs are released no later than
+    /// `deadline - runtime - margin`.
+    pub slack_margin: SimDuration,
+}
+
+impl Default for DeferralConfig {
+    fn default() -> Self {
+        DeferralConfig {
+            slack_margin: SimDuration::from_mins(15),
+        }
+    }
+}
+
+/// Supply/demand matching strategy (SV.C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DvfsMode {
+    /// The paper's policy: one fleet-wide frequency level, lowered step by
+    /// step while renewable power is short, stopping as soon as *any*
+    /// task would face a deadline violation.
+    #[default]
+    GlobalLevel,
+    /// Ablation: per-job greedy matching (largest-saving job steps down
+    /// first, each job floored at its own deadline-feasible level). Fits
+    /// the budget tighter but erases the parallelism signal the paper's
+    /// Fig. 6 trends rely on.
+    PerJobGreedy,
+}
+
+/// Safety margin (s) the budget matcher keeps between a slowed job's
+/// projected completion and its effective deadline.
+const DVFS_SAFETY_MARGIN_S: f64 = 120.0;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    Arrival(usize),
+    Completion {
+        job: usize,
+        gen: u64,
+    },
+    WindSample,
+    /// Periodic opportunistic-profiling check (stage 1 of Fig. 3).
+    ProfilingCheck,
+    /// A chip finished its scan and rejoins service at its measured
+    /// operating point.
+    ProfilingDone {
+        chip: u32,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Waiting,
+    Running,
+    Done,
+}
+
+struct JobState {
+    job: Job,
+    chips: Vec<ChipId>,
+    phase: Phase,
+    level: FreqLevel,
+    /// Remaining work in seconds-at-f_max.
+    remaining_nominal_s: f64,
+    last_progress: SimTime,
+    started_at: SimTime,
+    gen: u64,
+}
+
+struct Sim {
+    fleet: Fleet,
+    plan: OperatingPlan,
+    placement: Box<dyn Placement>,
+    supply: Supply,
+    cooling: CoolingModel,
+    rng: SimRng,
+    jobs: Vec<JobState>,
+    queues: Vec<VecDeque<usize>>,
+    usage: Vec<SimDuration>,
+    running: Vec<usize>,
+    done_count: usize,
+    deadline_misses: usize,
+    ledger: EnergyLedger,
+    last_account: SimTime,
+    current_demand_w: f64,
+    makespan: SimTime,
+    samplers: Option<[Sampler; 4]>,
+    dvfs_mode: DvfsMode,
+    deferral: Option<DeferralConfig>,
+    deferred: Vec<usize>,
+    in_situ: Option<InSituState>,
+    surplus_signal: SurplusSignal,
+}
+
+struct InSituState {
+    config: InSituConfig,
+    scanner: Scanner,
+    records: ProfilingRecords,
+    rng: SimRng,
+    /// Chips currently isolated for profiling (out of service).
+    blocked: Vec<bool>,
+    /// Chips whose scan completed and whose plan entry was upgraded.
+    profiled: Vec<bool>,
+    /// Facility power drawn by chips under test.
+    profiling_power_w: f64,
+    /// Accumulated profiling energy (J) — part of demand but reported
+    /// separately as the overhead.
+    profiling_energy_note_j: f64,
+}
+
+impl Sim {
+    fn new(input: SimInput) -> (Sim, Workload) {
+        let n = input.fleet.len();
+        let samplers = input.trace_interval.map(|iv| {
+            [
+                Sampler::new("demand", iv, 0.0),
+                Sampler::new("wind", iv, input.supply.wind_power_at(SimTime::ZERO)),
+                Sampler::new("utility_draw", iv, 0.0),
+                Sampler::new("wind_draw", iv, 0.0),
+            ]
+        });
+        let jobs = input
+            .workload
+            .jobs()
+            .iter()
+            .map(|j| JobState {
+                job: j.clone(),
+                chips: Vec::new(),
+                phase: Phase::Waiting,
+                level: input.fleet.dvfs.max_level(),
+                remaining_nominal_s: j.runtime_at_fmax.as_secs_f64(),
+                last_progress: j.submit,
+                started_at: SimTime::ZERO,
+                gen: 0,
+            })
+            .collect();
+        let sim = Sim {
+            rng: SimRng::derive(input.seed, "simulation"),
+            jobs,
+            queues: vec![VecDeque::new(); n],
+            usage: vec![SimDuration::ZERO; n],
+            running: Vec::new(),
+            done_count: 0,
+            deadline_misses: 0,
+            ledger: EnergyLedger::new(),
+            last_account: SimTime::ZERO,
+            current_demand_w: 0.0,
+            makespan: SimTime::ZERO,
+            samplers,
+            dvfs_mode: input.dvfs_mode,
+            deferral: input.deferral,
+            deferred: Vec::new(),
+            surplus_signal: input.surplus_signal,
+            in_situ: input.in_situ.map(|config| {
+                let grid = VoltageGrid::from_dvfs(
+                    &input.fleet.dvfs,
+                    config.scanner.grid_points,
+                    config.scanner.grid_depth,
+                );
+                let cores = input.fleet.chips.first().map_or(0, |c| c.cores.len());
+                InSituState {
+                    scanner: Scanner::new(config.scanner.clone()),
+                    records: ProfilingRecords::new(grid, n, cores),
+                    rng: SimRng::derive(input.seed, "in-situ-scanner"),
+                    blocked: vec![false; n],
+                    profiled: vec![false; n],
+                    profiling_power_w: 0.0,
+                    profiling_energy_note_j: 0.0,
+                    config,
+                }
+            }),
+            fleet: input.fleet,
+            plan: input.plan,
+            placement: input.placement,
+            supply: input.supply,
+            cooling: input.cooling,
+        };
+        (sim, input.workload)
+    }
+
+    /// Facility power of `job` at `level`: true chip power under the plan,
+    /// times the cooling overhead.
+    fn job_power(&self, js: &JobState, level: FreqLevel) -> f64 {
+        let it: f64 = js
+            .chips
+            .iter()
+            .map(|&c| self.plan.true_power(&self.fleet, c, level))
+            .sum();
+        self.cooling.facility_power(it)
+    }
+
+    /// Integrates energy up to `now` at the current demand, splitting the
+    /// draw between wind and utility.
+    fn account(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_account).as_secs_f64();
+        if dt > 0.0 {
+            let wind = self.supply.wind_power_at(self.last_account);
+            self.ledger.draw(self.current_demand_w, wind, dt);
+            if let Some(insitu) = &mut self.in_situ {
+                insitu.profiling_energy_note_j += insitu.profiling_power_w * dt;
+            }
+        }
+        self.last_account = now;
+    }
+
+    /// Recomputes total demand and updates the trace samplers. Chips under
+    /// in-situ test draw their profiling power on top of the job load.
+    fn refresh_demand(&mut self, now: SimTime) {
+        let mut demand: f64 = self
+            .running
+            .iter()
+            .map(|&i| self.job_power(&self.jobs[i], self.jobs[i].level))
+            .sum();
+        if let Some(insitu) = &self.in_situ {
+            demand += insitu.profiling_power_w;
+        }
+        self.current_demand_w = demand;
+        let wind = self.supply.wind_power_at(now);
+        if let Some(s) = self.samplers.as_mut() {
+            s[0].record(now, demand);
+            s[1].record(now, wind);
+            s[2].record(now, (demand - wind).max(0.0));
+            s[3].record(now, demand.min(wind));
+        }
+    }
+
+    /// Advances a running job's remaining work to `now`.
+    fn advance_progress(&mut self, idx: usize, now: SimTime) {
+        let js = &mut self.jobs[idx];
+        if js.phase != Phase::Running {
+            return;
+        }
+        let dt = now.saturating_since(js.last_progress).as_secs_f64();
+        if dt > 0.0 {
+            let f = self.fleet.dvfs.freq_ghz(js.level);
+            let rate = speed_factor(js.job.gamma, f, self.fleet.dvfs.f_max());
+            js.remaining_nominal_s = (js.remaining_nominal_s - dt * rate).max(0.0);
+        }
+        js.last_progress = now;
+    }
+
+    /// (Re)schedules the completion event from the current remaining work.
+    fn schedule_completion(&mut self, idx: usize, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
+        let js = &mut self.jobs[idx];
+        js.gen += 1;
+        let f = self.fleet.dvfs.freq_ghz(js.level);
+        let rate = speed_factor(js.job.gamma, f, self.fleet.dvfs.f_max());
+        let dur = SimDuration::from_secs_f64(js.remaining_nominal_s / rate);
+        ctx.schedule(
+            now + dur,
+            Ev::Completion {
+                job: idx,
+                gen: js.gen,
+            },
+        );
+    }
+
+    /// Stage 1-4 of Fig. 3: when utilization is low, isolate idle,
+    /// inadequately profiled chips and start their scans.
+    fn profiling_check(&mut self, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
+        let n = self.fleet.len();
+        let busy: usize = self.queues.iter().filter(|q| !q.is_empty()).count();
+        let Some(insitu) = &mut self.in_situ else {
+            return;
+        };
+        let utilization = busy as f64 / n as f64;
+        if utilization >= insitu.config.utilization_threshold {
+            return; // stage 1: only profile at low utilization
+        }
+        let available_now = insitu.blocked.iter().filter(|&&b| !b).count();
+        let min_available = (n as f64 * insitu.config.min_available_fraction).ceil() as usize;
+        let mut may_take = available_now.saturating_sub(min_available);
+        may_take = may_take.min(insitu.scanner.config().domain_size);
+        if may_take == 0 {
+            return;
+        }
+        // Stage 2: choose idle, unprofiled, unblocked chips (a profiling
+        // domain).
+        let candidates: Vec<u32> = (0..n as u32)
+            .filter(|&c| {
+                !insitu.profiled[c as usize]
+                    && !insitu.blocked[c as usize]
+                    && self.queues[c as usize].is_empty()
+            })
+            .take(may_take)
+            .collect();
+        for c in candidates {
+            // Stages 3-6 run against the hidden silicon now; the chip is
+            // out of service for the resulting test time.
+            let chip = &self.fleet.chips[c as usize];
+            let duration = insitu
+                .scanner
+                .profile_chip(chip, &mut insitu.records, &mut insitu.rng);
+            insitu.blocked[c as usize] = true;
+            // A chip under test runs its stress workload at nominal
+            // voltage and full clock.
+            let top = self.fleet.dvfs.max_level();
+            let pm = self.fleet.power_model();
+            insitu.profiling_power_w += self.cooling.facility_power(pm.chip_power(
+                chip,
+                &self.fleet.dvfs,
+                top,
+                self.fleet.dvfs.v_nom(top),
+            ));
+            ctx.schedule(now + duration, Ev::ProfilingDone { chip: c });
+        }
+    }
+
+    /// A chip's scan completed: return it to service at its measured
+    /// operating point (the plan upgrade that makes `Scan*` scheduling
+    /// possible chip by chip).
+    fn profiling_done(&mut self, chip_idx: u32, _now: SimTime) {
+        let Some(insitu) = &mut self.in_situ else {
+            return;
+        };
+        insitu.blocked[chip_idx as usize] = false;
+        insitu.profiled[chip_idx as usize] = true;
+        let top = self.fleet.dvfs.max_level();
+        let pm = self.fleet.power_model();
+        let chip = &self.fleet.chips[chip_idx as usize];
+        insitu.profiling_power_w -= self.cooling.facility_power(pm.chip_power(
+            chip,
+            &self.fleet.dvfs,
+            top,
+            self.fleet.dvfs.v_nom(top),
+        ));
+        insitu.profiling_power_w = insitu.profiling_power_w.max(0.0);
+        // Build the chip's scanned voltages and estimates.
+        let chip_id = iscope_pvmodel::ChipId(chip_idx);
+        let voltages: Vec<f64> = self
+            .fleet
+            .dvfs
+            .levels()
+            .map(|l| {
+                insitu
+                    .records
+                    .measured_vmin_chip(chip_id, l)
+                    .unwrap_or_else(|| self.fleet.dvfs.v_nom(l))
+                    + iscope_pvmodel::SCAN_GUARDBAND_V
+            })
+            .collect();
+        let est: Vec<f64> = self
+            .fleet
+            .dvfs
+            .levels()
+            .map(|l| {
+                pm.power(
+                    chip.alpha,
+                    chip.beta,
+                    self.fleet.dvfs.freq_ghz(l),
+                    voltages[l.0 as usize],
+                )
+            })
+            .collect();
+        self.plan.update_chip(chip_id, voltages, est);
+    }
+
+    /// Chips the in-situ scanner has upgraded so far.
+    fn profiled_count(&self) -> usize {
+        self.in_situ
+            .as_ref()
+            .map_or(0, |s| s.profiled.iter().filter(|&&p| p).count())
+    }
+
+    /// GreenSlot-style deferral test: hold the job back if wind is short
+    /// right now and waiting one more budget interval still leaves it able
+    /// to finish in time.
+    fn should_defer(&self, idx: usize, now: SimTime) -> bool {
+        let Some(cfg) = self.deferral else {
+            return false;
+        };
+        if !self.supply.has_wind() {
+            return false;
+        }
+        if self.supply.wind_power_at(now) > self.current_demand_w {
+            return false; // wind available: run now
+        }
+        let j = &self.jobs[idx].job;
+        let latest_release = j
+            .deadline
+            .saturating_since(SimTime::ZERO + j.runtime_at_fmax + cfg.slack_margin);
+        let next_check = now + self.supply.wind_interval().unwrap_or(SimDuration::ZERO);
+        next_check <= SimTime::ZERO + latest_release
+    }
+
+    /// Releases deferred jobs whose wait is over: wind returned, or their
+    /// slack will not survive another interval.
+    fn release_deferred(&mut self, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
+        if self.deferred.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.deferred);
+        for idx in pending {
+            if self.should_defer(idx, now) {
+                self.deferred.push(idx);
+            } else {
+                self.place_job(idx, now);
+                self.try_start(&[idx], now, ctx);
+            }
+        }
+    }
+
+    /// Whether renewable supply currently covers demand *plus* the job
+    /// about to be placed (ScanFair's surplus signal). Requiring the new
+    /// job to fit under the budget keeps surplus-mode placements from
+    /// spilling their tails onto utility power.
+    fn wind_surplus(&self, now: SimTime, idx: usize) -> bool {
+        if !self.supply.has_wind() {
+            return false;
+        }
+        let js = &self.jobs[idx];
+        // Estimate the job's draw from the scheduler-visible mean busy
+        // power (the exact chips are not chosen yet).
+        let top = self.fleet.dvfs.max_level();
+        let mean_est: f64 = (0..self.fleet.len() as u32)
+            .map(|i| self.plan.estimated_power(ChipId(i), top))
+            .sum::<f64>()
+            / self.fleet.len() as f64;
+        let job_w = self.cooling.facility_power(mean_est * js.job.cpus as f64);
+        let wind = match self.surplus_signal {
+            SurplusSignal::Instantaneous => self.supply.wind_power_at(now),
+            SurplusSignal::ForecastAware => match &self.supply.wind {
+                Some(trace) => {
+                    iscope_energy::forecast_wind_over(trace, now, js.job.runtime_at_fmax)
+                }
+                None => 0.0,
+            },
+        };
+        wind > self.current_demand_w + job_w
+    }
+
+    /// Projects when each chip frees up, replaying the current queues:
+    /// running jobs complete at their *current* DVFS level, queued gang
+    /// jobs start when all their chips are free (stagger included) and run
+    /// at f_max. This keeps placement honest when DVFS has slowed the
+    /// fleet down — a stale estimate here accepts doomed placements.
+    fn projected_avail(&self, now: SimTime) -> Vec<SimTime> {
+        let mut avail = vec![now; self.fleet.len()];
+        for &i in &self.running {
+            let js = &self.jobs[i];
+            let dt = now.saturating_since(js.last_progress).as_secs_f64();
+            let f = self.fleet.dvfs.freq_ghz(js.level);
+            let rate = speed_factor(js.job.gamma, f, self.fleet.dvfs.f_max());
+            let remaining = (js.remaining_nominal_s - dt * rate).max(0.0);
+            let end = now + SimDuration::from_secs_f64(remaining / rate);
+            for &c in &js.chips {
+                avail[c.0 as usize] = avail[c.0 as usize].max(end);
+            }
+        }
+        // Waiting jobs in placement (= arrival) order: queue order on every
+        // shared chip is consistent with arrival order, so one pass
+        // suffices.
+        let mut waiting: Vec<usize> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, js)| js.phase == Phase::Waiting && !js.chips.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        waiting.sort_unstable();
+        for idx in waiting {
+            let js = &self.jobs[idx];
+            let start = js
+                .chips
+                .iter()
+                .map(|c| avail[c.0 as usize])
+                .fold(now, SimTime::max);
+            let end = start + js.job.runtime_at_fmax;
+            for &c in &js.chips {
+                avail[c.0 as usize] = end;
+            }
+        }
+        avail
+    }
+
+    /// Places a newly arrived job on processors and enqueues it.
+    fn place_job(&mut self, idx: usize, now: SimTime) {
+        let surplus = self.wind_surplus(now, idx);
+        let avail = self.projected_avail(now);
+        let decision = {
+            let view = ProcView {
+                now,
+                avail: &avail,
+                usage: &self.usage,
+                plan: &self.plan,
+                dvfs: &self.fleet.dvfs,
+                blocked: self.in_situ.as_ref().map_or(&[], |s| &s.blocked),
+            };
+            self.placement
+                .place(&self.jobs[idx].job, &view, surplus, &mut self.rng)
+        };
+        let chips = decision.chips().to_vec();
+        for &c in &chips {
+            self.queues[c.0 as usize].push_back(idx);
+        }
+        self.jobs[idx].chips = chips;
+    }
+
+    /// Starts every waiting job that has reached the head of all its
+    /// queues, beginning from the given candidates.
+    fn try_start(&mut self, candidates: &[usize], now: SimTime, ctx: &mut Ctx<'_, Ev>) {
+        for &idx in candidates {
+            if self.jobs[idx].phase != Phase::Waiting {
+                continue;
+            }
+            let at_head = self.jobs[idx]
+                .chips
+                .iter()
+                .all(|c| self.queues[c.0 as usize].front() == Some(&idx));
+            if !at_head {
+                continue;
+            }
+            let js = &mut self.jobs[idx];
+            js.phase = Phase::Running;
+            js.level = self.fleet.dvfs.max_level();
+            js.started_at = now;
+            js.last_progress = now;
+            self.running.push(idx);
+            self.schedule_completion(idx, now, ctx);
+        }
+    }
+
+    /// Runs the supply/demand matcher over the running jobs and applies
+    /// the level changes (advancing progress and rescheduling completions).
+    fn rebalance(&mut self, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
+        let budget = if self.supply.has_wind() {
+            self.supply.wind_power_at(now)
+        } else {
+            f64::INFINITY
+        };
+        match self.dvfs_mode {
+            DvfsMode::GlobalLevel => self.rebalance_global(budget, now, ctx),
+            DvfsMode::PerJobGreedy => self.rebalance_greedy(budget, now, ctx),
+        }
+        self.refresh_demand(now);
+    }
+
+    /// The paper's matcher: lower one fleet-wide level at a time while
+    /// demand exceeds the renewable budget, stopping when any task (running
+    /// or queued behind one) would face a deadline violation.
+    fn rebalance_global(&mut self, budget: f64, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
+        let top = self.fleet.dvfs.max_level();
+        let demand_at = |sim: &Sim, level: FreqLevel| -> f64 {
+            sim.running
+                .iter()
+                .map(|&i| sim.job_power(&sim.jobs[i], level))
+                .sum()
+        };
+        let mut level = top;
+        while demand_at(self, level) > budget && level > self.fleet.dvfs.min_level() {
+            let next = level.down();
+            let violates = self
+                .running
+                .iter()
+                .any(|&i| next < self.min_feasible_level(i, now));
+            if violates {
+                break; // "stop lowering when some tasks face violation"
+            }
+            level = next;
+        }
+        let to_change: Vec<usize> = self
+            .running
+            .iter()
+            .copied()
+            .filter(|&i| self.jobs[i].level != level)
+            .collect();
+        for idx in to_change {
+            self.advance_progress(idx, now);
+            self.jobs[idx].level = level;
+            self.schedule_completion(idx, now, ctx);
+        }
+    }
+
+    /// Ablation matcher: per-job greedy budget fitting.
+    fn rebalance_greedy(&mut self, budget: f64, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
+        let top = self.fleet.dvfs.max_level();
+        let mut cands: Vec<DvfsCandidate<usize>> = self
+            .running
+            .iter()
+            .map(|&i| {
+                let js = &self.jobs[i];
+                let power_at: Vec<f64> = self
+                    .fleet
+                    .dvfs
+                    .levels()
+                    .map(|l| self.job_power(js, l))
+                    .collect();
+                DvfsCandidate {
+                    key: i,
+                    level: js.level,
+                    min_level: self.min_feasible_level(i, now),
+                    power_at,
+                }
+            })
+            .collect();
+        let outcome = match_budget(&mut cands, budget, 0.0, top);
+        for (idx, new_level) in outcome.changes {
+            self.advance_progress(idx, now);
+            self.jobs[idx].level = new_level;
+            self.schedule_completion(idx, now, ctx);
+        }
+    }
+
+    /// Lowest level at which the job still meets its deadline from `now` —
+    /// and leaves its direct queue successors able to meet theirs (a
+    /// one-step lookahead: slowing a running job delays everything queued
+    /// behind it, so "tasks facing violation of their deadlines" includes
+    /// the waiting ones). Returns the top level when even full speed
+    /// misses (run flat out).
+    fn min_feasible_level(&self, idx: usize, now: SimTime) -> FreqLevel {
+        let js = &self.jobs[idx];
+        // Remaining work as of now (progress may lag by up to the current
+        // event; the small overestimate is conservative).
+        let dt = now.saturating_since(js.last_progress).as_secs_f64();
+        let f_cur = self.fleet.dvfs.freq_ghz(js.level);
+        let rate_cur = speed_factor(js.job.gamma, f_cur, self.fleet.dvfs.f_max());
+        let remaining = (js.remaining_nominal_s - dt * rate_cur).max(0.0);
+        // Jobs queued behind this one need it gone early enough that the
+        // whole chain still fits: walking each queue, successor k must
+        // start by (deadline_k - sum of nominal runtimes of the chain up
+        // to and including k).
+        let mut limit = js.job.deadline;
+        for &c in &js.chips {
+            let mut chain = SimDuration::ZERO;
+            for &succ in self.queues[c.0 as usize].iter().skip(1) {
+                let sj = &self.jobs[succ].job;
+                chain += sj.runtime_at_fmax;
+                let must_be_gone_by = sj.deadline.saturating_since(SimTime::ZERO + chain);
+                limit = limit.min(SimTime::ZERO + must_be_gone_by);
+            }
+        }
+        // Keep a safety margin so millisecond rounding and gang start
+        // staggering cannot tip an exactly-fitting job past its deadline.
+        let slack_s = (limit.saturating_since(now).as_secs_f64() - DVFS_SAFETY_MARGIN_S).max(0.0);
+        for l in self.fleet.dvfs.levels() {
+            let rate = speed_factor(
+                js.job.gamma,
+                self.fleet.dvfs.freq_ghz(l),
+                self.fleet.dvfs.f_max(),
+            );
+            if remaining / rate <= slack_s {
+                return l;
+            }
+        }
+        self.fleet.dvfs.max_level()
+    }
+
+    fn finish_job(&mut self, idx: usize, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
+        self.advance_progress(idx, now);
+        let js = &mut self.jobs[idx];
+        debug_assert!(js.remaining_nominal_s < 1e-3, "completion with work left");
+        js.phase = Phase::Done;
+        let busy = now.saturating_since(js.started_at);
+        if now > js.job.deadline {
+            self.deadline_misses += 1;
+        }
+        self.done_count += 1;
+        self.makespan = self.makespan.max(now);
+        self.running.retain(|&i| i != idx);
+        let chips = self.jobs[idx].chips.clone();
+        let mut candidates = Vec::with_capacity(chips.len());
+        for &c in &chips {
+            self.usage[c.0 as usize] += busy;
+            let q = &mut self.queues[c.0 as usize];
+            debug_assert_eq!(q.front(), Some(&idx), "completed job was not at head");
+            q.pop_front();
+            if let Some(&next) = q.front() {
+                candidates.push(next);
+            }
+        }
+        self.try_start(&candidates, now, ctx);
+    }
+}
+
+impl Model<Ev> for Sim {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, Ev>, event: Ev) {
+        let now = ctx.now();
+        self.account(now);
+        match event {
+            Ev::Arrival(idx) => {
+                if self.should_defer(idx, now) {
+                    self.deferred.push(idx);
+                } else {
+                    self.place_job(idx, now);
+                    self.try_start(&[idx], now, ctx);
+                }
+                self.rebalance(now, ctx);
+            }
+            Ev::Completion { job, gen } => {
+                if self.jobs[job].gen != gen || self.jobs[job].phase != Phase::Running {
+                    return; // stale reschedule
+                }
+                self.finish_job(job, now, ctx);
+                self.rebalance(now, ctx);
+            }
+            Ev::WindSample => {
+                self.release_deferred(now, ctx);
+                self.rebalance(now, ctx);
+                if self.done_count < self.jobs.len() {
+                    if let Some(iv) = self.supply.wind_interval() {
+                        ctx.schedule(now + iv, Ev::WindSample);
+                    }
+                }
+            }
+            Ev::ProfilingCheck => {
+                self.profiling_check(now, ctx);
+                let keep_going = self.done_count < self.jobs.len()
+                    || self
+                        .in_situ
+                        .as_ref()
+                        .is_some_and(|s| s.blocked.iter().any(|&b| b));
+                if let Some(insitu) = &self.in_situ {
+                    if keep_going && self.profiled_count() < self.fleet.len() {
+                        ctx.schedule(now + insitu.config.check_interval, Ev::ProfilingCheck);
+                    }
+                }
+                self.rebalance(now, ctx);
+            }
+            Ev::ProfilingDone { chip } => {
+                self.profiling_done(chip, now);
+                self.rebalance(now, ctx);
+            }
+        }
+    }
+}
+
+/// Runs one simulation to completion and returns the report.
+pub fn run_simulation(input: SimInput) -> RunReport {
+    let scheme = input.scheme_name.clone();
+    let prices = input.supply.prices;
+    let has_wind = input.supply.has_wind();
+    let wind_interval = input.supply.wind_interval();
+    let (mut sim, workload) = Sim::new(input);
+    let mut engine = Engine::new().with_step_budget(200_000_000);
+    for (i, j) in workload.jobs().iter().enumerate() {
+        engine.prime(j.submit, Ev::Arrival(i));
+    }
+    if has_wind {
+        if let Some(iv) = wind_interval {
+            engine.prime(SimTime::ZERO + iv, Ev::WindSample);
+        }
+    }
+    if let Some(insitu) = &sim.in_situ {
+        engine.prime(
+            SimTime::ZERO + insitu.config.check_interval,
+            Ev::ProfilingCheck,
+        );
+    }
+    let stop = engine.run(&mut sim);
+    assert_eq!(
+        stop,
+        StopReason::Quiescent,
+        "simulation exhausted its step budget"
+    );
+    assert_eq!(
+        sim.done_count,
+        sim.jobs.len(),
+        "simulation ended with unfinished jobs"
+    );
+    // Close the books at the final instant.
+    let end = sim.makespan;
+    sim.account(end);
+    let power_series = sim
+        .samplers
+        .take()
+        .map(|s| s.into_iter().map(|smp| smp.finish(end)).collect())
+        .unwrap_or_default();
+    let profiling = sim.in_situ.as_ref().map(|s| crate::report::ProfilingStats {
+        chips_profiled: s.profiled.iter().filter(|&&p| p).count(),
+        fleet_size: s.profiled.len(),
+        profiling_energy_kwh: s.profiling_energy_note_j / 3.6e6,
+        tests_run: s.records.tests_run(),
+    });
+    RunReport {
+        scheme,
+        ledger: sim.ledger,
+        prices,
+        jobs: sim.jobs.len(),
+        deadline_misses: sim.deadline_misses,
+        makespan: sim.makespan,
+        usage_hours: sim.usage.iter().map(|u| u.as_hours_f64()).collect(),
+        power_series,
+        profiling,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::GreenDatacenterSim;
+    use iscope_dcsim::{SimDuration, SimTime};
+    use iscope_energy::{PowerTrace, Supply};
+    use iscope_pvmodel::CpuBoundness;
+    use iscope_sched::Scheme;
+    use iscope_workload::{Job, JobId, Urgency, Workload};
+
+    fn job(id: u32, submit_s: u64, cpus: u32, runtime_s: u64, deadline_factor: f64) -> Job {
+        Job {
+            id: JobId(id),
+            submit: SimTime::from_secs(submit_s),
+            cpus,
+            runtime_at_fmax: SimDuration::from_secs(runtime_s),
+            gamma: CpuBoundness::FULL,
+            deadline: SimTime::from_secs(submit_s)
+                + SimDuration::from_secs((runtime_s as f64 * deadline_factor) as u64),
+            urgency: Urgency::Low,
+        }
+    }
+
+    fn run(jobs: Vec<Job>, supply: Supply) -> crate::RunReport {
+        GreenDatacenterSim::builder()
+            .fleet_size(8)
+            .workload(Workload::new(jobs))
+            .scheme(Scheme::ScanFair)
+            .supply(supply)
+            .seed(1)
+            .build()
+            .run()
+    }
+
+    #[test]
+    fn empty_workload_completes_instantly() {
+        let r = run(vec![], Supply::utility_only());
+        assert_eq!(r.jobs, 0);
+        assert_eq!(r.makespan, SimTime::ZERO);
+        assert_eq!(r.utility_kwh(), 0.0);
+        assert_eq!(r.deadline_misses, 0);
+    }
+
+    #[test]
+    fn single_job_runs_exactly_its_nominal_time_at_full_speed() {
+        let r = run(vec![job(0, 100, 2, 600, 10.0)], Supply::utility_only());
+        assert_eq!(r.jobs, 1);
+        assert_eq!(
+            r.makespan,
+            SimTime::from_secs(700),
+            "start + runtime at f_max"
+        );
+        assert_eq!(r.deadline_misses, 0);
+        // Both chips busy exactly 600 s.
+        let busy: f64 = r.usage_hours.iter().sum();
+        assert!((busy - 2.0 * 600.0 / 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effi_queues_on_the_efficient_prefix_when_slack_allows() {
+        // 8 chips; four 4-wide jobs arriving together with 20x slack:
+        // ScanFair (efficiency mode without wind) funnels all four through
+        // the 4 most efficient chips — the paper's "queueing phenomenon".
+        let jobs: Vec<Job> = (0..4).map(|i| job(i, 0, 4, 600, 20.0)).collect();
+        let r = run(jobs, Supply::utility_only());
+        assert_eq!(
+            r.makespan,
+            SimTime::from_secs(2400),
+            "serialized on the best 4"
+        );
+        assert_eq!(r.deadline_misses, 0);
+        // Half the fleet never ran.
+        let idle = r.usage_hours.iter().filter(|&&h| h == 0.0).count();
+        assert_eq!(idle, 4);
+    }
+
+    #[test]
+    fn tight_deadlines_force_parallel_waves() {
+        // The same four jobs with only 2.2x slack: queueing four-deep would
+        // blow the deadlines, so the scheduler spreads onto both halves.
+        let jobs: Vec<Job> = (0..4).map(|i| job(i, 0, 4, 600, 2.2)).collect();
+        let r = run(jobs, Supply::utility_only());
+        assert_eq!(r.makespan, SimTime::from_secs(1200), "two parallel waves");
+        assert_eq!(r.deadline_misses, 0);
+    }
+
+    #[test]
+    fn zero_wind_trace_draws_only_utility() {
+        let supply = Supply::hybrid(PowerTrace::constant(SimDuration::from_mins(10), 0.0, 100));
+        let r = run(vec![job(0, 0, 2, 600, 10.0)], supply);
+        assert_eq!(r.wind_kwh(), 0.0);
+        assert!(r.utility_kwh() > 0.0);
+    }
+
+    #[test]
+    fn abundant_constant_wind_covers_everything_without_slowdown() {
+        let supply = Supply::hybrid(PowerTrace::constant(SimDuration::from_mins(10), 1e9, 1000));
+        let r = run(vec![job(0, 0, 2, 600, 10.0)], supply);
+        assert!(r.utility_kwh() < 1e-9);
+        assert!(r.wind_kwh() > 0.0);
+        assert_eq!(
+            r.makespan,
+            SimTime::from_secs(600),
+            "no DVFS slowdown needed"
+        );
+    }
+
+    #[test]
+    fn scarce_wind_slows_jobs_within_their_slack() {
+        // A trickle of wind: the job crawls but must still meet a 4x
+        // deadline. Slowest level is 0.75 GHz = f_max / 2.667.
+        let supply = Supply::hybrid(PowerTrace::constant(SimDuration::from_mins(10), 1.0, 1000));
+        let r = run(vec![job(0, 0, 2, 600, 4.0)], supply);
+        assert_eq!(r.deadline_misses, 0);
+        assert!(
+            r.makespan > SimTime::from_secs(600),
+            "scarce wind must stretch execution"
+        );
+        assert!(
+            r.makespan <= SimTime::from_secs(2400),
+            "within the deadline"
+        );
+    }
+
+    #[test]
+    fn impossible_deadline_is_recorded_not_dropped() {
+        // Deadline equal to half the runtime: a guaranteed miss, but the
+        // job still runs to completion.
+        let mut j = job(0, 0, 2, 600, 1.0);
+        j.deadline = SimTime::from_secs(300);
+        let r = run(vec![j], Supply::utility_only());
+        assert_eq!(r.jobs, 1);
+        assert_eq!(r.deadline_misses, 1);
+        assert_eq!(
+            r.makespan,
+            SimTime::from_secs(600),
+            "still runs at full speed"
+        );
+    }
+
+    #[test]
+    fn cooling_overhead_multiplies_energy() {
+        let base = run(vec![job(0, 0, 2, 3600, 10.0)], Supply::utility_only());
+        let hot = GreenDatacenterSim::builder()
+            .fleet_size(8)
+            .workload(Workload::new(vec![job(0, 0, 2, 3600, 10.0)]))
+            .scheme(Scheme::ScanFair)
+            .cooling(iscope_pvmodel::CoolingModel::new(1.0)) // 2x factor
+            .seed(1)
+            .build()
+            .run();
+        // COP 2.5 => x1.4; COP 1.0 => x2.0. Energy ratio 2.0/1.4.
+        let ratio = hot.utility_kwh() / base.utility_kwh();
+        assert!((ratio - 2.0 / 1.4).abs() < 1e-6, "ratio {ratio}");
+    }
+
+    #[test]
+    fn simultaneous_arrivals_preserve_submission_order_fifo() {
+        // Two jobs submitted at the same instant on the same pool size:
+        // both complete; the earlier-id job is placed first (deterministic).
+        let jobs = vec![job(0, 0, 8, 600, 20.0), job(1, 0, 8, 600, 20.0)];
+        let r = run(jobs, Supply::utility_only());
+        assert_eq!(r.jobs, 2);
+        assert_eq!(r.makespan, SimTime::from_secs(1200));
+    }
+}

@@ -1,0 +1,241 @@
+//! Deterministic event queue with stable ordering and O(log n) cancellation.
+//!
+//! Events at equal timestamps pop in insertion order (FIFO), which makes the
+//! simulation independent of heap-internal layout and therefore
+//! reproducible. Cancellation is done with tombstones: a cancelled entry
+//! stays in the heap and is skipped on pop, so `cancel` is O(log n) amortized
+//! via the `BTreeSet` of live handles.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+
+/// Identifies a scheduled event so it can be cancelled before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventHandle(u64);
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Ordering key: (time, seq). `seq` breaks ties FIFO.
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A priority queue of future events keyed by simulation time.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    live: BTreeSet<u64>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            live: BTreeSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of live (non-cancelled) events still pending.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// Scheduling into the past is a logic error; debug builds panic, release
+    /// builds fire the event at the current time (never rewinding the clock).
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventHandle {
+        debug_assert!(
+            at >= self.now,
+            "scheduled event at {at} before now {}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.insert(seq);
+        self.heap.push(Reverse(Scheduled {
+            time: at,
+            seq,
+            event,
+        }));
+        EventHandle(seq)
+    }
+
+    /// Cancels a pending event. Returns true if the event was still live.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        self.live.remove(&handle.0)
+    }
+
+    /// Timestamp of the next live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_dead();
+        self.heap.peek().map(|Reverse(s)| s.time)
+    }
+
+    /// Pops the next live event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.skip_dead();
+        let Reverse(s) = self.heap.pop()?;
+        self.live.remove(&s.seq);
+        self.now = s.time;
+        Some((s.time, s.event))
+    }
+
+    /// Drops cancelled entries sitting at the top of the heap.
+    fn skip_dead(&mut self) {
+        while let Some(Reverse(s)) = self.heap.peek() {
+            if self.live.contains(&s.seq) {
+                return;
+            }
+            self.heap.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), "b");
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(9), "c");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(3);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2), ());
+        q.schedule(SimTime::from_secs(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(2));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule(SimTime::from_secs(1), "dead");
+        q.schedule(SimTime::from_secs(2), "alive");
+        assert!(q.cancel(h1));
+        assert!(!q.cancel(h1), "double-cancel must report false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("alive"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(SimTime::from_secs(1), ());
+        q.schedule(SimTime::from_secs(4), ());
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(4)));
+    }
+
+    #[test]
+    fn len_tracks_live_events_only() {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = (0..5)
+            .map(|i| q.schedule(SimTime::from_secs(i), i))
+            .collect();
+        assert_eq!(q.len(), 5);
+        q.cancel(handles[2]);
+        assert_eq!(q.len(), 4);
+        q.pop();
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn reschedule_pattern() {
+        // Typical DVFS pattern: cancel a completion event, reschedule later.
+        let mut q = EventQueue::new();
+        let h = q.schedule(SimTime::from_secs(10), "early-completion");
+        q.cancel(h);
+        q.schedule(SimTime::from_secs(15), "late-completion");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(15));
+        assert_eq!(e, "late-completion");
+    }
+
+    #[test]
+    #[should_panic(expected = "before now")]
+    #[cfg(debug_assertions)]
+    fn scheduling_into_the_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 1);
+        let (t, _) = q.pop().unwrap();
+        // Schedule relative to popped time, as handlers do.
+        q.schedule(t + SimDuration::from_secs(3), 2);
+        q.schedule(t + SimDuration::from_secs(2), 3);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(3));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+    }
+}

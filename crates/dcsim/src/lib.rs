@@ -1,0 +1,32 @@
+//! # iscope-dcsim — deterministic discrete-event simulation engine
+//!
+//! The substrate every other iScope crate runs on:
+//!
+//! * [`time`] — integer-millisecond [`SimTime`]/[`SimDuration`] clock.
+//! * [`event`] — [`EventQueue`] with FIFO tie-breaking and cancellation.
+//! * [`engine`] — the [`Engine`]/[`Model`] driver loop.
+//! * [`rng`] — seeded [`SimRng`] with Normal / Poisson / Weibull /
+//!   LogNormal samplers (implemented in-crate; see DESIGN.md §6).
+//! * [`stats`] — Welford accumulators and time-weighted integrals
+//!   (the power→energy accounting path).
+//! * [`trace`] — fixed-interval samplers for the power-trace figures.
+//!
+//! Everything is deterministic given a seed: equal-time events pop in
+//! insertion order, all randomness flows from [`SimRng`], and no
+//! wall-clock or hash-order dependence exists anywhere in the engine.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Ctx, Engine, Model, StopReason};
+pub use event::{EventHandle, EventQueue};
+pub use rng::SimRng;
+pub use stats::{Histogram, Running, TimeWeighted};
+pub use time::{SimDuration, SimTime};
+pub use trace::{Sampler, TimeSeries};

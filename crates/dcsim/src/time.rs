@@ -1,0 +1,228 @@
+//! Simulation clock types.
+//!
+//! The engine uses an integer millisecond clock ([`SimTime`]) so that event
+//! ordering is exact and runs are bit-reproducible; floating-point seconds
+//! are only produced at the accounting boundary ([`SimTime::as_secs_f64`]).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An absolute simulation instant, in integer milliseconds since t = 0.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A non-negative span between two [`SimTime`]s, in integer milliseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant (used as an "infinite" horizon).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Builds an instant from integer milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Builds an instant from integer seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1000)
+    }
+
+    /// Builds an instant from fractional seconds, rounding to the nearest
+    /// millisecond. Negative inputs clamp to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimTime((secs.max(0.0) * 1000.0).round() as u64)
+    }
+
+    /// Raw millisecond count.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// This instant expressed in fractional hours (energy accounting uses
+    /// kWh, so hours appear at the cost boundary).
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3_600_000.0
+    }
+
+    /// Span from `earlier` to `self`; zero if `earlier` is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating add that never overflows past [`SimTime::MAX`].
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Builds a span from integer milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    /// Builds a span from integer seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1000)
+    }
+
+    /// Builds a span from integer minutes.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimDuration(mins * 60_000)
+    }
+
+    /// Builds a span from integer hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * 3_600_000)
+    }
+
+    /// Builds a span from fractional seconds, rounding to the nearest
+    /// millisecond. Negative inputs clamp to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimDuration((secs.max(0.0) * 1000.0).round() as u64)
+    }
+
+    /// Raw millisecond count.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// This span expressed in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// This span expressed in fractional hours.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3_600_000.0
+    }
+
+    /// True if the span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies the span by a non-negative factor, rounding to the nearest
+    /// millisecond.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        debug_assert!(factor >= 0.0, "duration factor must be non-negative");
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction went negative");
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total_secs = self.0 / 1000;
+        let (h, m, s) = (total_secs / 3600, (total_secs / 60) % 60, total_secs % 60);
+        write!(f, "{h:02}:{m:02}:{s:02}")
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_secs(2).as_millis(), 2000);
+        assert_eq!(SimTime::from_secs_f64(1.5).as_millis(), 1500);
+        assert_eq!(SimDuration::from_mins(10).as_secs_f64(), 600.0);
+        assert_eq!(SimDuration::from_hours(1).as_millis(), 3_600_000);
+    }
+
+    #[test]
+    fn negative_seconds_clamp_to_zero() {
+        assert_eq!(SimTime::from_secs_f64(-3.0), SimTime::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(-0.1), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10) + SimDuration::from_secs(5);
+        assert_eq!(t, SimTime::from_secs(15));
+        assert_eq!(t - SimTime::from_secs(10), SimDuration::from_secs(5));
+        assert_eq!(
+            SimTime::from_secs(3).saturating_since(SimTime::from_secs(9)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        assert_eq!(
+            SimDuration::from_millis(1000).mul_f64(1.5).as_millis(),
+            1500
+        );
+        assert_eq!(SimDuration::from_millis(3).mul_f64(0.5).as_millis(), 2); // 1.5 rounds to 2
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_secs(3661).to_string(), "01:01:01");
+        assert_eq!(SimDuration::from_millis(1500).to_string(), "1.500s");
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(SimTime::from_millis(1) < SimTime::from_millis(2));
+        assert!(SimTime::MAX > SimTime::from_secs(u32::MAX as u64));
+    }
+}

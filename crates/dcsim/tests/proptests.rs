@@ -1,0 +1,145 @@
+//! Property-based tests for the simulation engine invariants.
+
+use iscope_dcsim::{EventQueue, Running, SimDuration, SimRng, SimTime, TimeWeighted};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in non-decreasing time order regardless of the
+    /// insertion order, and equal-time events pop FIFO.
+    #[test]
+    fn event_queue_pops_sorted(times in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_millis(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(i > li, "FIFO violated at equal timestamps");
+                }
+            }
+            last = Some((t, i));
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those events.
+    #[test]
+    fn cancellation_removes_exactly_the_cancelled(
+        times in proptest::collection::vec(0u64..1000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, q.schedule(SimTime::from_millis(t), i)))
+            .collect();
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, h) in &handles {
+            if cancel_mask.get(*i).copied().unwrap_or(false) {
+                q.cancel(*h);
+            } else {
+                expected.push(*i);
+            }
+        }
+        let mut popped: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        popped.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Welford mean/variance agree with the two-pass batch formulas.
+    #[test]
+    fn running_matches_two_pass(xs in proptest::collection::vec(-1e6f64..1e6, 2..500)) {
+        let mut r = Running::new();
+        for &x in &xs {
+            r.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((r.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        prop_assert!((r.variance() - var).abs() <= 1e-5 * var.abs().max(1.0));
+    }
+
+    /// Merging split accumulators equals accumulating the whole stream.
+    #[test]
+    fn running_merge_associative(
+        xs in proptest::collection::vec(-1e3f64..1e3, 2..300),
+        split in 0usize..300,
+    ) {
+        let split = split.min(xs.len());
+        let mut whole = Running::new();
+        for &x in &xs { whole.push(x); }
+        let mut a = Running::new();
+        let mut b = Running::new();
+        for &x in &xs[..split] { a.push(x); }
+        for &x in &xs[split..] { b.push(x); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-4);
+    }
+
+    /// The time-weighted integral equals the sum of rectangles.
+    #[test]
+    fn time_weighted_equals_rectangles(
+        steps in proptest::collection::vec((1u64..10_000, -1e3f64..1e3), 1..100),
+    ) {
+        let mut tw = TimeWeighted::new();
+        let mut t = SimTime::ZERO;
+        let mut expected = 0.0;
+        let mut current = 0.0;
+        for &(dt, v) in &steps {
+            tw.set(t, v);
+            let dur = SimDuration::from_millis(dt);
+            expected += current * 0.0; // value changes at t, so previous rect already counted
+            current = v;
+            let t2 = t + dur;
+            expected += v * dur.as_secs_f64();
+            t = t2;
+        }
+        tw.advance(t);
+        prop_assert!((tw.integral() - expected).abs() < 1e-6 * expected.abs().max(1.0),
+            "integral {} vs expected {}", tw.integral(), expected);
+    }
+
+    /// Samplers stay within their mathematical supports.
+    #[test]
+    fn sampler_supports(seed in any::<u64>()) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.weibull(2.0, 8.0) >= 0.0);
+            prop_assert!(rng.exponential(0.5) >= 0.0);
+            prop_assert!(rng.lognormal(0.0, 1.0) > 0.0);
+            let u = rng.uniform();
+            prop_assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    /// Derived RNG streams are reproducible and label-sensitive.
+    #[test]
+    fn derived_rng_reproducible(seed in any::<u64>(), label in "[a-z]{1,12}") {
+        let mut a = SimRng::derive(seed, &label);
+        let mut b = SimRng::derive(seed, &label);
+        for _ in 0..16 {
+            prop_assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    /// sample_indices returns k distinct in-range indices for all valid k<=n.
+    #[test]
+    fn sample_indices_always_distinct(seed in any::<u64>(), n in 1usize..200, frac in 0.0f64..=1.0) {
+        let k = ((n as f64) * frac) as usize;
+        let mut rng = SimRng::new(seed);
+        let ids = rng.sample_indices(n, k);
+        prop_assert_eq!(ids.len(), k);
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), k);
+        prop_assert!(ids.iter().all(|&i| i < n));
+    }
+}

@@ -1,0 +1,206 @@
+//! On-site battery smoothing (§II.A context).
+//!
+//! The paper notes that "heavily relying on the utility power grid and
+//! large-scale onsite battery to complement RES has been shown to be
+//! inefficient and costly" — iScope's answer is demand-side matching. This
+//! module provides the battery alternative so the trade-off can actually
+//! be measured: a simple energy buffer with capacity, power limits, and
+//! round-trip efficiency, charged from wind surplus and discharged into
+//! deficit.
+
+use crate::trace::PowerTrace;
+use serde::{Deserialize, Serialize};
+
+/// A stationary battery: energy buffer with power limits and losses.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Battery {
+    /// Usable capacity in joules.
+    pub capacity_j: f64,
+    /// Maximum charge power (W).
+    pub max_charge_w: f64,
+    /// Maximum discharge power (W).
+    pub max_discharge_w: f64,
+    /// Round-trip efficiency in `(0, 1]` (applied entirely on charge).
+    pub round_trip_efficiency: f64,
+}
+
+impl Battery {
+    /// A battery sized to carry `hours` of `power_w` draw.
+    pub fn sized_for(power_w: f64, hours: f64) -> Battery {
+        Battery {
+            capacity_j: power_w * hours * 3600.0,
+            max_charge_w: power_w,
+            max_discharge_w: power_w,
+            round_trip_efficiency: 0.85,
+        }
+    }
+
+    /// Panics if parameters are out of domain.
+    pub fn validate(&self) {
+        assert!(self.capacity_j >= 0.0);
+        assert!(self.max_charge_w >= 0.0 && self.max_discharge_w >= 0.0);
+        assert!(self.round_trip_efficiency > 0.0 && self.round_trip_efficiency <= 1.0);
+    }
+}
+
+/// Mutable battery state during a simulation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BatteryState {
+    /// Configuration.
+    pub battery: Battery,
+    /// Stored energy in joules.
+    pub stored_j: f64,
+}
+
+impl BatteryState {
+    /// An empty battery.
+    pub fn empty(battery: Battery) -> BatteryState {
+        battery.validate();
+        BatteryState {
+            battery,
+            stored_j: 0.0,
+        }
+    }
+
+    /// State of charge in `\[0, 1\]` (1 when capacity is zero).
+    pub fn soc(&self) -> f64 {
+        if self.battery.capacity_j == 0.0 {
+            1.0
+        } else {
+            self.stored_j / self.battery.capacity_j
+        }
+    }
+
+    /// Processes one interval: `surplus_w` (> 0 charges, < 0 requests
+    /// discharge) over `dt_s` seconds. Returns the power (W, >= 0) the
+    /// battery actually supplied toward a deficit during the interval.
+    pub fn step(&mut self, surplus_w: f64, dt_s: f64) -> f64 {
+        debug_assert!(dt_s >= 0.0);
+        if surplus_w >= 0.0 {
+            let charge_w = surplus_w.min(self.battery.max_charge_w);
+            let stored = charge_w * dt_s * self.battery.round_trip_efficiency;
+            self.stored_j = (self.stored_j + stored).min(self.battery.capacity_j);
+            0.0
+        } else {
+            let want_w = (-surplus_w).min(self.battery.max_discharge_w);
+            let available_w = self.stored_j / dt_s.max(1e-9);
+            let give_w = want_w.min(available_w);
+            self.stored_j = (self.stored_j - give_w * dt_s).max(0.0);
+            give_w
+        }
+    }
+}
+
+/// Applies a battery to a wind trace against a constant demand profile:
+/// returns the *effective* supply trace (wind plus discharge, minus the
+/// surplus the battery absorbed). A quick way to evaluate how much a
+/// buffer of a given size smooths the budget the scheduler sees.
+pub fn smooth_against_demand(wind: &PowerTrace, demand_w: f64, battery: Battery) -> PowerTrace {
+    let mut state = BatteryState::empty(battery);
+    let dt = wind.interval.as_secs_f64();
+    let watts = wind
+        .watts
+        .iter()
+        .map(|&w| {
+            let surplus = w - demand_w;
+            if surplus >= 0.0 {
+                // The absorbed surplus is no longer available to the load.
+                let absorbed = surplus.min(state.battery.max_charge_w);
+                state.step(surplus, dt);
+                w - absorbed
+            } else {
+                let supplied = state.step(surplus, dt);
+                w + supplied
+            }
+        })
+        .map(|w| w.max(0.0))
+        .collect();
+    PowerTrace::new(wind.interval, watts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iscope_dcsim::SimDuration;
+
+    fn batt(kwh: f64, kw: f64) -> Battery {
+        Battery {
+            capacity_j: kwh * 3.6e6,
+            max_charge_w: kw * 1000.0,
+            max_discharge_w: kw * 1000.0,
+            round_trip_efficiency: 0.85,
+        }
+    }
+
+    #[test]
+    fn charges_with_losses_and_caps_at_capacity() {
+        let mut s = BatteryState::empty(batt(1.0, 100.0)); // 1 kWh, 100 kW
+                                                           // 10 kW surplus for 180 s = 0.5 kWh in, x0.85 stored.
+        let supplied = s.step(10_000.0, 180.0);
+        assert_eq!(supplied, 0.0);
+        assert!((s.stored_j - 0.5 * 3.6e6 * 0.85).abs() < 1.0);
+        // Massive surplus saturates at capacity.
+        s.step(1e9, 3600.0);
+        assert_eq!(s.stored_j, s.battery.capacity_j);
+        assert_eq!(s.soc(), 1.0);
+    }
+
+    #[test]
+    fn discharges_up_to_power_and_energy_limits() {
+        let mut s = BatteryState::empty(batt(1.0, 5.0)); // 1 kWh, 5 kW
+        s.stored_j = s.battery.capacity_j;
+        // Deficit of 20 kW: power-limited to 5 kW.
+        let give = s.step(-20_000.0, 60.0);
+        assert!((give - 5000.0).abs() < 1e-9);
+        // Drain the rest: energy-limited.
+        let give = s.step(-5_000.0, 3600.0);
+        assert!(give < 5000.0, "partially empty battery cannot sustain");
+        assert!(s.stored_j < 1.0);
+        // Empty battery gives nothing.
+        s.stored_j = 0.0;
+        assert_eq!(s.step(-1000.0, 60.0), 0.0);
+    }
+
+    #[test]
+    fn charge_rate_is_limited() {
+        let mut s = BatteryState::empty(batt(100.0, 1.0)); // 1 kW max charge
+        s.step(50_000.0, 3600.0); // huge surplus, one hour
+                                  // Stored at most 1 kWh x efficiency.
+        assert!(s.stored_j <= 1000.0 * 3600.0 * 0.85 + 1.0);
+    }
+
+    #[test]
+    fn smoothing_raises_the_supply_floor() {
+        // Alternating windy/calm trace against a 10 kW demand.
+        let wind = PowerTrace::new(
+            SimDuration::from_mins(10),
+            vec![30_000.0, 30_000.0, 0.0, 0.0, 30_000.0, 0.0],
+        );
+        let smoothed = smooth_against_demand(&wind, 10_000.0, batt(10.0, 20.0));
+        // Calm samples now see discharge power.
+        assert!(smoothed.watts[2] > 0.0, "battery should cover the calm");
+        assert!(smoothed.watts[3] > 0.0);
+        // Conservation: smoothing cannot create energy.
+        assert!(smoothed.total_energy_j() <= wind.total_energy_j() + 1.0);
+    }
+
+    #[test]
+    fn zero_capacity_battery_changes_nothing_downward() {
+        let wind = PowerTrace::new(SimDuration::from_mins(10), vec![5000.0, 0.0, 8000.0]);
+        let none = Battery {
+            capacity_j: 0.0,
+            max_charge_w: 0.0,
+            max_discharge_w: 0.0,
+            round_trip_efficiency: 1.0,
+        };
+        let out = smooth_against_demand(&wind, 4000.0, none);
+        assert_eq!(out.watts, wind.watts);
+    }
+
+    #[test]
+    fn sized_for_holds_the_requested_energy() {
+        let b = Battery::sized_for(10_000.0, 2.0);
+        assert!((b.capacity_j - 20.0 * 3.6e6).abs() < 1e-6);
+        b.validate();
+    }
+}

@@ -1,0 +1,193 @@
+//! Energy prices and cost accounting.
+//!
+//! The paper's evaluation (§VI.C): utility power at 0.13 USD/kWh
+//! (California), wind at 0.05 USD/kWh, with a sensitivity point at the
+//! projected 0.005 USD/kWh future wind price.
+
+use serde::{Deserialize, Serialize};
+
+/// Joules per kilowatt-hour.
+pub const J_PER_KWH: f64 = 3.6e6;
+
+/// Electricity prices in USD per kWh.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PriceBook {
+    /// Utility (grid) price, USD/kWh.
+    pub utility_usd_per_kwh: f64,
+    /// Renewable (wind) price, USD/kWh.
+    pub wind_usd_per_kwh: f64,
+}
+
+impl PriceBook {
+    /// The paper's evaluation prices: 0.13 / 0.05 USD per kWh.
+    pub fn paper_default() -> Self {
+        PriceBook {
+            utility_usd_per_kwh: 0.13,
+            wind_usd_per_kwh: 0.05,
+        }
+    }
+
+    /// The projected future wind price of 0.005 USD/kWh \[2\].
+    pub fn future_wind() -> Self {
+        PriceBook {
+            wind_usd_per_kwh: 0.005,
+            ..PriceBook::paper_default()
+        }
+    }
+}
+
+/// Accumulated energy split by source, with cost evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    /// Wind energy consumed, joules.
+    pub wind_j: f64,
+    /// Utility energy consumed, joules.
+    pub utility_j: f64,
+}
+
+impl EnergyLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        EnergyLedger::default()
+    }
+
+    /// Adds one accounting interval: `demand_w` drawn for `dt_s` seconds
+    /// against `wind_available_w` of renewable budget. Wind covers what it
+    /// can; utility covers the residual (§V.C supply policy).
+    pub fn draw(&mut self, demand_w: f64, wind_available_w: f64, dt_s: f64) {
+        debug_assert!(demand_w >= 0.0 && wind_available_w >= 0.0 && dt_s >= 0.0);
+        let wind_w = demand_w.min(wind_available_w);
+        self.wind_j += wind_w * dt_s;
+        self.utility_j += (demand_w - wind_w) * dt_s;
+    }
+
+    /// Wind energy in kWh.
+    pub fn wind_kwh(&self) -> f64 {
+        self.wind_j / J_PER_KWH
+    }
+
+    /// Utility energy in kWh.
+    pub fn utility_kwh(&self) -> f64 {
+        self.utility_j / J_PER_KWH
+    }
+
+    /// Total energy in kWh.
+    pub fn total_kwh(&self) -> f64 {
+        self.wind_kwh() + self.utility_kwh()
+    }
+
+    /// Cost of the utility share only (the paper's "utility energy cost").
+    pub fn utility_cost_usd(&self, prices: &PriceBook) -> f64 {
+        self.utility_kwh() * prices.utility_usd_per_kwh
+    }
+
+    /// Cost of the wind share only.
+    pub fn wind_cost_usd(&self, prices: &PriceBook) -> f64 {
+        self.wind_kwh() * prices.wind_usd_per_kwh
+    }
+
+    /// Total (wind + utility) energy cost.
+    pub fn total_cost_usd(&self, prices: &PriceBook) -> f64 {
+        self.utility_cost_usd(prices) + self.wind_cost_usd(prices)
+    }
+
+    /// Merges another ledger (parallel-sweep reduction).
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        self.wind_j += other.wind_j;
+        self.utility_j += other.utility_j;
+    }
+
+    /// Fraction of total energy served by wind (0 if nothing drawn).
+    pub fn green_fraction(&self) -> f64 {
+        let total = self.wind_j + self.utility_j;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.wind_j / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draw_splits_supply_correctly() {
+        let mut l = EnergyLedger::new();
+        // Demand below budget: all wind.
+        l.draw(500.0, 1000.0, 10.0);
+        assert_eq!(l.wind_j, 5000.0);
+        assert_eq!(l.utility_j, 0.0);
+        // Demand above budget: wind saturates, utility covers the rest.
+        l.draw(1500.0, 1000.0, 10.0);
+        assert_eq!(l.wind_j, 15_000.0);
+        assert_eq!(l.utility_j, 5000.0);
+    }
+
+    #[test]
+    fn zero_wind_is_all_utility() {
+        let mut l = EnergyLedger::new();
+        l.draw(800.0, 0.0, 100.0);
+        assert_eq!(l.wind_j, 0.0);
+        assert_eq!(l.utility_j, 80_000.0);
+        assert_eq!(l.green_fraction(), 0.0);
+    }
+
+    #[test]
+    fn costs_use_per_source_prices() {
+        let mut l = EnergyLedger::new();
+        l.wind_j = 2.0 * J_PER_KWH; // 2 kWh of wind
+        l.utility_j = 3.0 * J_PER_KWH; // 3 kWh of utility
+        let p = PriceBook::paper_default();
+        assert!((l.wind_cost_usd(&p) - 0.10).abs() < 1e-12);
+        assert!((l.utility_cost_usd(&p) - 0.39).abs() < 1e-12);
+        assert!((l.total_cost_usd(&p) - 0.49).abs() < 1e-12);
+        let f = PriceBook::future_wind();
+        assert!((l.total_cost_usd(&f) - (0.39 + 0.01)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_conservation_under_draw() {
+        // wind_j + utility_j must equal the demand integral exactly.
+        let mut l = EnergyLedger::new();
+        let mut expected = 0.0;
+        for i in 0..100 {
+            let demand = 100.0 + (i as f64 * 13.7) % 900.0;
+            let wind = (i as f64 * 29.3) % 700.0;
+            l.draw(demand, wind, 60.0);
+            expected += demand * 60.0;
+        }
+        assert!((l.wind_j + l.utility_j - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = EnergyLedger {
+            wind_j: 1.0,
+            utility_j: 2.0,
+        };
+        let b = EnergyLedger {
+            wind_j: 10.0,
+            utility_j: 20.0,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            EnergyLedger {
+                wind_j: 11.0,
+                utility_j: 22.0
+            }
+        );
+    }
+
+    #[test]
+    fn green_fraction() {
+        let l = EnergyLedger {
+            wind_j: 75.0,
+            utility_j: 25.0,
+        };
+        assert!((l.green_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(EnergyLedger::new().green_fraction(), 0.0);
+    }
+}

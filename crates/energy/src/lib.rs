@@ -1,0 +1,34 @@
+//! # iscope-energy — power supply substrate
+//!
+//! Models the supply side of a green datacenter:
+//!
+//! * [`wind`] — synthetic wind farm (Gaussian-copula Weibull speeds with
+//!   AR(1) persistence and diurnal bias through a turbine power curve),
+//!   the substitute for the NREL Western Wind Integration traces.
+//! * [`trace`] — sampled [`PowerTrace`] signals with NREL-style CSV I/O
+//!   and the SWP scaling knob.
+//! * [`supply`] — utility-only vs hybrid [`Supply`] configurations.
+//! * [`cost`] — the [`EnergyLedger`] wind/utility split and USD pricing
+//!   (0.13 utility / 0.05 wind per kWh, sensitivity at 0.005).
+//! * [`battery`] — optional on-site storage for the battery-vs-matching
+//!   trade-off the paper's §II.A motivates.
+//! * [`solar`] — synthetic PV generation (clear-sky arc x AR(1) clouds),
+//!   combinable with wind via [`PowerTrace::plus`].
+
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod cost;
+pub mod forecast;
+pub mod solar;
+pub mod supply;
+pub mod trace;
+pub mod wind;
+
+pub use battery::{smooth_against_demand, Battery, BatteryState};
+pub use cost::{EnergyLedger, PriceBook, J_PER_KWH};
+pub use forecast::{forecast_wind_over, persistence_rmse, PersistenceForecast};
+pub use solar::SolarFarm;
+pub use supply::Supply;
+pub use trace::PowerTrace;
+pub use wind::WindFarm;

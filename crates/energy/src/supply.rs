@@ -1,0 +1,103 @@
+//! The datacenter's power supply: utility-only or hybrid wind + utility.
+
+use crate::cost::PriceBook;
+use crate::trace::PowerTrace;
+use crate::wind::WindFarm;
+use iscope_dcsim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A power supply configuration for a simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Supply {
+    /// Renewable budget over time; `None` means utility-only (§VI.A).
+    pub wind: Option<PowerTrace>,
+    /// Electricity prices.
+    pub prices: PriceBook,
+}
+
+impl Supply {
+    /// Conventional utility-grid-only datacenter.
+    pub fn utility_only() -> Self {
+        Supply {
+            wind: None,
+            prices: PriceBook::paper_default(),
+        }
+    }
+
+    /// Hybrid supply from an explicit wind trace.
+    pub fn hybrid(wind: PowerTrace) -> Self {
+        Supply {
+            wind: Some(wind),
+            prices: PriceBook::paper_default(),
+        }
+    }
+
+    /// Hybrid supply from a synthetic farm: generates `duration` of wind at
+    /// `swp_factor` times the standard wind power (Fig. 9's SWP sweep).
+    pub fn hybrid_farm(farm: &WindFarm, duration: SimDuration, swp_factor: f64, seed: u64) -> Self {
+        Supply::hybrid(farm.generate(duration, seed).scaled(swp_factor))
+    }
+
+    /// Replaces the price book.
+    pub fn with_prices(mut self, prices: PriceBook) -> Self {
+        self.prices = prices;
+        self
+    }
+
+    /// Renewable power available at `t` (0 for utility-only).
+    pub fn wind_power_at(&self, t: SimTime) -> f64 {
+        self.wind.as_ref().map_or(0.0, |w| w.power_at(t))
+    }
+
+    /// Interval at which the renewable budget changes, if any.
+    pub fn wind_interval(&self) -> Option<SimDuration> {
+        self.wind.as_ref().map(|w| w.interval)
+    }
+
+    /// True if any renewable capacity is configured.
+    pub fn has_wind(&self) -> bool {
+        self.wind.as_ref().is_some_and(|w| !w.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utility_only_has_no_wind() {
+        let s = Supply::utility_only();
+        assert!(!s.has_wind());
+        assert_eq!(s.wind_power_at(SimTime::from_secs(1234)), 0.0);
+        assert_eq!(s.wind_interval(), None);
+    }
+
+    #[test]
+    fn hybrid_reads_the_trace() {
+        let t = PowerTrace::new(SimDuration::from_mins(10), vec![100.0, 50.0]);
+        let s = Supply::hybrid(t);
+        assert!(s.has_wind());
+        assert_eq!(s.wind_power_at(SimTime::ZERO), 100.0);
+        assert_eq!(s.wind_power_at(SimTime::from_secs(700)), 50.0);
+        assert_eq!(s.wind_interval(), Some(SimDuration::from_mins(10)));
+    }
+
+    #[test]
+    fn hybrid_farm_applies_swp_factor() {
+        let farm = WindFarm::default();
+        let base = Supply::hybrid_farm(&farm, SimDuration::from_hours(24), 1.0, 3);
+        let boosted = Supply::hybrid_farm(&farm, SimDuration::from_hours(24), 1.8, 3);
+        let b = base.wind.as_ref().unwrap();
+        let x = boosted.wind.as_ref().unwrap();
+        assert_eq!(b.len(), x.len());
+        for (a, c) in b.watts.iter().zip(&x.watts) {
+            assert!((c - a * 1.8).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn price_override() {
+        let s = Supply::utility_only().with_prices(PriceBook::future_wind());
+        assert!((s.prices.wind_usd_per_kwh - 0.005).abs() < 1e-12);
+    }
+}

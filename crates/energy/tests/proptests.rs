@@ -1,0 +1,144 @@
+//! Property-based tests for the energy substrate.
+
+use iscope_dcsim::{SimDuration, SimTime};
+use iscope_energy::{
+    persistence_rmse, Battery, BatteryState, EnergyLedger, PersistenceForecast, PowerTrace,
+    PriceBook, SolarFarm, WindFarm,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Ledger conservation: wind + utility always equals the demand
+    /// integral, for any draw sequence.
+    #[test]
+    fn ledger_conserves_energy(
+        draws in proptest::collection::vec((0.0f64..1e6, 0.0f64..1e6, 0.0f64..1e4), 1..100),
+    ) {
+        let mut ledger = EnergyLedger::new();
+        let mut expected = 0.0;
+        for &(demand, wind, dt) in &draws {
+            ledger.draw(demand, wind, dt);
+            expected += demand * dt;
+        }
+        let total = ledger.wind_j + ledger.utility_j;
+        prop_assert!((total - expected).abs() <= 1e-9 * expected.max(1.0));
+        prop_assert!(ledger.wind_j >= 0.0 && ledger.utility_j >= 0.0);
+        let g = ledger.green_fraction();
+        prop_assert!((0.0..=1.0).contains(&g));
+    }
+
+    /// Cost is monotone in both prices and decomposes exactly.
+    #[test]
+    fn cost_decomposition(wind_kwh in 0.0f64..1e5, utility_kwh in 0.0f64..1e5) {
+        let ledger = EnergyLedger {
+            wind_j: wind_kwh * 3.6e6,
+            utility_j: utility_kwh * 3.6e6,
+        };
+        let p = PriceBook::paper_default();
+        let total = ledger.total_cost_usd(&p);
+        prop_assert!((total - (wind_kwh * 0.05 + utility_kwh * 0.13)).abs() < 1e-6);
+        let cheap = ledger.total_cost_usd(&PriceBook::future_wind());
+        prop_assert!(cheap <= total + 1e-9);
+    }
+
+    /// Wind traces are always within [0, rated] and scale linearly.
+    #[test]
+    fn wind_traces_bounded_and_linear(seed in any::<u64>(), factor in 0.0f64..3.0) {
+        let farm = WindFarm::default();
+        let t = farm.generate(SimDuration::from_hours(48), seed);
+        prop_assert!(t.watts.iter().all(|&w| (0.0..=farm.rated_power_w).contains(&w)));
+        let s = t.scaled(factor);
+        for (a, b) in t.watts.iter().zip(&s.watts) {
+            prop_assert!((b - a * factor).abs() < 1e-9);
+        }
+        prop_assert!((s.total_energy_j() - t.total_energy_j() * factor).abs()
+            <= 1e-9 * t.total_energy_j().max(1.0));
+    }
+
+    /// Solar never produces at night and never exceeds nameplate.
+    #[test]
+    fn solar_respects_physics(seed in any::<u64>()) {
+        let farm = SolarFarm::default();
+        let t = farm.generate(SimDuration::from_hours(72), seed);
+        for (i, &w) in t.watts.iter().enumerate() {
+            prop_assert!((0.0..=farm.rated_power_w).contains(&w));
+            let hour = (i as f64 / 6.0) % 24.0;
+            if !(farm.sunrise_hour..farm.sunset_hour).contains(&hour) {
+                prop_assert!(w == 0.0, "night production at hour {hour}");
+            }
+        }
+    }
+
+    /// CSV round trips preserve every sample to printed precision.
+    #[test]
+    fn csv_round_trip(watts in proptest::collection::vec(0.0f64..1e7, 2..60)) {
+        let t = PowerTrace::new(SimDuration::from_mins(10), watts);
+        let back = PowerTrace::from_csv(&t.to_csv()).unwrap();
+        prop_assert_eq!(back.len(), t.len());
+        for (a, b) in back.watts.iter().zip(&t.watts) {
+            prop_assert!((a - b).abs() <= 5e-4, "{a} vs {b}");
+        }
+    }
+
+    /// Battery never creates energy and never exceeds its bounds.
+    #[test]
+    fn battery_is_physical(
+        steps in proptest::collection::vec((-5e4f64..5e4, 1.0f64..3600.0), 1..80),
+    ) {
+        let battery = Battery {
+            capacity_j: 3.6e6,
+            max_charge_w: 10_000.0,
+            max_discharge_w: 10_000.0,
+            round_trip_efficiency: 0.85,
+        };
+        let mut state = BatteryState::empty(battery);
+        let mut charged_j = 0.0;
+        let mut discharged_j = 0.0;
+        for &(surplus, dt) in &steps {
+            let stored_before = state.stored_j;
+            let supplied = state.step(surplus, dt);
+            prop_assert!((0.0..=battery.capacity_j).contains(&state.stored_j));
+            prop_assert!(supplied >= 0.0);
+            prop_assert!(supplied <= battery.max_discharge_w + 1e-9);
+            if surplus >= 0.0 {
+                charged_j += (state.stored_j - stored_before).max(0.0);
+            } else {
+                discharged_j += supplied * dt;
+            }
+        }
+        // Discharge can never exceed what was stored (with losses already
+        // paid on the way in).
+        prop_assert!(discharged_j <= charged_j + 1e-6);
+    }
+
+    /// Forecasts are finite, non-negative, and bracketed by the current
+    /// observation and the climatology mean.
+    #[test]
+    fn forecasts_are_bracketed(seed in any::<u64>(), current in 0.0f64..2e6, hours in 0u64..200) {
+        let farm = WindFarm::default();
+        let t = farm.generate(SimDuration::from_hours(24 * 10), seed);
+        let f = PersistenceForecast::fit(&t, t.len());
+        let pred = f.forecast(current, SimDuration::from_hours(hours));
+        prop_assert!(pred.is_finite() && pred >= 0.0);
+        let lo = current.min(f.mean_w());
+        let hi = current.max(f.mean_w());
+        prop_assert!((lo - 1e-9..=hi + 1e-9).contains(&pred));
+        // Blended beats naive persistence at a long horizon.
+        let b = f.rmse_on(&t, 36);
+        let n = persistence_rmse(&t, 36);
+        prop_assert!(b <= n + 1e-9);
+    }
+
+    /// power_at is piecewise-constant sample lookup for any trace.
+    #[test]
+    fn power_at_matches_indexing(watts in proptest::collection::vec(0.0f64..1e6, 1..50)) {
+        let t = PowerTrace::new(SimDuration::from_mins(10), watts.clone());
+        for (i, &w) in watts.iter().enumerate() {
+            let mid = SimTime::from_millis(i as u64 * 600_000 + 1);
+            prop_assert_eq!(t.power_at(mid), w);
+        }
+        // Beyond the end: hold last.
+        let far = SimTime::from_secs(999_999_999);
+        prop_assert_eq!(t.power_at(far), *watts.last().unwrap());
+    }
+}

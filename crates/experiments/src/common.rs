@@ -1,0 +1,222 @@
+//! Shared experiment configuration and output plumbing.
+//!
+//! The paper's testbed is a 4800-CPU datacenter driven by the LLNL Thunder
+//! trace and an NREL wind trace scaled to 3.5 %. The default experiment
+//! scale here is a 1/20 model (240 CPUs, proportionally scaled wind and
+//! job count): every mechanism and all relative comparisons are preserved
+//! while a full figure regenerates in seconds. `ExpScale::Paper` runs the
+//! full 4800-CPU configuration; `ExpScale::Fast` is the bench-sized cell.
+
+use iscope::prelude::*;
+use iscope::GreenDatacenterSim;
+use iscope_sched::Scheme;
+use iscope_workload::SyntheticTrace;
+use serde::Serialize;
+
+/// Experiment scale presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpScale {
+    /// Criterion-bench cell: 48 CPUs, 80 jobs.
+    Fast,
+    /// Default: 1/20 of the paper (240 CPUs, 400 jobs).
+    Default,
+    /// The paper's full 4800-CPU datacenter (slow).
+    Paper,
+}
+
+/// Concrete knobs derived from a scale.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// Processors in the fleet.
+    pub fleet_size: usize,
+    /// Jobs per run.
+    pub jobs: usize,
+    /// Widest job the synthetic trace generates (kept well below the
+    /// fleet so gang scheduling cannot deadlock the whole pool).
+    pub max_cpus: u32,
+    /// Wind-farm output scaling relative to the 4800-CPU default farm.
+    pub wind_scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Wind-trace duration.
+    pub wind_span: SimDuration,
+}
+
+impl ExpConfig {
+    /// Builds the knobs for a scale.
+    pub fn new(scale: ExpScale) -> ExpConfig {
+        // Job widths stay well below the fleet (~fleet/8): a gang job
+        // comparable to the whole pool serializes everything behind it,
+        // which measures head-of-line blocking instead of the paper's
+        // scheduling effects.
+        let (fleet_size, jobs, max_cpus) = match scale {
+            ExpScale::Fast => (48, 200, 8),
+            ExpScale::Default => (240, 1000, 32),
+            ExpScale::Paper => (4800, 20_000, 512),
+        };
+        ExpConfig {
+            fleet_size,
+            jobs,
+            max_cpus,
+            wind_scale: fleet_size as f64 / 4800.0,
+            seed: 42,
+            wind_span: SimDuration::from_hours(168),
+        }
+    }
+
+    /// A builder pre-set with this config's fleet/workload and scheme.
+    pub fn sim(&self, scheme: Scheme) -> GreenDatacenterSim {
+        GreenDatacenterSim::builder()
+            .fleet_size(self.fleet_size)
+            .synthetic_trace(SyntheticTrace {
+                num_jobs: self.jobs,
+                max_cpus: self.max_cpus,
+                ..SyntheticTrace::default()
+            })
+            .scheme(scheme)
+            .seed(self.seed)
+    }
+
+    /// The wind supply at a given SWP factor (1.0 = standard wind power).
+    pub fn wind_supply(&self, swp: f64) -> Supply {
+        Supply::hybrid_farm(
+            &WindFarm::default(),
+            self.wind_span,
+            self.wind_scale * swp,
+            self.seed,
+        )
+    }
+}
+
+/// A generic labelled table: one row per scheme/parameter combination.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExpTable {
+    /// Experiment id, e.g. `"fig5a"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column labels (x-axis values).
+    pub columns: Vec<String>,
+    /// Rows: `(series label, values)`.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl ExpTable {
+    /// Renders the table in the alignment the harness prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {} — {}\n", self.id, self.title));
+        out.push_str(&format!("{:<10}", ""));
+        for c in &self.columns {
+            out.push_str(&format!("{c:>12}"));
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            out.push_str(&format!("{label:<10}"));
+            for v in values {
+                out.push_str(&format!("{v:>12.3}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Looks up a row by label.
+    pub fn row(&self, label: &str) -> Option<&[f64]> {
+        self.rows
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, v)| v.as_slice())
+    }
+}
+
+/// Writes an experiment's JSON next to the repository's results.
+pub fn write_json<T: Serialize>(id: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{id}.json"));
+    std::fs::write(&path, serde_json::to_string_pretty(value)?)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_proportional() {
+        let fast = ExpConfig::new(ExpScale::Fast);
+        let def = ExpConfig::new(ExpScale::Default);
+        let paper = ExpConfig::new(ExpScale::Paper);
+        assert_eq!(paper.fleet_size, 4800);
+        assert!(fast.fleet_size < def.fleet_size);
+        assert!(
+            (paper.wind_scale - 1.0).abs() < 1e-12,
+            "paper scale uses the full farm"
+        );
+        assert!((def.wind_scale - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_renders_rows_and_finds_them() {
+        let t = ExpTable {
+            id: "figX".into(),
+            title: "test".into(),
+            columns: vec!["0".into(), "25".into()],
+            rows: vec![("BinRan".into(), vec![1.0, 2.0])],
+        };
+        let s = t.render();
+        assert!(s.contains("figX"));
+        assert!(s.contains("BinRan"));
+        assert_eq!(t.row("BinRan"), Some(&[1.0, 2.0][..]));
+        assert_eq!(t.row("nope"), None);
+    }
+}
+
+/// Renders a unicode sparkline of a series (8 block heights), downsampling
+/// by averaging to at most `width` columns — the trace figures' shape at a
+/// terminal glance.
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let cols = width.min(values.len());
+    let chunk = values.len().div_ceil(cols);
+    let condensed: Vec<f64> = values
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect();
+    let lo = condensed.iter().cloned().fold(f64::MAX, f64::min);
+    let hi = condensed.iter().cloned().fold(f64::MIN, f64::max);
+    let span = (hi - lo).max(1e-12);
+    condensed
+        .iter()
+        .map(|v| BLOCKS[(((v - lo) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod sparkline_tests {
+    use super::sparkline;
+
+    #[test]
+    fn ramps_render_monotonically() {
+        let v: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        assert_eq!(sparkline(&v, 8), "▁▂▃▄▅▆▇█");
+    }
+
+    #[test]
+    fn downsampling_respects_width() {
+        let v: Vec<f64> = (0..100).map(|i| (i as f64 / 10.0).sin()).collect();
+        let s = sparkline(&v, 20);
+        assert_eq!(s.chars().count(), 20);
+    }
+
+    #[test]
+    fn flat_and_empty_edge_cases() {
+        assert_eq!(sparkline(&[], 10), "");
+        assert_eq!(sparkline(&[5.0; 4], 10).chars().count(), 4);
+        assert_eq!(sparkline(&[1.0], 0), "");
+    }
+}

@@ -1,0 +1,122 @@
+//! Figure 6 — utility power and wind energy (§VI.B).
+//!
+//! Utility and wind energy consumption vs % of HU jobs (A/C) and vs job
+//! arrival rate (B/D), for the five schemes under the hybrid supply.
+//! Expected shape: with more HU jobs, `Effi` schemes use less wind but
+//! more utility (the queueing on efficient processors unwinds); with
+//! higher arrival rates every scheme uses less wind and more utility
+//! (shorter completion, more parallelism).
+
+use crate::common::{ExpConfig, ExpTable};
+use crate::fig5::{HU_POINTS, RATE_POINTS};
+use iscope::experiments::sweep;
+use iscope::RunReport;
+use iscope_sched::Scheme;
+use serde::Serialize;
+
+/// Output of the Fig. 6 experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6 {
+    /// (A) utility kWh vs %HU.
+    pub utility_by_hu: ExpTable,
+    /// (C) wind kWh vs %HU.
+    pub wind_by_hu: ExpTable,
+    /// (B) utility kWh vs arrival rate.
+    pub utility_by_rate: ExpTable,
+    /// (D) wind kWh vs arrival rate.
+    pub wind_by_rate: ExpTable,
+}
+
+fn tables(
+    id_u: &str,
+    id_w: &str,
+    axis: &str,
+    xs: &[f64],
+    reports: &[RunReport],
+) -> (ExpTable, ExpTable) {
+    let build = |id: &str, what: &str, f: &dyn Fn(&RunReport) -> f64| ExpTable {
+        id: id.into(),
+        title: format!("{what} (kWh) vs {axis}, wind + utility"),
+        columns: xs.iter().map(|x| format!("{x}")).collect(),
+        rows: Scheme::ALL
+            .iter()
+            .enumerate()
+            .map(|(si, s)| {
+                let vals = (0..xs.len())
+                    .map(|xi| f(&reports[si * xs.len() + xi]))
+                    .collect();
+                (s.name().to_string(), vals)
+            })
+            .collect(),
+    };
+    (
+        build(id_u, "utility energy", &|r| r.utility_kwh()),
+        build(id_w, "wind energy", &|r| r.wind_kwh()),
+    )
+}
+
+/// Runs all four panels.
+pub fn run(cfg: &ExpConfig) -> Fig6 {
+    let hu_cells: Vec<(Scheme, f64)> = Scheme::ALL
+        .iter()
+        .flat_map(|&s| HU_POINTS.iter().map(move |&h| (s, h)))
+        .collect();
+    let hu_reports = sweep(&hu_cells, |&(scheme, hu)| {
+        cfg.sim(scheme)
+            .hu_fraction(hu)
+            .supply(cfg.wind_supply(1.0))
+            .build()
+            .run()
+    });
+    let rate_cells: Vec<(Scheme, f64)> = Scheme::ALL
+        .iter()
+        .flat_map(|&s| RATE_POINTS.iter().map(move |&r| (s, r)))
+        .collect();
+    let rate_reports = sweep(&rate_cells, |&(scheme, rate)| {
+        cfg.sim(scheme)
+            .arrival_rate(rate)
+            .supply(cfg.wind_supply(1.0))
+            .build()
+            .run()
+    });
+    let (utility_by_hu, wind_by_hu) =
+        tables("fig6a", "fig6c", "% of HU jobs", &HU_POINTS, &hu_reports);
+    let (utility_by_rate, wind_by_rate) = tables(
+        "fig6b",
+        "fig6d",
+        "job arrival rate",
+        &RATE_POINTS,
+        &rate_reports,
+    );
+    Fig6 {
+        utility_by_hu,
+        wind_by_hu,
+        utility_by_rate,
+        wind_by_rate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::ExpScale;
+
+    #[test]
+    fn shapes_match_the_paper() {
+        let fig = run(&ExpConfig::new(ExpScale::Fast));
+        // (A)/(C): Effi at high HU uses more utility and less wind than at
+        // low HU (the queueing compromise).
+        let eu = fig.utility_by_hu.row("ScanEffi").unwrap();
+        let ew = fig.wind_by_hu.row("ScanEffi").unwrap();
+        assert!(eu[4] > eu[0], "Effi utility should rise with HU: {eu:?}");
+        assert!(ew[4] < ew[0], "Effi wind should fall with HU: {ew:?}");
+        // (B)/(D): every scheme trends toward more utility / less wind as
+        // the arrival rate rises.
+        for s in iscope_sched::Scheme::ALL {
+            let u = fig.utility_by_rate.row(s.name()).unwrap();
+            let w = fig.wind_by_rate.row(s.name()).unwrap();
+            assert!(u[4] > u[0] * 0.95, "{s}: utility vs rate {u:?}");
+            assert!(w[4] < w[0] * 1.05, "{s}: wind vs rate {w:?}");
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Figure 9 — balancing processor lifetime (§VI.D).
+//!
+//! Variance of per-processor utilization time vs wind strength (SWP factor
+//! 1.0–1.8) for the five schemes. Expected shape: `Effi` variance is far
+//! above everything else, `Ran` is lowest, ScanFair sits in between and
+//! *decreases* as wind grows (abundant wind biases it toward fairness).
+
+use crate::common::{ExpConfig, ExpTable};
+use iscope::experiments::sweep;
+use iscope_sched::Scheme;
+use serde::Serialize;
+
+/// The SWP factors swept.
+pub const SWP_POINTS: [f64; 5] = [1.0, 1.2, 1.4, 1.6, 1.8];
+
+/// Output of the Fig. 9 experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig9 {
+    /// Utilization-time variance (h²) per scheme per SWP factor.
+    pub variance: ExpTable,
+}
+
+/// Runs the SWP sweep.
+pub fn run(cfg: &ExpConfig) -> Fig9 {
+    let cells: Vec<(Scheme, f64)> = Scheme::ALL
+        .iter()
+        .flat_map(|&s| SWP_POINTS.iter().map(move |&w| (s, w)))
+        .collect();
+    let reports = sweep(&cells, |&(scheme, swp)| {
+        cfg.sim(scheme).supply(cfg.wind_supply(swp)).build().run()
+    });
+    Fig9 {
+        variance: ExpTable {
+            id: "fig9".into(),
+            title: "variance of processor utilization time (h^2) vs SWP".into(),
+            columns: SWP_POINTS.iter().map(|w| format!("{w}*SWP")).collect(),
+            rows: Scheme::ALL
+                .iter()
+                .enumerate()
+                .map(|(si, s)| {
+                    (
+                        s.name().to_string(),
+                        (0..SWP_POINTS.len())
+                            .map(|xi| reports[si * SWP_POINTS.len() + xi].usage_variance())
+                            .collect(),
+                    )
+                })
+                .collect(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::ExpScale;
+
+    fn mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn variance_ordering_matches_the_paper() {
+        let fig = run(&ExpConfig::new(ExpScale::Fast));
+        let t = &fig.variance;
+        let ran = mean(t.row("ScanRan").unwrap());
+        let effi = mean(t.row("ScanEffi").unwrap());
+        let fair = mean(t.row("ScanFair").unwrap());
+        assert!(
+            effi > fair,
+            "Effi variance {effi:.2} must exceed Fair {fair:.2}"
+        );
+        assert!(
+            fair > ran * 0.8,
+            "Fair should not beat Ran's natural balance by much"
+        );
+        assert!(
+            effi > 2.0 * ran,
+            "Effi variance {effi:.2} should dwarf Ran {ran:.2}"
+        );
+    }
+
+    #[test]
+    fn scanfair_variance_falls_as_wind_grows() {
+        let fig = run(&ExpConfig::new(ExpScale::Fast));
+        let fair = fig.variance.row("ScanFair").unwrap();
+        // More wind => more surplus-mode (fairness-biased) placements.
+        assert!(
+            fair[4] < fair[0],
+            "ScanFair variance should fall with wind: {fair:?}"
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! # iscope-experiments — every table and figure of the paper
+//!
+//! One module per evaluation artifact; the `iscope-exp` binary dispatches
+//! to them and writes JSON into `results/`. See DESIGN.md §5 for the
+//! experiment index and EXPERIMENTS.md for paper-vs-measured records.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod common;
+pub mod fig10;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod insitu;
+pub mod lifetime;
+pub mod sensitivity;
+pub mod tables;

@@ -1,0 +1,181 @@
+//! Lifetime simulation: months of operation with silicon aging and
+//! periodic re-profiling (§III.C's full story, closed-loop).
+//!
+//! Each round simulates one day of jobs, then advances the calendar by a
+//! configurable stride (wear accrues per chip from its *measured* busy
+//! hours, accelerated by its operating voltage). The scanned plan ages
+//! with the silicon: without re-profiling, drifted Min Vdd eventually
+//! crosses the frozen plan's voltages (silent timing hazards); with
+//! periodic re-scans the plan tracks the drift at a small energy cost.
+
+use crate::common::ExpConfig;
+use iscope::prelude::*;
+use iscope_pvmodel::{AgingModel, Fleet, OperatingPlan, VariationParams};
+use iscope_scanner::{Scanner, ScannerConfig, TestKind};
+use iscope_sched::Scheme;
+use serde::Serialize;
+
+/// One simulated round (a day of load, advanced by `stride_days`).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Round {
+    /// Calendar day at the end of the round.
+    pub day: u32,
+    /// Utility energy for the round's jobs (kWh).
+    pub utility_kwh: f64,
+    /// Chips whose (possibly stale) plan voltage sits below their drifted
+    /// Min Vdd somewhere — operating hazards.
+    pub unsafe_chips: usize,
+    /// Whether this round re-profiled the fleet.
+    pub rescanned: bool,
+}
+
+/// Output of the lifetime experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct Lifetime {
+    /// Rounds with periodic re-profiling.
+    pub maintained: Vec<Round>,
+    /// Rounds with a single initial scan frozen forever.
+    pub frozen: Vec<Round>,
+}
+
+/// Days the calendar advances per simulated day of load (the wear of a
+/// fleet running this duty cycle continuously).
+const STRIDE_DAYS: u32 = 60;
+/// Rounds simulated.
+const ROUNDS: u32 = 10;
+/// Re-profile cadence (rounds) in the maintained variant.
+const RESCAN_EVERY: u32 = 3;
+
+fn one_variant(cfg: &ExpConfig, rescan: bool) -> Vec<Round> {
+    let aging = AgingModel::default();
+    let mut fleet = Fleet::generate(
+        cfg.fleet_size,
+        DvfsConfig::paper_default(),
+        &VariationParams::default(),
+        cfg.seed,
+    );
+    let scanner = Scanner::new(ScannerConfig {
+        test_kind: TestKind::Sbft,
+        ..ScannerConfig::default()
+    });
+    let mut scan = scanner.profile_fleet(&fleet, cfg.seed);
+    let mut rounds = Vec::new();
+    for round in 0..ROUNDS {
+        let rescanned = rescan && round > 0 && round % RESCAN_EVERY == 0;
+        if rescanned {
+            scan = scanner.profile_fleet(&fleet, cfg.seed + round as u64);
+        }
+        let plan = OperatingPlan::from_scanned(&fleet, &scan.measured_vmin);
+        // Count hazards against the *current* silicon before running.
+        let top = fleet.dvfs.max_level();
+        let unsafe_chips = fleet
+            .chips
+            .iter()
+            .filter(|c| {
+                fleet
+                    .dvfs
+                    .levels()
+                    .any(|l| plan.applied_voltage(c.id, l) < c.vmin_chip(l, false))
+            })
+            .count();
+        let sim = cfg.sim(Scheme::ScanEffi).seed(cfg.seed + round as u64).build();
+        let workload = sim.workload().clone();
+        let report = iscope::run_simulation(iscope::SimInput {
+            scheme_name: "ScanEffi".into(),
+            fleet: fleet.clone(),
+            plan: plan.clone(),
+            placement: Scheme::ScanEffi.placement(),
+            supply: iscope_energy::Supply::utility_only(),
+            cooling: CoolingModel::default(),
+            workload,
+            seed: cfg.seed + round as u64,
+            trace_interval: None,
+            dvfs_mode: iscope::DvfsMode::GlobalLevel,
+            deferral: None,
+            in_situ: None,
+            surplus_signal: iscope::SurplusSignal::Instantaneous,
+        });
+        // Advance the calendar: each chip wears by its busy hours scaled
+        // to the stride, at its plan voltage.
+        for (chip, &hours) in fleet.chips.iter_mut().zip(&report.usage_hours) {
+            let v = plan.applied_voltage(chip.id, top);
+            aging.age_chip(chip, hours * STRIDE_DAYS as f64, v, 1.375);
+        }
+        rounds.push(Round {
+            day: (round + 1) * STRIDE_DAYS,
+            utility_kwh: report.utility_kwh(),
+            unsafe_chips,
+            rescanned,
+        });
+    }
+    rounds
+}
+
+/// Runs both variants.
+pub fn run(cfg: &ExpConfig) -> Lifetime {
+    Lifetime {
+        maintained: one_variant(cfg, true),
+        frozen: one_variant(cfg, false),
+    }
+}
+
+impl Lifetime {
+    /// Renders the two trajectories side by side.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "## lifetime — aging silicon under a frozen vs maintained profile\n\
+             (each round = 1 simulated day of load standing in for 60 calendar days)\n\
+             day    frozen: unsafe chips / kWh      maintained: unsafe chips / kWh\n",
+        );
+        for (f, m) in self.frozen.iter().zip(&self.maintained) {
+            out.push_str(&format!(
+                "{:>4}   {:>13} / {:>7.1}        {:>13} / {:>7.1}{}\n",
+                f.day,
+                f.unsafe_chips,
+                f.utility_kwh,
+                m.unsafe_chips,
+                m.utility_kwh,
+                if m.rescanned { "  <- re-scan" } else { "" },
+            ));
+        }
+        out.push_str(
+            "A frozen profile silently accumulates unsafe chips as Min Vdd\n\
+             drifts; periodic SBFT re-scans keep the fleet safe (SIII.C).\n",
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::ExpScale;
+
+    #[test]
+    fn frozen_profiles_decay_and_maintenance_prevents_it() {
+        let l = run(&ExpConfig::new(ExpScale::Fast));
+        assert_eq!(l.frozen.len(), ROUNDS as usize);
+        // Round 0 is safe in both variants (fresh scan).
+        assert_eq!(l.frozen[0].unsafe_chips, 0);
+        assert_eq!(l.maintained[0].unsafe_chips, 0);
+        // The frozen fleet eventually runs unsafe chips.
+        let frozen_end = l.frozen.last().unwrap().unsafe_chips;
+        assert!(
+            frozen_end > 0,
+            "frozen profile never became unsafe: {:?}",
+            l.frozen
+        );
+        // Maintenance keeps hazards strictly below the frozen trajectory
+        // at the end, and re-scans actually happened.
+        let maintained_end = l.maintained.last().unwrap().unsafe_chips;
+        assert!(
+            maintained_end < frozen_end,
+            "re-profiling did not help: {maintained_end} vs {frozen_end}"
+        );
+        assert!(l.maintained.iter().any(|r| r.rescanned));
+        // Hazard counts only grow between re-scans (drift is monotone).
+        for w in l.frozen.windows(2) {
+            assert!(w[1].unsafe_chips >= w[0].unsafe_chips);
+        }
+    }
+}

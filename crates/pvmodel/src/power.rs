@@ -1,0 +1,188 @@
+//! Processor power model (Eq-1 with explicit voltage dependence).
+//!
+//! The paper approximates CPU power as `p = alpha f^3 + beta` (Eq-1), which
+//! folds the nominal V(f) curve into the cubic term. To express the
+//! micro-level saving of running below nominal voltage, we unfold it:
+//!
+//! * dynamic: `p_dyn = C * f * V^2` with `C = alpha * f_max^2 / V_ref^2`,
+//!   so that at `(f_max, V_ref)` the model reproduces `alpha * f_max^3`
+//!   exactly, and at nominal voltages it tracks the Eq-1 cubic shape;
+//! * static: `p_st = beta * V / V_ref` (leakage scaled linearly with
+//!   supply; the chip-to-chip leakage spread lives in `beta` itself).
+//!
+//! Lowering V at a fixed frequency therefore buys the quadratic dynamic
+//! saving that scanned voltage plans exploit.
+
+use crate::chip::Chip;
+use crate::freq::{DvfsConfig, FreqLevel};
+use serde::{Deserialize, Serialize};
+
+/// Computes processor power from chip coefficients, level, and voltage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PowerModel {
+    f_max: f64,
+    v_ref: f64,
+}
+
+impl PowerModel {
+    /// Builds the model for a DVFS table (captures `f_max` and `V_ref`).
+    pub fn new(dvfs: &DvfsConfig) -> Self {
+        PowerModel {
+            f_max: dvfs.f_max(),
+            v_ref: dvfs.v_ref(),
+        }
+    }
+
+    /// Dynamic power (W) of a chip with coefficient `alpha` at frequency
+    /// `f_ghz` and supply `voltage`.
+    pub fn dynamic_power(&self, alpha: f64, f_ghz: f64, voltage: f64) -> f64 {
+        debug_assert!(f_ghz > 0.0 && voltage > 0.0);
+        let c = alpha * self.f_max * self.f_max / (self.v_ref * self.v_ref);
+        c * f_ghz * voltage * voltage
+    }
+
+    /// Static (leakage) power (W) for a chip with static term `beta` at
+    /// supply `voltage`.
+    pub fn static_power(&self, beta: f64, voltage: f64) -> f64 {
+        beta * voltage / self.v_ref
+    }
+
+    /// Total power (W) from explicit coefficients.
+    pub fn power(&self, alpha: f64, beta: f64, f_ghz: f64, voltage: f64) -> f64 {
+        self.dynamic_power(alpha, f_ghz, voltage) + self.static_power(beta, voltage)
+    }
+
+    /// Total power (W) of a concrete chip at `(level, voltage)`.
+    pub fn chip_power(
+        &self,
+        chip: &Chip,
+        dvfs: &DvfsConfig,
+        level: FreqLevel,
+        voltage: f64,
+    ) -> f64 {
+        self.power(chip.alpha, chip.beta, dvfs.freq_ghz(level), voltage)
+    }
+
+    /// The paper's Eq-1 at nominal voltage: `alpha f^3 + beta`. Exposed for
+    /// calibration tests and the Bin-knowledge power estimates.
+    pub fn eq1_nominal(&self, alpha: f64, beta: f64, f_ghz: f64) -> f64 {
+        alpha * f_ghz.powi(3) + beta
+    }
+
+    /// Energy efficiency figure used for ranking: power per GHz of compute
+    /// at the given operating point (lower is better).
+    pub fn power_per_ghz(&self, alpha: f64, beta: f64, f_ghz: f64, voltage: f64) -> f64 {
+        self.power(alpha, beta, f_ghz, voltage) / f_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::ChipId;
+    use crate::params::VariationParams;
+    use iscope_dcsim::SimRng;
+
+    fn model() -> (PowerModel, DvfsConfig) {
+        let dvfs = DvfsConfig::paper_default();
+        (PowerModel::new(&dvfs), dvfs)
+    }
+
+    #[test]
+    fn matches_eq1_at_reference_point() {
+        let (m, dvfs) = model();
+        let (alpha, beta) = (7.5, 65.0);
+        let top = dvfs.max_level();
+        let p = m.power(alpha, beta, dvfs.f_max(), dvfs.v_ref());
+        let eq1 = m.eq1_nominal(alpha, beta, dvfs.f_max());
+        assert!(
+            (p - eq1).abs() < 1e-9,
+            "unfolded model must reproduce Eq-1 at (f_max, V_ref): {p} vs {eq1}"
+        );
+        // Sanity: the paper-mean processor draws ~125 W at 2 GHz.
+        assert!((p - 125.0).abs() < 1e-9);
+        let _ = top;
+    }
+
+    #[test]
+    fn tracks_eq1_shape_at_nominal_voltages() {
+        // At each level's nominal voltage the unfolded model should track
+        // the Eq-1 cubic within a broad band. It sits *below* Eq-1 at low
+        // frequencies because Eq-1 keeps the leakage term constant while we
+        // scale it with the (lower) nominal voltage — a refinement, not a
+        // discrepancy; the two agree exactly at the (f_max, V_ref) anchor.
+        let (m, dvfs) = model();
+        let (alpha, beta) = (7.5, 65.0);
+        for l in dvfs.levels() {
+            let p = m.power(alpha, beta, dvfs.freq_ghz(l), dvfs.v_nom(l));
+            let eq1 = m.eq1_nominal(alpha, beta, dvfs.freq_ghz(l));
+            let ratio = p / eq1;
+            assert!(
+                (0.7..=1.05).contains(&ratio),
+                "level {l:?}: model {p:.1} W vs Eq-1 {eq1:.1} W"
+            );
+        }
+    }
+
+    #[test]
+    fn power_is_monotone_in_frequency_and_voltage() {
+        let (m, dvfs) = model();
+        let mut last = 0.0;
+        for l in dvfs.levels() {
+            let p = m.power(7.5, 65.0, dvfs.freq_ghz(l), dvfs.v_nom(l));
+            assert!(p > last, "power must rise with the operating point");
+            last = p;
+        }
+        let p_hi = m.power(7.5, 65.0, 2.0, 1.375);
+        let p_lo = m.power(7.5, 65.0, 2.0, 1.23);
+        assert!(p_lo < p_hi, "lower voltage must reduce power");
+    }
+
+    #[test]
+    fn voltage_saving_is_quadratic_on_dynamic_part() {
+        let (m, _) = model();
+        let v1 = 1.375;
+        let v2 = 1.23;
+        let d1 = m.dynamic_power(7.5, 2.0, v1);
+        let d2 = m.dynamic_power(7.5, 2.0, v2);
+        assert!((d2 / d1 - (v2 / v1).powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scanned_voltage_saves_roughly_ten_percent() {
+        // The Scan-vs-Bin gap the paper reports (~10 % utility energy,
+        // §VI.A) comes from running at own Min Vdd instead of nominal/bin
+        // worst case. Check the per-chip saving magnitude is in that range.
+        let (m, dvfs) = model();
+        let mut rng = SimRng::new(5);
+        let params = VariationParams::default();
+        let mut savings = Vec::new();
+        for i in 0..500 {
+            let chip = Chip::generate(ChipId(i), &dvfs, &params, &mut rng);
+            let top = dvfs.max_level();
+            let p_nom = m.chip_power(&chip, &dvfs, top, dvfs.v_nom(top));
+            let p_scan = m.chip_power(&chip, &dvfs, top, chip.vmin_chip(top, false) + 0.01);
+            savings.push(1.0 - p_scan / p_nom);
+        }
+        let mean = savings.iter().sum::<f64>() / savings.len() as f64;
+        assert!(
+            (0.05..0.25).contains(&mean),
+            "expected ~10-15 % scan saving, got {mean:.3}"
+        );
+    }
+
+    #[test]
+    fn static_power_scales_linearly_with_voltage() {
+        let (m, _) = model();
+        assert!((m.static_power(65.0, 1.375) - 65.0).abs() < 1e-12);
+        assert!((m.static_power(65.0, 0.6875) - 32.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_per_ghz_prefers_efficient_chips() {
+        let (m, _) = model();
+        let eff = m.power_per_ghz(6.5, 55.0, 2.0, 1.3);
+        let ineff = m.power_per_ghz(8.5, 75.0, 2.0, 1.3);
+        assert!(eff < ineff);
+    }
+}

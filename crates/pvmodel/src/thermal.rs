@@ -1,0 +1,235 @@
+//! Thermal model: junction temperature and the leakage–temperature
+//! feedback loop.
+//!
+//! The paper's evaluation holds temperature constant (COP = 2.5, Eq-1
+//! coefficients at a reference temperature), but the VARIUS model it
+//! derives its parameters from is explicitly temperature-dependent, and
+//! leakage's exponential T-sensitivity is why datacenter setpoints matter.
+//! This module provides the standard steady-state abstraction:
+//!
+//! * junction temperature: `T_j = T_ambient + R_theta * P` (lumped
+//!   thermal resistance);
+//! * leakage scaling: `beta(T) = beta_ref * 2^((T - T_ref)/doubling)`
+//!   (leakage roughly doubles every ~25 °C);
+//! * the fixed point of the two (hotter chip leaks more, leaking more
+//!   makes it hotter), found by damped iteration.
+
+use crate::chip::Chip;
+use crate::freq::{DvfsConfig, FreqLevel};
+use crate::power::PowerModel;
+use serde::{Deserialize, Serialize};
+
+/// Lumped thermal model of one processor + heatsink in a datacenter aisle.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ThermalModel {
+    /// Cold-aisle ambient temperature, °C.
+    pub ambient_c: f64,
+    /// Junction-to-ambient thermal resistance, °C per watt.
+    pub r_theta_c_per_w: f64,
+    /// Reference temperature at which the chip's `beta` was characterized.
+    pub t_ref_c: f64,
+    /// Leakage doubles every this many °C above the reference.
+    pub leakage_doubling_c: f64,
+    /// Thermal-throttle junction limit, °C.
+    pub t_max_c: f64,
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        ThermalModel {
+            ambient_c: 25.0,
+            r_theta_c_per_w: 0.20,
+            t_ref_c: 60.0,
+            leakage_doubling_c: 30.0,
+            t_max_c: 95.0,
+        }
+    }
+}
+
+/// The converged operating point of the leakage–temperature loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalOperatingPoint {
+    /// Steady-state junction temperature, °C.
+    pub junction_c: f64,
+    /// Total power at that temperature, W.
+    pub power_w: f64,
+    /// Leakage multiplier applied to the characterized `beta`.
+    pub leakage_multiplier: f64,
+    /// True if the fixed point exceeds the throttle limit (the operating
+    /// point is not sustainable at this V/f).
+    pub throttled: bool,
+}
+
+impl ThermalModel {
+    /// Panics if parameters are out of domain.
+    pub fn validate(&self) {
+        assert!(self.r_theta_c_per_w >= 0.0);
+        assert!(self.leakage_doubling_c > 0.0);
+        assert!(
+            self.t_max_c > self.ambient_c,
+            "aisle hotter than the throttle limit"
+        );
+    }
+
+    /// Leakage multiplier at junction temperature `t_c`.
+    pub fn leakage_multiplier(&self, t_c: f64) -> f64 {
+        2f64.powf((t_c - self.t_ref_c) / self.leakage_doubling_c)
+    }
+
+    /// Solves the leakage–temperature fixed point for a chip at
+    /// `(level, voltage)` by damped iteration from the reference
+    /// temperature. Converges in a handful of steps for physical
+    /// parameters (the loop gain `R_theta * dP/dT` is well below 1).
+    pub fn operating_point(
+        &self,
+        pm: &PowerModel,
+        chip: &Chip,
+        dvfs: &DvfsConfig,
+        level: FreqLevel,
+        voltage: f64,
+    ) -> ThermalOperatingPoint {
+        self.validate();
+        let dyn_w = pm.dynamic_power(chip.alpha, dvfs.freq_ghz(level), voltage);
+        let static_ref_w = pm.static_power(chip.beta, voltage);
+        // Iterate with damping; cap the excursion so thermal runaway (loop
+        // gain > 1, possible in hot aisles with poor heatsinking) reports
+        // a throttled point instead of overflowing.
+        const T_CAP_C: f64 = 300.0;
+        let mut t = self.t_ref_c;
+        let mut power = dyn_w + static_ref_w;
+        for _ in 0..128 {
+            power = dyn_w + static_ref_w * self.leakage_multiplier(t);
+            let t_next = (self.ambient_c + self.r_theta_c_per_w * power).min(T_CAP_C);
+            if (t_next - t).abs() < 1e-9 {
+                t = t_next;
+                break;
+            }
+            t = 0.5 * t + 0.5 * t_next; // damping for robustness
+        }
+        ThermalOperatingPoint {
+            junction_c: t,
+            power_w: power,
+            leakage_multiplier: self.leakage_multiplier(t),
+            throttled: t > self.t_max_c,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::ChipId;
+    use crate::params::VariationParams;
+    use iscope_dcsim::SimRng;
+
+    fn setup() -> (PowerModel, Chip, DvfsConfig) {
+        let dvfs = DvfsConfig::paper_default();
+        let mut rng = SimRng::new(2);
+        let chip = Chip::generate(ChipId(0), &dvfs, &VariationParams::default(), &mut rng);
+        (PowerModel::new(&dvfs), chip, dvfs)
+    }
+
+    #[test]
+    fn leakage_multiplier_doubles_per_step() {
+        let m = ThermalModel::default();
+        assert!((m.leakage_multiplier(60.0) - 1.0).abs() < 1e-12);
+        assert!((m.leakage_multiplier(90.0) - 2.0).abs() < 1e-12);
+        assert!((m.leakage_multiplier(30.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_point_converges_and_is_self_consistent() {
+        let (pm, chip, dvfs) = setup();
+        let m = ThermalModel::default();
+        let top = dvfs.max_level();
+        let op = m.operating_point(&pm, &chip, &dvfs, top, dvfs.v_nom(top));
+        assert!(!op.throttled, "default parameters must be sustainable");
+        // Self-consistency: T = ambient + R * P(T).
+        let t_back = m.ambient_c + m.r_theta_c_per_w * op.power_w;
+        assert!((t_back - op.junction_c).abs() < 1e-3, "not a fixed point");
+        let p_back = pm.dynamic_power(chip.alpha, dvfs.f_max(), dvfs.v_nom(top))
+            + pm.static_power(chip.beta, dvfs.v_nom(top)) * op.leakage_multiplier;
+        assert!((p_back - op.power_w).abs() < 1e-3);
+        // Physical band.
+        assert!(op.junction_c > m.ambient_c);
+        assert!(
+            op.junction_c < 120.0,
+            "implausible junction {}",
+            op.junction_c
+        );
+    }
+
+    #[test]
+    fn thermal_feedback_costs_measurable_power() {
+        // The fixed-point power exceeds the naive (reference-temperature)
+        // power because the chip runs hotter than 60 C... or is below it
+        // when it runs cooler. Either way the loop matters at full tilt.
+        let (pm, chip, dvfs) = setup();
+        let m = ThermalModel::default();
+        let top = dvfs.max_level();
+        let naive = pm.chip_power(&chip, &dvfs, top, dvfs.v_nom(top));
+        let op = m.operating_point(&pm, &chip, &dvfs, top, dvfs.v_nom(top));
+        let rel = (op.power_w - naive).abs() / naive;
+        assert!(rel > 0.005, "thermal loop changed power by only {rel:.4}");
+    }
+
+    #[test]
+    fn lower_voltage_runs_cooler() {
+        let (pm, chip, dvfs) = setup();
+        let m = ThermalModel::default();
+        let top = dvfs.max_level();
+        let hot = m.operating_point(&pm, &chip, &dvfs, top, dvfs.v_nom(top));
+        let cool = m.operating_point(&pm, &chip, &dvfs, top, chip.vmin_chip(top, false) + 0.01);
+        assert!(cool.junction_c < hot.junction_c);
+        assert!(cool.power_w < hot.power_w);
+        assert!(cool.leakage_multiplier < hot.leakage_multiplier);
+    }
+
+    #[test]
+    fn lower_level_runs_cooler() {
+        let (pm, chip, dvfs) = setup();
+        let m = ThermalModel::default();
+        let top = dvfs.max_level();
+        let bottom = dvfs.min_level();
+        let fast = m.operating_point(&pm, &chip, &dvfs, top, dvfs.v_nom(top));
+        let slow = m.operating_point(&pm, &chip, &dvfs, bottom, dvfs.v_nom(bottom));
+        assert!(slow.junction_c < fast.junction_c);
+    }
+
+    #[test]
+    fn hot_aisle_can_force_throttling() {
+        let (pm, chip, dvfs) = setup();
+        let sauna = ThermalModel {
+            ambient_c: 55.0,
+            r_theta_c_per_w: 0.6,
+            ..ThermalModel::default()
+        };
+        let top = dvfs.max_level();
+        let op = sauna.operating_point(&pm, &chip, &dvfs, top, dvfs.v_nom(top));
+        assert!(
+            op.throttled,
+            "55 C ambient at 0.6 C/W must throttle: {op:?}"
+        );
+        let mild = ThermalModel::default().operating_point(&pm, &chip, &dvfs, top, dvfs.v_nom(top));
+        assert!(!mild.throttled);
+    }
+
+    #[test]
+    fn scanned_voltage_also_buys_thermal_headroom() {
+        // A second-order benefit of iScope the paper leaves on the table:
+        // running at Min Vdd cools the chip, which cuts leakage again.
+        let (pm, chip, dvfs) = setup();
+        let m = ThermalModel::default();
+        let top = dvfs.max_level();
+        let nominal = m.operating_point(&pm, &chip, &dvfs, top, dvfs.v_nom(top));
+        let scanned = m.operating_point(&pm, &chip, &dvfs, top, chip.vmin_chip(top, false) + 0.01);
+        let electrical_saving = 1.0
+            - pm.chip_power(&chip, &dvfs, top, chip.vmin_chip(top, false) + 0.01)
+                / pm.chip_power(&chip, &dvfs, top, dvfs.v_nom(top));
+        let thermal_saving = 1.0 - scanned.power_w / nominal.power_w;
+        assert!(
+            thermal_saving > electrical_saving,
+            "thermal loop should amplify the scan saving: {thermal_saving:.4} vs {electrical_saving:.4}"
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the process-variation and power models.
+
+use iscope_dcsim::SimRng;
+use iscope_pvmodel::{
+    exec_time_secs, speed_factor, Binning, Chip, ChipId, CpuBoundness, DvfsConfig, Fleet,
+    OperatingPlan, PowerModel, VariationParams,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Power is strictly monotone in frequency and voltage for any chip.
+    #[test]
+    fn power_monotone(alpha in 1.0f64..20.0, beta in 0.0f64..200.0,
+                      f in 0.1f64..4.0, v in 0.5f64..2.0) {
+        let dvfs = DvfsConfig::paper_default();
+        let pm = PowerModel::new(&dvfs);
+        let p = pm.power(alpha, beta, f, v);
+        prop_assert!(p > 0.0);
+        prop_assert!(pm.power(alpha, beta, f * 1.01, v) > p);
+        prop_assert!(pm.power(alpha, beta, f, v * 1.01) > p);
+        prop_assert!(pm.power(alpha * 1.01, beta, f, v) > p);
+        prop_assert!(pm.power(alpha, beta + 1.0, f, v) > p);
+    }
+
+    /// Eq-3 invariants: fixed point at f_max, monotone decreasing in f,
+    /// consistent with the speed factor.
+    #[test]
+    fn exec_time_invariants(t0 in 1.0f64..1e5, gamma in 0.0f64..=1.0, f in 0.1f64..2.0) {
+        let g = CpuBoundness::new(gamma);
+        let fmax = 2.0;
+        prop_assert!((exec_time_secs(t0, g, fmax, fmax) - t0).abs() < 1e-9);
+        let t = exec_time_secs(t0, g, f, fmax);
+        prop_assert!(t >= t0 - 1e-9, "slower clock can never shorten a task");
+        let sf = speed_factor(g, f, fmax);
+        prop_assert!((sf * t - t0).abs() < 1e-6 * t0, "rate x time = nominal work");
+        prop_assert!(sf > 0.0 && sf <= 1.0 + 1e-12);
+    }
+
+    /// Generated chips always have positive, monotone, sub-nominal Min Vdd.
+    #[test]
+    fn chip_generation_invariants(seed in any::<u64>()) {
+        let dvfs = DvfsConfig::paper_default();
+        let mut rng = SimRng::new(seed);
+        let chip = Chip::generate(ChipId(0), &dvfs, &VariationParams::default(), &mut rng);
+        prop_assert!(chip.alpha > 0.0);
+        prop_assert!(chip.beta >= 0.0);
+        for core in &chip.cores {
+            prop_assert!(core.gpu_vmin_delta >= 0.0);
+            for (i, l) in dvfs.levels().enumerate() {
+                prop_assert!(core.vmin(l) > 0.0);
+                prop_assert!(core.vmin(l) < dvfs.v_nom(l));
+                if i > 0 {
+                    prop_assert!(core.vmin[i] >= core.vmin[i - 1]);
+                }
+            }
+        }
+    }
+
+    /// For any fleet and bin count, binning is a partition and bin voltages
+    /// dominate every member's Min Vdd at every level.
+    #[test]
+    fn binning_partition_and_safety(seed in any::<u64>(), n in 3usize..60, bins in 1usize..4) {
+        let fleet = Fleet::generate(n, DvfsConfig::paper_default(), &VariationParams::default(), seed);
+        let binning = Binning::by_efficiency(&fleet, bins);
+        let total: usize = binning.bins.iter().map(|b| b.members.len()).sum();
+        prop_assert_eq!(total, n);
+        for chip in &fleet.chips {
+            for l in fleet.dvfs.levels() {
+                prop_assert!(binning.voltage(chip.id, l) >= chip.vmin_chip(l, false));
+            }
+        }
+    }
+
+    /// The scan plan never draws more true power than the bin plan, chip by
+    /// chip and level by level.
+    #[test]
+    fn scan_dominates_bin(seed in any::<u64>()) {
+        let fleet = Fleet::generate(40, DvfsConfig::paper_default(), &VariationParams::default(), seed);
+        let binning = Binning::by_efficiency(&fleet, 3);
+        let bin_plan = OperatingPlan::from_binning(&fleet, &binning);
+        let scan_plan = OperatingPlan::oracle(&fleet);
+        for chip in &fleet.chips {
+            for l in fleet.dvfs.levels() {
+                let pb = bin_plan.true_power(&fleet, chip.id, l);
+                let ps = scan_plan.true_power(&fleet, chip.id, l);
+                prop_assert!(ps <= pb + 1e-9, "chip {:?} level {:?}: scan {} > bin {}", chip.id, l, ps, pb);
+            }
+        }
+    }
+
+    /// Rankings are permutations sorted by the plan's own estimate.
+    #[test]
+    fn ranking_is_sorted_permutation(seed in any::<u64>()) {
+        let fleet = Fleet::generate(30, DvfsConfig::paper_default(), &VariationParams::default(), seed);
+        let plan = OperatingPlan::oracle(&fleet);
+        let top = fleet.dvfs.max_level();
+        let rank = plan.ranking();
+        let mut ids: Vec<u32> = rank.iter().map(|c| c.0).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..30u32).collect::<Vec<_>>());
+        for w in rank.windows(2) {
+            prop_assert!(plan.estimated_power(w[0], top) <= plan.estimated_power(w[1], top));
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the scanner: for arbitrary fleets and grid
+//! shapes, measurements stay safe and the early-stop logic stays sound.
+
+use iscope_dcsim::SimRng;
+use iscope_pvmodel::{Chip, ChipId, CoreId, DvfsConfig, Fleet, FreqLevel, VariationParams};
+use iscope_scanner::{
+    ProfilingRecords, Scanner, ScannerConfig, TestKind, TestOutcome, VoltageGrid,
+};
+use proptest::prelude::*;
+
+fn fleet(n: usize, seed: u64) -> Fleet {
+    Fleet::generate(
+        n,
+        DvfsConfig::paper_default(),
+        &VariationParams::default(),
+        seed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For any seed and grid resolution, measured Min Vdd is never below
+    /// the true value and never more than one grid step above it (when the
+    /// truth lies inside the grid).
+    #[test]
+    fn measurements_are_safe_and_tight(
+        seed in any::<u64>(),
+        points in 4usize..24,
+        chips in 2usize..10,
+    ) {
+        let f = fleet(chips, seed);
+        let scanner = Scanner::new(ScannerConfig {
+            grid_points: points,
+            ..ScannerConfig::default()
+        });
+        let report = scanner.profile_fleet(&f, seed);
+        for chip in &f.chips {
+            for l in f.dvfs.levels() {
+                let truth = chip.vmin_chip(l, false);
+                let measured = report.measured_vmin[chip.id.0 as usize][l.0 as usize];
+                prop_assert!(measured >= truth - 1e-12);
+                let grid = report.records.grid().voltages(l);
+                let step = grid[0] - grid[1];
+                if truth >= *grid.last().unwrap() {
+                    prop_assert!(measured - truth <= step + 1e-9);
+                }
+            }
+        }
+    }
+
+    /// The early-stop scan never runs more tests than the exhaustive grid
+    /// and never fewer than one per core-level.
+    #[test]
+    fn test_counts_are_bounded(seed in any::<u64>(), chips in 2usize..8) {
+        let f = fleet(chips, seed);
+        let report = Scanner::new(ScannerConfig::default()).profile_fleet(&f, seed);
+        let levels = f.dvfs.num_levels() as u64;
+        let cores = 4u64;
+        let lower = chips as u64 * cores * levels;
+        let upper = chips as u64 * cores * levels * 10;
+        prop_assert!(report.tests_run >= lower, "{} < {lower}", report.tests_run);
+        prop_assert!(report.tests_run <= upper, "{} > {upper}", report.tests_run);
+    }
+
+    /// SBFT and stress scans always extract identical grids (only cost
+    /// differs), for any fleet.
+    #[test]
+    fn test_kind_never_changes_the_measurement(seed in any::<u64>()) {
+        let f = fleet(6, seed);
+        let a = Scanner::new(ScannerConfig::default()).profile_fleet(&f, seed);
+        let b = Scanner::new(ScannerConfig {
+            test_kind: TestKind::Sbft,
+            ..ScannerConfig::default()
+        })
+        .profile_fleet(&f, seed);
+        prop_assert_eq!(&a.measured_vmin, &b.measured_vmin);
+    }
+
+    /// Arbitrary record/outcome sequences never produce an inconsistent
+    /// database: measured vmin (if any) is always a voltage that passed,
+    /// and next_probe never points at or below a recorded fail.
+    #[test]
+    fn records_stay_consistent_under_arbitrary_outcomes(
+        outcomes in proptest::collection::vec(any::<bool>(), 1..40),
+    ) {
+        let dvfs = DvfsConfig::paper_default();
+        let grid = VoltageGrid::paper_default(&dvfs);
+        let mut records = ProfilingRecords::new(grid, 1, 1);
+        let core = CoreId { chip: ChipId(0), core: 0 };
+        let level = FreqLevel(0);
+        let mut lowest_pass: Option<usize> = None;
+        for &pass in &outcomes {
+            let Some(idx) = records.next_probe(core, level) else { break };
+            let outcome = if pass { TestOutcome::Pass } else { TestOutcome::Fail };
+            if pass {
+                lowest_pass = Some(lowest_pass.map_or(idx, |p: usize| p.max(idx)));
+            }
+            records.record(core, level, idx, outcome);
+        }
+        let measured = records.measured_vmin(core, level);
+        match lowest_pass {
+            Some(idx) => {
+                let v = records.grid().voltages(level)[idx];
+                prop_assert_eq!(measured, Some(v));
+            }
+            None => prop_assert_eq!(measured, None),
+        }
+    }
+
+    /// profile_chip leaves every core complete for any chip the default
+    /// variation model can produce.
+    #[test]
+    fn profile_chip_always_completes(seed in any::<u64>()) {
+        let dvfs = DvfsConfig::paper_default();
+        let mut rng = SimRng::new(seed);
+        let chip = Chip::generate(ChipId(0), &dvfs, &VariationParams::default(), &mut rng);
+        let grid = VoltageGrid::paper_default(&dvfs);
+        let mut records = ProfilingRecords::new(grid, 1, chip.cores.len());
+        let scanner = Scanner::new(ScannerConfig::default());
+        let dur = scanner.profile_chip(&chip, &mut records, &mut rng);
+        prop_assert!(records.chip_complete(ChipId(0)));
+        prop_assert!(dur.as_millis() > 0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Macro-level supply/demand matching via DVFS (§V.C).
+//!
+//! "If the renewable power is not enough to run all the required
+//! processors at full speed, DVFS is applied to reduce the frequency and
+//! power demand. We stop lowering the frequency when some tasks are facing
+//! violation of their deadlines. If the renewable power is still not
+//! enough at that time, we supplement utility power for QoS
+//! considerations."
+//!
+//! The matcher works on an abstract per-job view: the simulator computes
+//! each running job's facility power at every level and the lowest level
+//! its deadline tolerates, and this module greedily moves levels to fit
+//! the budget (or restore full speed when the budget recovers).
+
+use iscope_pvmodel::FreqLevel;
+
+/// One running job as the budget matcher sees it.
+#[derive(Debug, Clone)]
+pub struct DvfsCandidate<K> {
+    /// Caller's key for the job.
+    pub key: K,
+    /// Current DVFS level.
+    pub level: FreqLevel,
+    /// Lowest level at which the job still meets its deadline (from the
+    /// simulator's remaining-work estimate).
+    pub min_level: FreqLevel,
+    /// Facility power (W) this job draws at each level index.
+    pub power_at: Vec<f64>,
+}
+
+impl<K> DvfsCandidate<K> {
+    fn power(&self) -> f64 {
+        self.power_at[self.level.0 as usize]
+    }
+}
+
+/// Result of a matching pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchOutcome<K> {
+    /// `(key, new_level)` for every job whose level changed.
+    pub changes: Vec<(K, FreqLevel)>,
+    /// Total demand (W) after the pass, including the base load.
+    pub demand_w: f64,
+}
+
+/// Greedy budget matching. `base_w` is non-job demand (e.g. profiling
+/// energy) that cannot be scaled. `budget_w` is the renewable budget
+/// (`f64::INFINITY` for utility-only operation). `top` is the fleet's
+/// maximum level.
+pub fn match_budget<K: Copy + PartialEq>(
+    cands: &mut [DvfsCandidate<K>],
+    budget_w: f64,
+    base_w: f64,
+    top: FreqLevel,
+) -> MatchOutcome<K> {
+    let mut demand: f64 = base_w + cands.iter().map(|c| c.power()).sum::<f64>();
+    let mut changes: Vec<(K, FreqLevel)> = Vec::new();
+    if demand > budget_w {
+        // Scale down: repeatedly take the single step with the largest
+        // power saving among jobs with deadline room.
+        loop {
+            if demand <= budget_w {
+                break;
+            }
+            let mut best: Option<(usize, f64)> = None;
+            for (i, c) in cands.iter().enumerate() {
+                if c.level > c.min_level {
+                    let save = c.power() - c.power_at[c.level.down().0 as usize];
+                    if best.is_none_or(|(_, s)| save > s) {
+                        best = Some((i, save));
+                    }
+                }
+            }
+            let Some((i, save)) = best else { break };
+            if save <= 0.0 {
+                break; // downscaling no longer reduces power
+            }
+            cands[i].level = cands[i].level.down();
+            demand -= save;
+            record_change(&mut changes, cands[i].key, cands[i].level);
+        }
+    } else {
+        // Scale up toward full speed while the budget holds: cheapest
+        // steps first so the most jobs recover.
+        loop {
+            let mut best: Option<(usize, f64)> = None;
+            for (i, c) in cands.iter().enumerate() {
+                if c.level < top {
+                    let cost = c.power_at[c.level.up().0 as usize] - c.power();
+                    if best.is_none_or(|(_, s)| cost < s) {
+                        best = Some((i, cost));
+                    }
+                }
+            }
+            let Some((i, cost)) = best else { break };
+            if demand + cost > budget_w {
+                break;
+            }
+            cands[i].level = cands[i].level.up();
+            demand += cost;
+            record_change(&mut changes, cands[i].key, cands[i].level);
+        }
+    }
+    MatchOutcome {
+        changes,
+        demand_w: demand,
+    }
+}
+
+/// Keeps only the final level per key.
+fn record_change<K: Copy + PartialEq>(changes: &mut Vec<(K, FreqLevel)>, key: K, level: FreqLevel) {
+    if let Some(entry) = changes.iter_mut().find(|(k, _)| *k == key) {
+        entry.1 = level;
+    } else {
+        changes.push((key, level));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOP: FreqLevel = FreqLevel(4);
+
+    /// Power vector resembling the real model: rises with level.
+    fn powers(scale: f64) -> Vec<f64> {
+        vec![
+            60.0 * scale,
+            75.0 * scale,
+            92.0 * scale,
+            110.0 * scale,
+            130.0 * scale,
+        ]
+    }
+
+    fn cand(key: u32, level: u8, min_level: u8, scale: f64) -> DvfsCandidate<u32> {
+        DvfsCandidate {
+            key,
+            level: FreqLevel(level),
+            min_level: FreqLevel(min_level),
+            power_at: powers(scale),
+        }
+    }
+
+    #[test]
+    fn infinite_budget_restores_full_speed() {
+        let mut cs = vec![cand(0, 1, 0, 1.0), cand(1, 3, 0, 1.0)];
+        let out = match_budget(&mut cs, f64::INFINITY, 0.0, TOP);
+        assert!(cs.iter().all(|c| c.level == TOP));
+        assert_eq!(out.changes.len(), 2);
+        assert!((out.demand_w - 260.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scarcity_downscales_until_budget_fits() {
+        let mut cs = vec![cand(0, 4, 0, 1.0), cand(1, 4, 0, 1.0)];
+        // At f_max: 260 W. Budget 160 W: both must drop.
+        let out = match_budget(&mut cs, 160.0, 0.0, TOP);
+        assert!(out.demand_w <= 160.0, "demand {} over budget", out.demand_w);
+        assert!(cs.iter().all(|c| c.level >= c.min_level));
+    }
+
+    #[test]
+    fn deadlines_floor_the_downscaling() {
+        // Both jobs pinned at level 3: budget unreachable, matcher stops
+        // at the floor and the residual goes to utility.
+        let mut cs = vec![cand(0, 4, 3, 1.0), cand(1, 4, 3, 1.0)];
+        let out = match_budget(&mut cs, 100.0, 0.0, TOP);
+        assert!(cs.iter().all(|c| c.level == FreqLevel(3)));
+        assert!((out.demand_w - 220.0).abs() < 1e-9, "residual demand kept");
+    }
+
+    #[test]
+    fn greedy_prefers_biggest_saver() {
+        // Job 1 is 3x the power of job 0: one step of job 1 saves more.
+        let mut cs = vec![cand(0, 4, 0, 1.0), cand(1, 4, 0, 3.0)];
+        // Budget just below current demand: single step suffices.
+        let demand_now = 130.0 + 390.0;
+        let out = match_budget(&mut cs, demand_now - 10.0, 0.0, TOP);
+        assert_eq!(out.changes.len(), 1);
+        assert_eq!(out.changes[0].0, 1, "the big job stepped down");
+        assert_eq!(cs[1].level, FreqLevel(3));
+        assert_eq!(cs[0].level, FreqLevel(4));
+    }
+
+    #[test]
+    fn upscale_stops_at_budget_edge() {
+        let mut cs = vec![cand(0, 0, 0, 1.0), cand(1, 0, 0, 1.0)];
+        // Demand at level 0: 120 W. Budget 160 W: one step (+15) twice is
+        // 150; next step (+17) would hit 167 > 160.
+        let out = match_budget(&mut cs, 160.0, 0.0, TOP);
+        assert!(out.demand_w <= 160.0);
+        let total: u8 = cs.iter().map(|c| c.level.0).sum();
+        assert_eq!(total, 2, "exactly two cheap steps fit");
+    }
+
+    #[test]
+    fn base_load_reduces_headroom() {
+        let mut with_base = vec![cand(0, 0, 0, 1.0)];
+        let out_base = match_budget(&mut with_base, 160.0, 80.0, TOP);
+        let mut free = vec![cand(0, 0, 0, 1.0)];
+        let out_free = match_budget(&mut free, 160.0, 0.0, TOP);
+        assert!(with_base[0].level < free[0].level);
+        assert!(out_base.demand_w <= 160.0 && out_free.demand_w <= 160.0);
+    }
+
+    #[test]
+    fn empty_candidates_is_base_only() {
+        let mut cs: Vec<DvfsCandidate<u32>> = vec![];
+        let out = match_budget(&mut cs, 100.0, 42.0, TOP);
+        assert_eq!(out.demand_w, 42.0);
+        assert!(out.changes.is_empty());
+    }
+
+    #[test]
+    fn changes_report_final_levels_once_per_job() {
+        let mut cs = vec![cand(0, 4, 0, 1.0)];
+        let out = match_budget(&mut cs, 61.0, 0.0, TOP);
+        // Dropped several levels; the report holds one entry with the final.
+        assert_eq!(out.changes.len(), 1);
+        assert_eq!(out.changes[0], (0, cs[0].level));
+        assert_eq!(cs[0].level, FreqLevel(0));
+    }
+
+    #[test]
+    fn matching_is_idempotent_at_fixpoint() {
+        let mut cs = vec![cand(0, 4, 0, 1.0), cand(1, 4, 1, 2.0)];
+        match_budget(&mut cs, 250.0, 0.0, TOP);
+        let levels: Vec<u8> = cs.iter().map(|c| c.level.0).collect();
+        let out2 = match_budget(&mut cs, 250.0, 0.0, TOP);
+        let levels2: Vec<u8> = cs.iter().map(|c| c.level.0).collect();
+        assert_eq!(levels, levels2, "second pass changed nothing");
+        assert!(out2.changes.is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! # iscope-sched — variation-aware scheduling (the iScope scheduler)
+//!
+//! The decision-making half of iScope (§IV):
+//!
+//! * [`view`] — the scheduler's snapshot of the pool ([`ProcView`]).
+//! * [`placement`] — the Ran / Effi / Fair placement rules with gang
+//!   semantics and deadline feasibility.
+//! * [`scheme`] — the five evaluated [`Scheme`]s of Table 2 (profiling
+//!   strategy × scheduling rule) and their operating-plan construction.
+//! * [`dvfs`] — greedy supply/demand budget matching: scale down while
+//!   deadlines allow, restore when the renewable budget recovers.
+
+#![warn(missing_docs)]
+
+pub mod dvfs;
+pub mod placement;
+pub mod scheme;
+pub mod view;
+
+pub use dvfs::{match_budget, DvfsCandidate, MatchOutcome};
+pub use placement::{
+    EfficiencyPlacement, FairPlacement, Placement, PlacementDecision, RandomPlacement,
+};
+pub use scheme::{Profiling, Scheme};
+pub use view::ProcView;

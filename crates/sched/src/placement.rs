@@ -1,0 +1,440 @@
+//! Placement policies: Ran, Effi, and Fair (§IV.B).
+//!
+//! A placement chooses the `n` processors a rigid job gang-schedules on.
+//! All three policies respect deadlines when they can:
+//!
+//! * **Ran** — uniformly random feasible sets ("workloads are assigned to
+//!   CPUs randomly ... as long as the processors can meet the deadlines").
+//! * **Effi** — the most energy-efficient feasible set. Jobs queue up on
+//!   efficient processors as long as deadlines hold; the candidate pool
+//!   widens along the efficiency ranking only when it must, which produces
+//!   the paper's "queueing phenomenon" (§VI.B).
+//! * **Fair** — ScanFair's adaptive rule: with abundant wind, pick the
+//!   historically least-used processors (possibly inefficient — wind is
+//!   cheap and efficient chips get to rest); with scarce wind, fall back
+//!   to the efficiency ranking to save expensive utility power.
+//!
+//! When no feasible set exists the policy returns its best effort (the
+//! earliest-available processors) and the simulator records a deadline
+//! miss.
+
+use crate::view::ProcView;
+use iscope_dcsim::SimRng;
+use iscope_pvmodel::ChipId;
+use iscope_workload::Job;
+
+/// Outcome of a placement decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementDecision {
+    /// The chosen set meets the job's deadline (by the scheduler's
+    /// estimate).
+    Feasible(Vec<ChipId>),
+    /// No examined set met the deadline; this is the best-effort set.
+    BestEffort(Vec<ChipId>),
+}
+
+impl PlacementDecision {
+    /// The chosen processors regardless of feasibility.
+    pub fn chips(&self) -> &[ChipId] {
+        match self {
+            PlacementDecision::Feasible(c) | PlacementDecision::BestEffort(c) => c,
+        }
+    }
+
+    /// True if the deadline is expected to hold.
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, PlacementDecision::Feasible(_))
+    }
+}
+
+/// A placement policy.
+pub trait Placement: Send + Sync {
+    /// Chooses `job.cpus` processors. `wind_surplus` tells adaptive
+    /// policies whether renewable power currently exceeds demand.
+    fn place(
+        &self,
+        job: &Job,
+        view: &ProcView<'_>,
+        wind_surplus: bool,
+        rng: &mut SimRng,
+    ) -> PlacementDecision;
+
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Number of random redraws before Ran falls back to best effort.
+const RANDOM_RETRIES: usize = 8;
+
+/// Uniformly random feasible placement.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomPlacement;
+
+impl Placement for RandomPlacement {
+    fn place(
+        &self,
+        job: &Job,
+        view: &ProcView<'_>,
+        _wind_surplus: bool,
+        rng: &mut SimRng,
+    ) -> PlacementDecision {
+        let n = job.cpus as usize;
+        assert!(
+            n <= view.available_count(),
+            "job wider than the in-service fleet"
+        );
+        for _ in 0..RANDOM_RETRIES {
+            let pick: Vec<ChipId> = rng
+                .sample_indices(view.len(), n)
+                .into_iter()
+                .map(|i| ChipId(i as u32))
+                .collect();
+            if pick.iter().any(|&c| view.is_blocked(c)) {
+                continue;
+            }
+            if view.meets_deadline(job, &pick) {
+                return PlacementDecision::Feasible(pick);
+            }
+        }
+        best_effort(job, view)
+    }
+
+    fn name(&self) -> &'static str {
+        "Ran"
+    }
+}
+
+/// Most-energy-efficient feasible placement.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EfficiencyPlacement;
+
+impl Placement for EfficiencyPlacement {
+    fn place(
+        &self,
+        job: &Job,
+        view: &ProcView<'_>,
+        _wind_surplus: bool,
+        _rng: &mut SimRng,
+    ) -> PlacementDecision {
+        prefix_place(view.plan.ranking(), job, view)
+    }
+
+    fn name(&self) -> &'static str {
+        "Effi"
+    }
+}
+
+/// ScanFair's adaptive placement: least-used under wind surplus,
+/// efficiency-ranked under scarcity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FairPlacement;
+
+impl Placement for FairPlacement {
+    fn place(
+        &self,
+        job: &Job,
+        view: &ProcView<'_>,
+        wind_surplus: bool,
+        _rng: &mut SimRng,
+    ) -> PlacementDecision {
+        if wind_surplus {
+            let mut order: Vec<ChipId> = (0..view.len() as u32).map(ChipId).collect();
+            order.sort_by_key(|c| (view.usage[c.0 as usize], *c));
+            prefix_place(&order, job, view)
+        } else {
+            prefix_place(view.plan.ranking(), job, view)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Fair"
+    }
+}
+
+/// Walks growing prefixes of `order`, choosing within each prefix the `n`
+/// earliest-available processors, and returns the first feasible set. The
+/// prefix doubles each round, so the result is (close to) the most
+/// preferred feasible set while examining O(log) candidate pools.
+fn prefix_place(order: &[ChipId], job: &Job, view: &ProcView<'_>) -> PlacementDecision {
+    let n = job.cpus as usize;
+    assert!(
+        n <= view.available_count(),
+        "job wider than the in-service fleet"
+    );
+    let mut k = n;
+    loop {
+        let k_now = k.min(order.len());
+        let mut prefix: Vec<ChipId> = order[..k_now]
+            .iter()
+            .copied()
+            .filter(|&c| !view.is_blocked(c))
+            .collect();
+        prefix.sort_by_key(|c| (view.avail[c.0 as usize], *c));
+        prefix.truncate(n);
+        if prefix.len() == n && view.meets_deadline(job, &prefix) {
+            return PlacementDecision::Feasible(prefix);
+        }
+        if k_now == order.len() {
+            return best_effort(job, view);
+        }
+        k = k_now.saturating_mul(2);
+    }
+}
+
+/// The `n` earliest-available processors overall (deadline already known
+/// to be missed).
+fn best_effort(job: &Job, view: &ProcView<'_>) -> PlacementDecision {
+    let n = job.cpus as usize;
+    let mut all: Vec<ChipId> = (0..view.len() as u32)
+        .map(ChipId)
+        .filter(|&c| !view.is_blocked(c))
+        .collect();
+    all.sort_by_key(|c| (view.avail[c.0 as usize], *c));
+    all.truncate(n);
+    if view.meets_deadline(job, &all) {
+        // Possible when retries were unlucky (Ran): the earliest set works.
+        PlacementDecision::Feasible(all)
+    } else {
+        PlacementDecision::BestEffort(all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iscope_dcsim::{SimDuration, SimTime};
+    use iscope_pvmodel::{CpuBoundness, DvfsConfig, Fleet, OperatingPlan, VariationParams};
+    use iscope_workload::{JobId, Urgency};
+
+    struct Fixture {
+        fleet: Fleet,
+        plan: OperatingPlan,
+        avail: Vec<SimTime>,
+        usage: Vec<SimDuration>,
+        blocked: Vec<bool>,
+    }
+
+    impl Fixture {
+        fn new(n: usize) -> Fixture {
+            let fleet = Fleet::generate(
+                n,
+                DvfsConfig::paper_default(),
+                &VariationParams::default(),
+                41,
+            );
+            let plan = OperatingPlan::oracle(&fleet);
+            Fixture {
+                avail: vec![SimTime::ZERO; n],
+                usage: vec![SimDuration::ZERO; n],
+                blocked: vec![false; n],
+                fleet,
+                plan,
+            }
+        }
+
+        fn view(&self) -> ProcView<'_> {
+            ProcView {
+                now: SimTime::ZERO,
+                avail: &self.avail,
+                usage: &self.usage,
+                plan: &self.plan,
+                dvfs: &self.fleet.dvfs,
+                blocked: &self.blocked,
+            }
+        }
+    }
+
+    fn job(cpus: u32, runtime_s: u64, deadline_s: u64) -> Job {
+        Job {
+            id: JobId(0),
+            submit: SimTime::ZERO,
+            cpus,
+            runtime_at_fmax: SimDuration::from_secs(runtime_s),
+            gamma: CpuBoundness::FULL,
+            deadline: SimTime::from_secs(deadline_s),
+            urgency: Urgency::Low,
+        }
+    }
+
+    #[test]
+    fn efficiency_picks_top_of_ranking_when_idle() {
+        let fx = Fixture::new(50);
+        let mut rng = SimRng::new(1);
+        let j = job(4, 100, 10_000);
+        let d = EfficiencyPlacement.place(&j, &fx.view(), false, &mut rng);
+        assert!(d.is_feasible());
+        let mut expected: Vec<ChipId> = fx.plan.ranking()[..4].to_vec();
+        expected.sort_by_key(|c| (SimTime::ZERO, *c));
+        let mut got = d.chips().to_vec();
+        got.sort();
+        expected.sort();
+        assert_eq!(got, expected, "idle pool: exactly the 4 most efficient");
+    }
+
+    #[test]
+    fn efficiency_queues_until_deadline_forces_widening() {
+        let mut fx = Fixture::new(50);
+        // Make the 10 most efficient chips busy for 1000 s.
+        for c in &fx.plan.ranking().to_vec()[..10] {
+            fx.avail[c.0 as usize] = SimTime::from_secs(1000);
+        }
+        let mut rng = SimRng::new(2);
+        // Loose deadline: queueing on the efficient chips is fine.
+        let loose = job(4, 100, 5000);
+        let d = EfficiencyPlacement.place(&loose, &fx.view(), false, &mut rng);
+        assert!(d.is_feasible());
+        assert!(
+            d.chips()
+                .iter()
+                .all(|c| fx.plan.ranking()[..10].contains(c)),
+            "loose deadline should queue on the efficient busy chips"
+        );
+        // Tight deadline: must widen to idle, less-efficient chips.
+        let tight = job(4, 100, 200);
+        let d = EfficiencyPlacement.place(&tight, &fx.view(), false, &mut rng);
+        assert!(d.is_feasible());
+        assert!(
+            d.chips()
+                .iter()
+                .all(|c| fx.avail[c.0 as usize] == SimTime::ZERO),
+            "tight deadline must use idle chips"
+        );
+    }
+
+    #[test]
+    fn random_spreads_across_the_pool() {
+        let fx = Fixture::new(50);
+        let mut rng = SimRng::new(3);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let d = RandomPlacement.place(&job(2, 10, 10_000), &fx.view(), false, &mut rng);
+            assert!(d.is_feasible());
+            seen.extend(d.chips().iter().copied());
+        }
+        assert!(
+            seen.len() > 40,
+            "random placement touched only {} chips",
+            seen.len()
+        );
+    }
+
+    #[test]
+    fn fair_prefers_least_used_under_surplus() {
+        let mut fx = Fixture::new(50);
+        for i in 0..50 {
+            fx.usage[i] = SimDuration::from_secs(1000 + i as u64 * 100);
+        }
+        fx.usage[17] = SimDuration::ZERO;
+        fx.usage[33] = SimDuration::from_secs(1);
+        let mut rng = SimRng::new(4);
+        let d = FairPlacement.place(&job(2, 10, 10_000), &fx.view(), true, &mut rng);
+        assert!(d.is_feasible());
+        let mut got = d.chips().to_vec();
+        got.sort();
+        assert_eq!(got, vec![ChipId(17), ChipId(33)], "least-used chips first");
+    }
+
+    #[test]
+    fn fair_matches_efficiency_under_scarcity() {
+        let fx = Fixture::new(50);
+        let mut rng = SimRng::new(5);
+        let j = job(4, 100, 10_000);
+        let fair = FairPlacement.place(&j, &fx.view(), false, &mut rng);
+        let effi = EfficiencyPlacement.place(&j, &fx.view(), false, &mut rng);
+        let mut a = fair.chips().to_vec();
+        let mut b = effi.chips().to_vec();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "no surplus: Fair degenerates to Effi");
+    }
+
+    #[test]
+    fn impossible_deadline_returns_best_effort() {
+        let mut fx = Fixture::new(10);
+        for a in fx.avail.iter_mut() {
+            *a = SimTime::from_secs(10_000);
+        }
+        let mut rng = SimRng::new(6);
+        let j = job(4, 100, 50); // deadline long past any feasible start
+        for policy in [
+            &RandomPlacement as &dyn Placement,
+            &EfficiencyPlacement,
+            &FairPlacement,
+        ] {
+            let d = policy.place(&j, &fx.view(), false, &mut rng);
+            assert!(
+                !d.is_feasible(),
+                "{} accepted the impossible",
+                policy.name()
+            );
+            assert_eq!(d.chips().len(), 4);
+        }
+    }
+
+    #[test]
+    fn decisions_always_return_distinct_chips() {
+        let fx = Fixture::new(30);
+        let mut rng = SimRng::new(7);
+        for policy in [
+            &RandomPlacement as &dyn Placement,
+            &EfficiencyPlacement,
+            &FairPlacement,
+        ] {
+            for cpus in [1u32, 7, 30] {
+                let d = policy.place(&job(cpus, 60, 100_000), &fx.view(), true, &mut rng);
+                let mut chips = d.chips().to_vec();
+                chips.sort();
+                chips.dedup();
+                assert_eq!(chips.len(), cpus as usize, "{}", policy.name());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than the in-service fleet")]
+    fn job_wider_than_fleet_panics() {
+        let fx = Fixture::new(4);
+        let mut rng = SimRng::new(8);
+        EfficiencyPlacement.place(&job(8, 10, 100), &fx.view(), false, &mut rng);
+    }
+
+    #[test]
+    fn blocked_chips_are_never_chosen() {
+        let mut fx = Fixture::new(20);
+        // Block the 5 most efficient chips (the ones Effi would want) and
+        // a scattering of others.
+        for c in &fx.plan.ranking().to_vec()[..5] {
+            fx.blocked[c.0 as usize] = true;
+        }
+        fx.blocked[13] = true;
+        let mut rng = SimRng::new(9);
+        for policy in [
+            &RandomPlacement as &dyn Placement,
+            &EfficiencyPlacement,
+            &FairPlacement,
+        ] {
+            for _ in 0..50 {
+                let d = policy.place(&job(4, 60, 100_000), &fx.view(), true, &mut rng);
+                assert!(
+                    d.chips().iter().all(|&c| !fx.blocked[c.0 as usize]),
+                    "{} picked a blocked chip",
+                    policy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn best_effort_avoids_blocked_chips_too() {
+        let mut fx = Fixture::new(8);
+        for a in fx.avail.iter_mut() {
+            *a = SimTime::from_secs(10_000);
+        }
+        fx.blocked[0] = true;
+        fx.blocked[1] = true;
+        let mut rng = SimRng::new(10);
+        let d = EfficiencyPlacement.place(&job(4, 100, 50), &fx.view(), false, &mut rng);
+        assert!(!d.is_feasible());
+        assert!(d.chips().iter().all(|&c| !fx.blocked[c.0 as usize]));
+    }
+}

@@ -1,0 +1,71 @@
+//! The scheduler's view of the processor pool at a decision instant.
+
+use iscope_dcsim::{SimDuration, SimTime};
+use iscope_pvmodel::{ChipId, DvfsConfig, OperatingPlan};
+use iscope_workload::Job;
+
+/// Read-only snapshot handed to a placement policy.
+///
+/// `avail[chip]` is the scheduler's estimate of when the chip finishes its
+/// queued work (its reservation horizon); `usage[chip]` is its cumulative
+/// busy time so far (the lifetime-balancing signal of ScanFair).
+pub struct ProcView<'a> {
+    /// Current time.
+    pub now: SimTime,
+    /// Estimated earliest start per chip.
+    pub avail: &'a [SimTime],
+    /// Cumulative busy time per chip.
+    pub usage: &'a [SimDuration],
+    /// Applied voltages + power estimates under the active knowledge.
+    pub plan: &'a OperatingPlan,
+    /// Shared DVFS table.
+    pub dvfs: &'a DvfsConfig,
+    /// Chips currently out of service (e.g. isolated for in-situ
+    /// profiling); empty slice means everything is in service.
+    pub blocked: &'a [bool],
+}
+
+impl ProcView<'_> {
+    /// Number of processors.
+    pub fn len(&self) -> usize {
+        self.avail.len()
+    }
+
+    /// Whether a chip is out of service.
+    pub fn is_blocked(&self, chip: ChipId) -> bool {
+        self.blocked.get(chip.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// Number of in-service processors.
+    pub fn available_count(&self) -> usize {
+        if self.blocked.is_empty() {
+            self.len()
+        } else {
+            self.blocked.iter().filter(|&&b| !b).count()
+        }
+    }
+
+    /// True if the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.avail.is_empty()
+    }
+
+    /// Estimated start time if `chips` are reserved for a gang job now.
+    pub fn est_start(&self, chips: &[ChipId]) -> SimTime {
+        chips
+            .iter()
+            .map(|c| self.avail[c.0 as usize])
+            .fold(self.now, SimTime::max)
+    }
+
+    /// Estimated completion of `job` on `chips` at full frequency.
+    pub fn est_completion(&self, job: &Job, chips: &[ChipId]) -> SimTime {
+        self.est_start(chips) + job.runtime_at_fmax
+    }
+
+    /// Whether running `job` on `chips` (at f_max, starting as soon as
+    /// they free up) meets its deadline.
+    pub fn meets_deadline(&self, job: &Job, chips: &[ChipId]) -> bool {
+        self.est_completion(job, chips) <= job.deadline
+    }
+}

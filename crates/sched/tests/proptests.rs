@@ -1,0 +1,180 @@
+//! Property-based tests for placement policies: for arbitrary pool states
+//! every policy returns valid, blocked-respecting, width-correct sets, and
+//! feasibility claims are honest.
+
+use iscope_dcsim::{SimDuration, SimRng, SimTime};
+use iscope_pvmodel::{CpuBoundness, DvfsConfig, Fleet, OperatingPlan, VariationParams};
+use iscope_sched::{EfficiencyPlacement, FairPlacement, Placement, ProcView, RandomPlacement};
+use iscope_workload::{Job, JobId, Urgency};
+use proptest::prelude::*;
+
+const POOL: usize = 24;
+
+#[derive(Debug, Clone)]
+struct PoolState {
+    avail_s: Vec<u32>,
+    usage_s: Vec<u32>,
+    blocked: Vec<bool>,
+}
+
+fn pool_strategy() -> impl Strategy<Value = PoolState> {
+    (
+        proptest::collection::vec(0u32..5000, POOL),
+        proptest::collection::vec(0u32..100_000, POOL),
+        proptest::collection::vec(any::<bool>(), POOL),
+    )
+        .prop_map(|(avail_s, usage_s, mut blocked)| {
+            // Keep at least half the pool in service.
+            let mut blocked_count = blocked.iter().filter(|&&b| b).count();
+            for b in blocked.iter_mut() {
+                if blocked_count <= POOL / 2 {
+                    break;
+                }
+                if *b {
+                    *b = false;
+                    blocked_count -= 1;
+                }
+            }
+            PoolState {
+                avail_s,
+                usage_s,
+                blocked,
+            }
+        })
+}
+
+fn fleet() -> Fleet {
+    Fleet::generate(
+        POOL,
+        DvfsConfig::paper_default(),
+        &VariationParams::default(),
+        77,
+    )
+}
+
+fn job(cpus: u32, runtime_s: u32, deadline_s: u32) -> Job {
+    Job {
+        id: JobId(0),
+        submit: SimTime::ZERO,
+        cpus,
+        runtime_at_fmax: SimDuration::from_secs(runtime_s as u64),
+        gamma: CpuBoundness::FULL,
+        deadline: SimTime::from_secs(deadline_s as u64),
+        urgency: Urgency::Low,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Structural invariants: right width, distinct chips, no blocked
+    /// chips, and `Feasible` only when the deadline actually holds.
+    #[test]
+    fn placements_are_valid(
+        state in pool_strategy(),
+        cpus in 1u32..=8,
+        runtime_s in 10u32..5000,
+        deadline_s in 10u32..20_000,
+        surplus in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let f = fleet();
+        let plan = OperatingPlan::oracle(&f);
+        let avail: Vec<SimTime> = state.avail_s.iter().map(|&s| SimTime::from_secs(s as u64)).collect();
+        let usage: Vec<SimDuration> = state.usage_s.iter().map(|&s| SimDuration::from_secs(s as u64)).collect();
+        let j = job(cpus, runtime_s, deadline_s);
+        let mut rng = SimRng::new(seed);
+        for policy in [
+            &RandomPlacement as &dyn Placement,
+            &EfficiencyPlacement,
+            &FairPlacement,
+        ] {
+            let view = ProcView {
+                now: SimTime::ZERO,
+                avail: &avail,
+                usage: &usage,
+                plan: &plan,
+                dvfs: &f.dvfs,
+                blocked: &state.blocked,
+            };
+            let d = policy.place(&j, &view, surplus, &mut rng);
+            let chips = d.chips();
+            prop_assert_eq!(chips.len(), cpus as usize, "{}", policy.name());
+            let mut sorted: Vec<u32> = chips.iter().map(|c| c.0).collect();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), cpus as usize, "{}: duplicates", policy.name());
+            prop_assert!(
+                chips.iter().all(|&c| !state.blocked[c.0 as usize]),
+                "{}: blocked chip chosen", policy.name()
+            );
+            if d.is_feasible() {
+                prop_assert!(
+                    view.meets_deadline(&j, chips),
+                    "{}: feasible claim is false", policy.name()
+                );
+            }
+        }
+    }
+
+    /// When an idle, unblocked pool exists and the deadline is generous,
+    /// every policy finds a feasible placement.
+    #[test]
+    fn generous_deadlines_are_always_feasible(
+        cpus in 1u32..=8,
+        surplus in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let f = fleet();
+        let plan = OperatingPlan::oracle(&f);
+        let avail = vec![SimTime::ZERO; POOL];
+        let usage = vec![SimDuration::ZERO; POOL];
+        let blocked = vec![false; POOL];
+        let j = job(cpus, 100, 1_000_000);
+        let mut rng = SimRng::new(seed);
+        for policy in [
+            &RandomPlacement as &dyn Placement,
+            &EfficiencyPlacement,
+            &FairPlacement,
+        ] {
+            let view = ProcView {
+                now: SimTime::ZERO,
+                avail: &avail,
+                usage: &usage,
+                plan: &plan,
+                dvfs: &f.dvfs,
+                blocked: &blocked,
+            };
+            let d = policy.place(&j, &view, surplus, &mut rng);
+            prop_assert!(d.is_feasible(), "{}", policy.name());
+        }
+    }
+
+    /// Effi is deterministic; Fair under scarcity equals Effi exactly.
+    #[test]
+    fn effi_is_deterministic_and_fair_degenerates(
+        state in pool_strategy(),
+        cpus in 1u32..=6,
+        seed in any::<u64>(),
+    ) {
+        let f = fleet();
+        let plan = OperatingPlan::oracle(&f);
+        let avail: Vec<SimTime> = state.avail_s.iter().map(|&s| SimTime::from_secs(s as u64)).collect();
+        let usage: Vec<SimDuration> = state.usage_s.iter().map(|&s| SimDuration::from_secs(s as u64)).collect();
+        let j = job(cpus, 60, 50_000);
+        let view = || ProcView {
+            now: SimTime::ZERO,
+            avail: &avail,
+            usage: &usage,
+            plan: &plan,
+            dvfs: &f.dvfs,
+            blocked: &state.blocked,
+        };
+        let mut rng = SimRng::new(seed);
+        let a = EfficiencyPlacement.place(&j, &view(), false, &mut rng);
+        let b = EfficiencyPlacement.place(&j, &view(), false, &mut rng);
+        prop_assert_eq!(a.chips(), b.chips(), "Effi must ignore the RNG");
+        let c = FairPlacement.place(&j, &view(), false, &mut rng);
+        prop_assert_eq!(a.chips(), c.chips(), "Fair without surplus is Effi");
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the workload substrate.
+
+use iscope_dcsim::{SimDuration, SimTime};
+use iscope_workload::{
+    parse_swf, raw_jobs_from_swf, write_swf, RawJob, Shaper, SwfRecord, SyntheticTrace,
+    WorkloadStats,
+};
+use proptest::prelude::*;
+
+fn raw_job_strategy() -> impl Strategy<Value = RawJob> {
+    (0u64..100_000, 1u32..256, 30u64..7200).prop_map(|(submit, cpus, runtime)| RawJob {
+        submit: SimTime::from_secs(submit),
+        cpus,
+        runtime: SimDuration::from_secs(runtime),
+    })
+}
+
+proptest! {
+    /// SWF write → parse round trips exactly for arbitrary records.
+    #[test]
+    fn swf_round_trip(
+        rows in proptest::collection::vec(
+            (1u64..1_000_000, 0u64..1_000_000u64, 0u64..100_000, 1i64..4096, 0i64..2),
+            1..60,
+        ),
+    ) {
+        let records: Vec<SwfRecord> = rows
+            .iter()
+            .map(|&(num, submit, run, procs, status)| SwfRecord {
+                job_number: num,
+                submit_s: submit as f64,
+                wait_s: 0.0,
+                run_s: run as f64,
+                allocated_procs: procs,
+                requested_procs: procs,
+                // SWF stores whole seconds; the writer prints {:.0}.
+                requested_s: (run as f64 * 1.5).round(),
+                status,
+            })
+            .collect();
+        let text = write_swf(&records, "proptest");
+        let back = parse_swf(&text).unwrap();
+        prop_assert_eq!(back, records);
+    }
+
+    /// Shaping preserves sizes and runtimes, never puts a deadline before
+    /// the nominal completion, and sorts by submit.
+    #[test]
+    fn shaper_invariants(
+        raw in proptest::collection::vec(raw_job_strategy(), 1..80),
+        hu in 0.0f64..=1.0,
+        rate in 0.5f64..8.0,
+        seed in any::<u64>(),
+    ) {
+        let shaper = Shaper::default()
+            .with_hu_fraction(hu)
+            .with_arrival_rate(rate);
+        let w = shaper.shape(&raw, seed);
+        prop_assert_eq!(w.len(), raw.len());
+        for j in w.jobs() {
+            prop_assert!(j.deadline >= j.submit + j.runtime_at_fmax);
+            let g = j.gamma.value();
+            prop_assert!((0.3..=1.0).contains(&g));
+        }
+        prop_assert!(w.jobs().windows(2).all(|p| p[0].submit <= p[1].submit));
+        // Total work is invariant under shaping (only submits move).
+        let raw_work: f64 = raw.iter().map(|r| r.cpus as f64 * r.runtime.as_secs_f64()).sum();
+        prop_assert!((w.total_core_seconds() - raw_work).abs() < 1e-6 * raw_work.max(1.0));
+    }
+
+    /// Arrival-rate compression scales every submit by exactly 1/rate.
+    #[test]
+    fn rate_compresses_submits_exactly(
+        raw in proptest::collection::vec(raw_job_strategy(), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let base = Shaper::default().shape(&raw, seed);
+        let fast = Shaper::default().with_arrival_rate(4.0).shape(&raw, seed);
+        // Jobs keep their identity order per (submit,id) sort... compare
+        // via sorted submit lists.
+        let mut b: Vec<u64> = base.jobs().iter().map(|j| j.submit.as_millis()).collect();
+        let mut f: Vec<u64> = fast.jobs().iter().map(|j| j.submit.as_millis()).collect();
+        b.sort_unstable();
+        f.sort_unstable();
+        for (x, y) in b.iter().zip(&f) {
+            prop_assert_eq!(*y, (*x as f64 / 4.0).round() as u64);
+        }
+    }
+
+    /// Synthetic generation invariants for arbitrary configurations.
+    #[test]
+    fn synthetic_generation_invariants(
+        jobs in 1usize..300,
+        max_pow in 0u32..9,
+        seed in any::<u64>(),
+    ) {
+        let cfg = SyntheticTrace {
+            num_jobs: jobs,
+            max_cpus: 1 << max_pow,
+            ..SyntheticTrace::default()
+        };
+        let raw = cfg.generate(seed);
+        prop_assert_eq!(raw.len(), jobs);
+        for j in &raw {
+            prop_assert!(j.cpus.is_power_of_two() && j.cpus <= cfg.max_cpus);
+            let s = j.runtime.as_secs_f64();
+            prop_assert!(s >= cfg.runtime_clamp_s.0 && s <= cfg.runtime_clamp_s.1);
+            prop_assert!(j.submit.as_millis() <= cfg.span.as_millis());
+        }
+        prop_assert!(raw.windows(2).all(|p| p[0].submit <= p[1].submit));
+    }
+
+    /// SWF conversion rebases to t = 0 and keeps only usable records.
+    #[test]
+    fn swf_conversion_rebases(
+        rows in proptest::collection::vec((0u64..1_000_000u64, 0u64..10_000, 0i64..64), 1..50),
+    ) {
+        let records: Vec<SwfRecord> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, &(submit, run, procs))| SwfRecord {
+                job_number: i as u64,
+                submit_s: submit as f64,
+                wait_s: 0.0,
+                run_s: run as f64,
+                allocated_procs: procs,
+                requested_procs: procs,
+                requested_s: run as f64,
+                status: 1,
+            })
+            .collect();
+        let usable = records.iter().filter(|r| r.is_usable()).count();
+        let raw = raw_jobs_from_swf(&records);
+        prop_assert_eq!(raw.len(), usable);
+        if let Some(first) = raw.first() {
+            let min = raw.iter().map(|j| j.submit).min().unwrap();
+            prop_assert_eq!(min, SimTime::ZERO);
+            let _ = first;
+        }
+    }
+
+    /// Workload statistics are internally consistent for any shaped trace.
+    #[test]
+    fn stats_are_consistent(
+        raw in proptest::collection::vec(raw_job_strategy(), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let w = Shaper::default().shape(&raw, seed);
+        let s = WorkloadStats::from_workload(&w).unwrap();
+        prop_assert_eq!(s.jobs, w.len());
+        prop_assert_eq!(s.size_histogram.iter().sum::<usize>(), w.len());
+        prop_assert!(s.runtime_quantiles_s.windows(2).all(|p| p[0] <= p[1]));
+        prop_assert!(s.cpus_quantiles.windows(2).all(|p| p[0] <= p[1]));
+        prop_assert!(s.mean_deadline_factor >= 1.0);
+        prop_assert!((0.0..=1.0).contains(&s.hu_fraction));
+    }
+}

@@ -1,0 +1,66 @@
+//! Green vs brown: how much does a wind farm plus iScope save over a
+//! conventional datacenter, across wind strengths and wind prices?
+//!
+//! ```text
+//! cargo run --release --example green_vs_brown
+//! ```
+//!
+//! The "brown" baseline is the conventional design: factory-binned chips,
+//! random placement, utility power only. The "green" design is ScanFair
+//! over a hybrid supply. The sweep varies the SWP factor (Fig. 9's axis)
+//! and evaluates both the paper's wind price (0.05 USD/kWh) and the
+//! projected future one (0.005).
+
+use iscope::prelude::*;
+use iscope_sched::Scheme;
+
+const FLEET: usize = 240;
+const JOBS: usize = 1000;
+
+fn main() {
+    let brown = GreenDatacenterSim::builder()
+        .fleet_size(FLEET)
+        .synthetic_jobs(JOBS)
+        .scheme(Scheme::BinRan)
+        .seed(42)
+        .build()
+        .run();
+    println!(
+        "brown baseline (BinRan, utility-only): ${:.2}",
+        brown.total_cost_usd()
+    );
+    println!();
+    println!("SWP    green cost   saving   green cost @0.005   saving   green fraction");
+    for swp in [0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8] {
+        let supply = |prices: PriceBook| {
+            Supply::hybrid_farm(
+                &WindFarm::default(),
+                SimDuration::from_hours(168),
+                FLEET as f64 / 4800.0 * swp,
+                42,
+            )
+            .with_prices(prices)
+        };
+        let run = |prices: PriceBook| {
+            GreenDatacenterSim::builder()
+                .fleet_size(FLEET)
+                .synthetic_jobs(JOBS)
+                .scheme(Scheme::ScanFair)
+                .supply(supply(prices))
+                .seed(42)
+                .build()
+                .run()
+        };
+        let today = run(PriceBook::paper_default());
+        let future = run(PriceBook::future_wind());
+        let pct = |r: &RunReport| 100.0 * (1.0 - r.total_cost_usd() / brown.total_cost_usd());
+        println!(
+            "{swp:<5}  ${:>8.2}   {:>5.1} %  ${:>8.2}          {:>5.1} %  {:>5.1} %",
+            today.total_cost_usd(),
+            pct(&today),
+            future.total_cost_usd(),
+            pct(&future),
+            100.0 * today.ledger.green_fraction(),
+        );
+    }
+}

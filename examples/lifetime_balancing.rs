@@ -1,0 +1,55 @@
+//! Lifetime balancing: what does chasing efficiency do to processor wear,
+//! and how much does ScanFair recover?
+//!
+//! ```text
+//! cargo run --release --example lifetime_balancing
+//! ```
+//!
+//! Prints the per-processor utilization-time distribution for ScanRan,
+//! ScanEffi, and ScanFair under the hybrid supply: the Effi scheme
+//! hammers its favourite chips (huge variance ⇒ early wear-out and
+//! unbalanced replacement cycles, §VI.D), ScanFair keeps the spread close
+//! to random placement while still saving energy.
+
+use iscope::prelude::*;
+use iscope_dcsim::stats::quantile_sorted;
+use iscope_sched::Scheme;
+
+fn main() {
+    for scheme in [Scheme::ScanRan, Scheme::ScanEffi, Scheme::ScanFair] {
+        let supply = Supply::hybrid_farm(
+            &WindFarm::default(),
+            SimDuration::from_hours(168),
+            240.0 / 4800.0 * 1.4, // abundant wind biases ScanFair to fairness
+            42,
+        );
+        let r = GreenDatacenterSim::builder()
+            .fleet_size(240)
+            .synthetic_jobs(1000)
+            .scheme(scheme)
+            .supply(supply)
+            .seed(42)
+            .build()
+            .run();
+        let mut hours = r.usage_hours.clone();
+        hours.sort_by(|a, b| a.partial_cmp(b).expect("usage is finite"));
+        let q = |p: f64| quantile_sorted(&hours, p);
+        println!(
+            "{:<9} mean {:>6.2} h  p10 {:>6.2} h  median {:>6.2} h  p90 {:>6.2} h  \
+             max {:>6.2} h  variance {:>7.3} h^2  utility {:>6.1} kWh",
+            r.scheme,
+            r.usage_mean(),
+            q(0.10),
+            q(0.50),
+            q(0.90),
+            q(1.0),
+            r.usage_variance(),
+            r.utility_kwh(),
+        );
+    }
+    println!(
+        "\nEffi overloads its most efficient processors (fat right tail); \
+         ScanFair spreads wear almost like random placement while staying \
+         variation-aware."
+    );
+}

@@ -1,0 +1,67 @@
+//! Mixed renewables: wind + solar + a small battery feeding one green
+//! datacenter.
+//!
+//! ```text
+//! cargo run --release --example mixed_renewables
+//! ```
+//!
+//! The paper evaluates wind alone; this example exercises the rest of the
+//! supply substrate: solar's day arc anti-correlates with night-peaked
+//! wind, so blending the two raises the renewable floor, and a modest
+//! battery fills the remaining gaps. Costs use the paper's price book
+//! (solar priced as the renewable rate).
+
+use iscope::prelude::*;
+use iscope_energy::{smooth_against_demand, Battery, SolarFarm};
+use iscope_sched::Scheme;
+
+const FLEET: usize = 240;
+const SPAN: u64 = 168;
+
+fn run(label: &str, supply: Supply) {
+    let r = GreenDatacenterSim::builder()
+        .fleet_size(FLEET)
+        .synthetic_trace(SyntheticTrace {
+            num_jobs: 1000,
+            max_cpus: 32,
+            ..SyntheticTrace::default()
+        })
+        .scheme(Scheme::ScanFair)
+        .supply(supply)
+        .seed(42)
+        .build()
+        .run();
+    println!(
+        "{label:<22} utility {:>7.1} kWh  renewable {:>7.1} kWh  green {:>5.1} %  cost ${:>6.2}  misses {:.1} %",
+        r.utility_kwh(),
+        r.wind_kwh(),
+        100.0 * r.ledger.green_fraction(),
+        r.total_cost_usd(),
+        100.0 * r.miss_rate(),
+    );
+}
+
+fn main() {
+    let span = SimDuration::from_hours(SPAN);
+    let share = FLEET as f64 / 4800.0;
+    // Halve each farm's nameplate so the blends are energy-comparable to
+    // the single-source cases.
+    let wind = WindFarm::default().generate(span, 42).scaled(share);
+    let half_wind = wind.scaled(0.5);
+    let solar = SolarFarm::default().generate(span, 42).scaled(share);
+    let half_solar = solar.scaled(0.5);
+    let blend = half_wind.plus(&half_solar);
+    let battery = Battery::sized_for(8_000.0, 2.0); // 16 kWh, 8 kW
+    let smoothed = smooth_against_demand(&blend, 8_000.0, battery);
+
+    println!("supply mix            utility        renewable      green    cost     QoS");
+    run("utility only", Supply::utility_only());
+    run("wind only", Supply::hybrid(wind));
+    run("solar only", Supply::hybrid(solar));
+    run("wind + solar blend", Supply::hybrid(blend));
+    run("blend + 2 h battery", Supply::hybrid(smoothed));
+    println!(
+        "\nSolar fills the working day, night-peaked wind covers the rest;\n\
+         the battery mops up what the blend still leaves uncovered."
+    );
+}

@@ -1,0 +1,67 @@
+//! Profiling campaign: scan a fleet with the iScope scanner and account
+//! for what it costs and what it buys.
+//!
+//! ```text
+//! cargo run --release --example profiling_campaign
+//! ```
+//!
+//! Walks the full §III flow: generate a fleet, run the master/slave
+//! descending-voltage scan (stress test and 29-second SBFT), extract the
+//! per-chip Min Vdd map, price the campaign (§VI.E), and compare the
+//! resulting operating plan against factory binning.
+
+use iscope::prelude::*;
+use iscope_energy::PriceBook;
+use iscope_pvmodel::{Binning, OperatingPlan};
+use iscope_scanner::OverheadModel;
+
+fn main() {
+    let fleet = iscope_pvmodel::Fleet::generate(
+        480,
+        DvfsConfig::paper_default(),
+        &iscope_pvmodel::VariationParams::default(),
+        7,
+    );
+    let prices = PriceBook::paper_default();
+    let overhead = OverheadModel::default();
+
+    for kind in [TestKind::Stress, TestKind::Sbft] {
+        let scanner = Scanner::new(ScannerConfig {
+            test_kind: kind,
+            ..Default::default()
+        });
+        let report = scanner.profile_fleet(&fleet, 7);
+        let total_secs: f64 = report.per_chip_time.iter().map(|d| d.as_secs_f64()).sum();
+        let cost = overhead.actual_cost(total_secs, &prices);
+        println!(
+            "{kind:?}: {} stability tests, campaign {} (32 chips/domain), \
+             energy {:.1} kWh = ${:.2} on wind",
+            report.tests_run, report.campaign_time, cost.energy_kwh, cost.cost_wind_usd,
+        );
+    }
+
+    // What the scan buys: fleet power at the top level, binned vs scanned.
+    let scanner = Scanner::new(ScannerConfig::default());
+    let report = scanner.profile_fleet(&fleet, 7);
+    let scan_plan = OperatingPlan::from_scanned(&fleet, &report.measured_vmin);
+    let bin_plan = OperatingPlan::from_binning(&fleet, &Binning::by_efficiency(&fleet, 3));
+    let top = fleet.dvfs.max_level();
+    let fleet_power = |p: &OperatingPlan| -> f64 {
+        fleet
+            .chips
+            .iter()
+            .map(|c| p.true_power(&fleet, c.id, top))
+            .sum()
+    };
+    let (bin_kw, scan_kw) = (fleet_power(&bin_plan) / 1e3, fleet_power(&scan_plan) / 1e3);
+    println!(
+        "\nfleet busy power at 2 GHz: binned {bin_kw:.1} kW -> scanned {scan_kw:.1} kW \
+         ({:.1} % saved, every busy hour, forever)",
+        100.0 * (1.0 - scan_kw / bin_kw)
+    );
+    let paper = overhead.full_grid_cost(4800, TestKind::Sbft, &prices);
+    println!(
+        "paper-scale SBFT grid (4800 CPUs, 5 f x 10 V): ${:.1} on wind — negligible",
+        paper.cost_wind_usd
+    );
+}

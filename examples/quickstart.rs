@@ -1,0 +1,39 @@
+//! Quickstart: compare the five iScope schemes on one synthetic scenario.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Runs a 240-processor green datacenter (1/20 of the paper's 4800 CPUs)
+//! through an LLNL-Thunder-like day of jobs, first on utility power only,
+//! then with a wind farm attached, and prints one summary line per scheme.
+
+use iscope::prelude::*;
+use iscope_sched::Scheme;
+
+fn main() {
+    let base = |scheme: Scheme| {
+        GreenDatacenterSim::builder()
+            .fleet_size(240)
+            .synthetic_jobs(1000)
+            .scheme(scheme)
+            .hu_fraction(0.25)
+            .seed(42)
+    };
+
+    println!("== Utility-only (conventional datacenter) ==");
+    for scheme in Scheme::ALL {
+        println!("{}", base(scheme).build().run().summary());
+    }
+
+    println!("\n== Wind + utility (green datacenter) ==");
+    for scheme in Scheme::ALL {
+        let supply = Supply::hybrid_farm(
+            &WindFarm::default(),
+            SimDuration::from_hours(168),
+            240.0 / 4800.0, // the farm is sized for 4800 CPUs
+            42,
+        );
+        println!("{}", base(scheme).supply(supply).build().run().summary());
+    }
+}

@@ -1,0 +1,115 @@
+//! Supply/demand matching behaviour at integration scale: DVFS modes,
+//! energy conservation, and deadline protection.
+
+use iscope::prelude::*;
+use iscope::DvfsMode;
+use iscope_sched::Scheme;
+
+fn hybrid(seed: u64, swp: f64) -> Supply {
+    Supply::hybrid_farm(
+        &WindFarm::default(),
+        SimDuration::from_hours(168),
+        96.0 / 4800.0 * swp,
+        seed,
+    )
+}
+
+fn sim(mode: DvfsMode, swp: f64) -> RunReport {
+    GreenDatacenterSim::builder()
+        .fleet_size(96)
+        .synthetic_jobs(250)
+        .scheme(Scheme::ScanFair)
+        .supply(hybrid(5, swp))
+        .dvfs_mode(mode)
+        .seed(5)
+        .build()
+        .run()
+}
+
+#[test]
+fn dvfs_raises_green_fraction_versus_no_wind() {
+    let r = sim(DvfsMode::GlobalLevel, 1.0);
+    assert!(
+        r.ledger.green_fraction() > 0.4,
+        "green fraction {:.2} too low with standard wind",
+        r.ledger.green_fraction()
+    );
+}
+
+#[test]
+fn greedy_mode_fits_the_budget_tighter_than_global_mode() {
+    // The ablation: per-job greedy matching shaves more demand under the
+    // wind budget, so it draws no more utility energy.
+    let global = sim(DvfsMode::GlobalLevel, 1.0);
+    let greedy = sim(DvfsMode::PerJobGreedy, 1.0);
+    assert!(
+        greedy.utility_kwh() <= global.utility_kwh() * 1.05,
+        "greedy {:.1} kWh vs global {:.1} kWh",
+        greedy.utility_kwh(),
+        global.utility_kwh()
+    );
+    // Both finish every job.
+    assert_eq!(global.jobs, greedy.jobs);
+}
+
+#[test]
+fn more_wind_means_less_utility() {
+    // Sweeping SWP upward must monotonically (weakly) displace utility.
+    let mut last = f64::INFINITY;
+    for swp in [0.5, 1.0, 1.5, 2.0] {
+        let r = sim(DvfsMode::GlobalLevel, swp);
+        assert!(
+            r.utility_kwh() <= last * 1.02,
+            "utility rose when wind grew (swp {swp}): {} vs {}",
+            r.utility_kwh(),
+            last
+        );
+        last = r.utility_kwh();
+    }
+}
+
+#[test]
+fn deadline_misses_remain_bounded_under_scarce_wind() {
+    // Even with a weak wind supply the deadline guards keep QoS: the
+    // matcher must not crawl jobs into mass deadline violation.
+    let r = sim(DvfsMode::GlobalLevel, 0.25);
+    assert!(
+        r.miss_rate() < 0.12,
+        "miss rate {:.1} % under scarce wind",
+        100.0 * r.miss_rate()
+    );
+}
+
+#[test]
+fn utility_only_never_slows_down() {
+    // With an infinite budget the matcher keeps everything at f_max: the
+    // makespan equals the wind run's lower bound... verified indirectly:
+    // utility-only energy matches the same workload run with abundant
+    // wind (demand identical, only the source differs).
+    let brown = GreenDatacenterSim::builder()
+        .fleet_size(96)
+        .synthetic_jobs(250)
+        .scheme(Scheme::ScanEffi)
+        .seed(5)
+        .build()
+        .run();
+    let flooded = GreenDatacenterSim::builder()
+        .fleet_size(96)
+        .synthetic_jobs(250)
+        .scheme(Scheme::ScanEffi)
+        .supply(hybrid(5, 100.0)) // wind so abundant it never binds
+        .seed(5)
+        .build()
+        .run();
+    let total_brown = brown.utility_kwh() + brown.wind_kwh();
+    let total_flooded = flooded.utility_kwh() + flooded.wind_kwh();
+    assert!(
+        (total_brown - total_flooded).abs() < 0.02 * total_brown,
+        "same workload, same speed: {total_brown:.1} vs {total_flooded:.1} kWh"
+    );
+    assert!(
+        flooded.utility_kwh() < 0.02 * total_flooded,
+        "flooded wind should cover all"
+    );
+    assert_eq!(brown.makespan, flooded.makespan);
+}

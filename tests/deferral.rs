@@ -1,0 +1,111 @@
+//! The GreenSlot-style deferral baseline (macro-only green scheduling)
+//! against iScope's macro+micro approach.
+
+use iscope::prelude::*;
+use iscope::DeferralConfig;
+use iscope_sched::Scheme;
+
+const FLEET: usize = 96;
+const JOBS: usize = 300;
+
+fn hybrid(swp: f64) -> Supply {
+    Supply::hybrid_farm(
+        &WindFarm::default(),
+        SimDuration::from_hours(168),
+        FLEET as f64 / 4800.0 * swp,
+        11,
+    )
+}
+
+fn run(scheme: Scheme, defer: bool, swp: f64) -> RunReport {
+    let b = GreenDatacenterSim::builder()
+        .fleet_size(FLEET)
+        .synthetic_jobs(JOBS)
+        .scheme(scheme)
+        .supply(hybrid(swp))
+        .seed(11);
+    let b = if defer {
+        b.deferral(DeferralConfig::default())
+    } else {
+        b
+    };
+    b.build().run()
+}
+
+#[test]
+fn deferral_improves_green_fraction_of_the_macro_only_baseline() {
+    // GreenSlot's core claim: shifting slack-rich jobs into windy periods
+    // raises renewable utilization versus naive scheduling.
+    let naive = run(Scheme::BinRan, false, 1.0);
+    let greenslot = run(Scheme::BinRan, true, 1.0);
+    assert_eq!(greenslot.jobs, JOBS, "deferred jobs must all complete");
+    assert!(
+        greenslot.ledger.green_fraction() >= naive.ledger.green_fraction() - 0.02,
+        "deferral green fraction {:.3} fell below naive {:.3}",
+        greenslot.ledger.green_fraction(),
+        naive.ledger.green_fraction()
+    );
+    assert!(
+        greenslot.utility_kwh() <= naive.utility_kwh() * 1.02,
+        "deferral drew more utility: {:.1} vs {:.1} kWh",
+        greenslot.utility_kwh(),
+        naive.utility_kwh()
+    );
+}
+
+#[test]
+fn deferral_respects_deadlines() {
+    let greenslot = run(Scheme::BinRan, true, 0.5); // scarce wind: heavy deferral
+    assert!(
+        greenslot.miss_rate() < 0.12,
+        "deferral caused {:.1} % misses",
+        100.0 * greenslot.miss_rate()
+    );
+}
+
+#[test]
+fn macro_plus_micro_beats_macro_only() {
+    // The paper's thesis: combining the macro level (deferral-style supply
+    // awareness) with the micro level (hardware profiles) beats macro-only
+    // green scheduling. Compare total cost.
+    let macro_only = run(Scheme::BinRan, true, 1.0);
+    let iscope = run(Scheme::ScanFair, true, 1.0);
+    assert!(
+        iscope.total_cost_usd() < macro_only.total_cost_usd(),
+        "iScope ({:.2}) should beat macro-only GreenSlot-style ({:.2})",
+        iscope.total_cost_usd(),
+        macro_only.total_cost_usd()
+    );
+}
+
+#[test]
+fn deferral_composes_with_every_scheme() {
+    for scheme in Scheme::ALL {
+        let r = run(scheme, true, 1.0);
+        assert_eq!(r.jobs, JOBS, "{scheme}");
+    }
+}
+
+#[test]
+fn no_wind_means_no_deferral_effect() {
+    let plain = GreenDatacenterSim::builder()
+        .fleet_size(FLEET)
+        .synthetic_jobs(JOBS)
+        .scheme(Scheme::BinRan)
+        .seed(11)
+        .build()
+        .run();
+    let deferred = GreenDatacenterSim::builder()
+        .fleet_size(FLEET)
+        .synthetic_jobs(JOBS)
+        .scheme(Scheme::BinRan)
+        .deferral(DeferralConfig::default())
+        .seed(11)
+        .build()
+        .run();
+    assert_eq!(
+        plain.ledger, deferred.ledger,
+        "utility-only runs must match"
+    );
+    assert_eq!(plain.makespan, deferred.makespan);
+}

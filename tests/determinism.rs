@@ -1,0 +1,83 @@
+//! Bit-reproducibility: the same seed yields the same report, different
+//! seeds differ, and parallel sweeps equal sequential ones.
+
+use iscope::experiments::{sweep, sweep_sequential};
+use iscope::prelude::*;
+use iscope_sched::Scheme;
+
+fn run(seed: u64, scheme: Scheme) -> RunReport {
+    let supply = Supply::hybrid_farm(
+        &WindFarm::default(),
+        SimDuration::from_hours(48),
+        64.0 / 4800.0,
+        seed,
+    );
+    GreenDatacenterSim::builder()
+        .fleet_size(64)
+        .synthetic_jobs(80)
+        .scheme(scheme)
+        .supply(supply)
+        .seed(seed)
+        .build()
+        .run()
+}
+
+#[test]
+fn identical_seeds_are_bit_identical() {
+    for scheme in [Scheme::BinRan, Scheme::ScanFair] {
+        let a = run(7, scheme);
+        let b = run(7, scheme);
+        assert_eq!(a.ledger, b.ledger, "{scheme}: energy differs across runs");
+        assert_eq!(a.makespan, b.makespan, "{scheme}");
+        assert_eq!(a.deadline_misses, b.deadline_misses, "{scheme}");
+        assert_eq!(a.usage_hours, b.usage_hours, "{scheme}");
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run(7, Scheme::ScanFair);
+    let b = run(8, Scheme::ScanFair);
+    assert_ne!(
+        a.ledger, b.ledger,
+        "different seeds should produce different weather/workload"
+    );
+}
+
+#[test]
+fn parallel_sweep_equals_sequential_sweep() {
+    let cells: Vec<(u64, Scheme)> = vec![
+        (1, Scheme::BinRan),
+        (2, Scheme::ScanEffi),
+        (3, Scheme::ScanFair),
+        (1, Scheme::ScanFair),
+    ];
+    let par = sweep(&cells, |&(seed, scheme)| run(seed, scheme));
+    let seq = sweep_sequential(&cells, |&(seed, scheme)| run(seed, scheme));
+    for (a, b) in par.iter().zip(&seq) {
+        assert_eq!(a.ledger, b.ledger);
+        assert_eq!(a.makespan, b.makespan);
+    }
+}
+
+#[test]
+fn scan_schemes_share_the_same_scan_results() {
+    // ScanRan/ScanEffi/ScanFair differ only in placement: the in-cloud
+    // profile (and hence the applied voltages) must be identical for one
+    // seed.
+    let fleet_a = GreenDatacenterSim::builder()
+        .fleet_size(32)
+        .scheme(Scheme::ScanRan)
+        .seed(5)
+        .build();
+    let fleet_b = GreenDatacenterSim::builder()
+        .fleet_size(32)
+        .scheme(Scheme::ScanFair)
+        .seed(5)
+        .build();
+    // Same fleet ground truth...
+    for (a, b) in fleet_a.fleet().chips.iter().zip(&fleet_b.fleet().chips) {
+        assert_eq!(a.alpha, b.alpha);
+        assert_eq!(a.cores[0].vmin, b.cores[0].vmin);
+    }
+}

@@ -1,0 +1,129 @@
+//! End-to-end integration: every scheme drives a full workload through the
+//! simulator with physically consistent accounting.
+
+use iscope::prelude::*;
+use iscope_sched::Scheme;
+
+fn base(scheme: Scheme) -> GreenDatacenterSim {
+    GreenDatacenterSim::builder()
+        .fleet_size(96)
+        .synthetic_jobs(120)
+        .scheme(scheme)
+        .seed(1234)
+}
+
+fn hybrid_supply(seed: u64) -> Supply {
+    let farm = WindFarm::default();
+    // The default farm feeds 4800 CPUs; scale to our 96-CPU fleet.
+    Supply::hybrid_farm(&farm, SimDuration::from_hours(48), 96.0 / 4800.0, seed)
+}
+
+#[test]
+fn all_schemes_complete_every_job_utility_only() {
+    for scheme in Scheme::ALL {
+        let r = base(scheme).build().run();
+        assert_eq!(r.jobs, 120, "{scheme}");
+        assert!(r.makespan > SimTime::ZERO, "{scheme}");
+        assert!(r.utility_kwh() > 0.0, "{scheme}: no energy drawn");
+        assert_eq!(
+            r.wind_kwh(),
+            0.0,
+            "{scheme}: utility-only must not draw wind"
+        );
+    }
+}
+
+#[test]
+fn all_schemes_complete_with_wind() {
+    for scheme in Scheme::ALL {
+        let r = base(scheme).supply(hybrid_supply(9)).build().run();
+        assert_eq!(r.jobs, 120, "{scheme}");
+        assert!(r.wind_kwh() > 0.0, "{scheme}: wind never used");
+        assert!(
+            r.ledger.green_fraction() > 0.1,
+            "{scheme}: implausibly low wind share {}",
+            r.ledger.green_fraction()
+        );
+    }
+}
+
+#[test]
+fn energy_is_positive_and_split_consistently() {
+    let r = base(Scheme::ScanFair)
+        .supply(hybrid_supply(9))
+        .build()
+        .run();
+    let total = r.wind_kwh() + r.utility_kwh();
+    assert!(total > 0.0);
+    // Cost decomposes by source price.
+    let expected_cost =
+        r.wind_kwh() * r.prices.wind_usd_per_kwh + r.utility_kwh() * r.prices.utility_usd_per_kwh;
+    assert!((r.total_cost_usd() - expected_cost).abs() < 1e-9);
+}
+
+#[test]
+fn deadline_misses_stay_rare_under_light_load() {
+    for scheme in Scheme::ALL {
+        let r = base(scheme).build().run();
+        assert!(
+            r.miss_rate() < 0.10,
+            "{scheme}: {:.1}% misses under light load",
+            100.0 * r.miss_rate()
+        );
+    }
+}
+
+#[test]
+fn usage_accounting_covers_the_work_done() {
+    let r = base(Scheme::BinRan).build().run();
+    let total_usage_h: f64 = r.usage_hours.iter().sum();
+    // Each job occupies its processors for at least its nominal runtime.
+    let sim = base(Scheme::BinRan).build();
+    let min_core_hours: f64 = sim.workload().total_core_seconds() / 3600.0;
+    assert!(
+        total_usage_h >= min_core_hours * 0.99,
+        "usage {total_usage_h} h below nominal work {min_core_hours} h"
+    );
+}
+
+#[test]
+fn power_traces_record_when_enabled() {
+    let r = base(Scheme::ScanEffi)
+        .supply(hybrid_supply(9))
+        .trace_interval(SimDuration::from_secs(350))
+        .build()
+        .run();
+    for name in ["demand", "wind", "utility_draw", "wind_draw"] {
+        let s = r
+            .series(name)
+            .unwrap_or_else(|| panic!("missing series {name}"));
+        assert!(!s.values.is_empty(), "{name} empty");
+    }
+    // The split identities hold sample by sample.
+    let demand = r.series("demand").unwrap();
+    let wind = r.series("wind").unwrap();
+    let util = r.series("utility_draw").unwrap();
+    let wdraw = r.series("wind_draw").unwrap();
+    for i in 0..demand.values.len() {
+        let d = demand.values[i];
+        assert!((util.values[i] - (d - wind.values[i]).max(0.0)).abs() < 1e-6);
+        assert!((wdraw.values[i] - d.min(wind.values[i])).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn wider_jobs_are_clamped_to_the_fleet() {
+    let trace = SyntheticTrace {
+        num_jobs: 30,
+        max_cpus: 256, // wider than the 32-processor fleet below
+        ..SyntheticTrace::default()
+    };
+    let r = GreenDatacenterSim::builder()
+        .fleet_size(32)
+        .synthetic_trace(trace)
+        .scheme(Scheme::ScanFair)
+        .seed(5)
+        .build()
+        .run();
+    assert_eq!(r.jobs, 30, "clamped jobs still run");
+}

@@ -1,0 +1,144 @@
+//! In-situ opportunistic profiling (§III.C / Fig. 3 inside the DES): the
+//! fleet boots on its factory-bin plan, the scanner runs during
+//! low-utilization windows, and chips upgrade to scanned operating points
+//! as their scans complete.
+
+use iscope::prelude::*;
+use iscope::InSituConfig;
+use iscope_sched::Scheme;
+
+const FLEET: usize = 64;
+
+fn base(jobs: usize) -> GreenDatacenterSim {
+    GreenDatacenterSim::builder()
+        .fleet_size(FLEET)
+        .synthetic_trace(SyntheticTrace {
+            num_jobs: jobs,
+            max_cpus: 8,
+            ..SyntheticTrace::default()
+        })
+        .scheme(Scheme::ScanFair)
+        .seed(13)
+}
+
+#[test]
+fn in_situ_scan_profiles_the_fleet_during_operation() {
+    let r = base(150)
+        .in_situ_profiling(InSituConfig::default())
+        .build()
+        .run();
+    let stats = r.profiling.expect("in-situ stats present");
+    assert_eq!(stats.fleet_size, FLEET);
+    assert!(
+        stats.chips_profiled > FLEET / 2,
+        "only {}/{FLEET} chips profiled during the run",
+        stats.chips_profiled
+    );
+    assert!(stats.tests_run > 0);
+    assert!(stats.profiling_energy_kwh > 0.0);
+    assert_eq!(r.jobs, 150, "profiling must not lose jobs");
+}
+
+#[test]
+fn in_situ_energy_lands_between_bin_and_prescanned() {
+    // The fleet spends part of the run on bin voltages and part on scanned
+    // voltages, plus the profiling energy itself: total energy must land
+    // between the all-bin and all-scanned runs (modulo the small test
+    // overhead).
+    let jobs = 250;
+    let bin = GreenDatacenterSim::builder()
+        .fleet_size(FLEET)
+        .synthetic_trace(SyntheticTrace {
+            num_jobs: jobs,
+            max_cpus: 8,
+            ..SyntheticTrace::default()
+        })
+        .scheme(Scheme::BinRan)
+        .seed(13)
+        .build()
+        .run();
+    let prescanned = base(jobs).scheme(Scheme::ScanRan).build().run();
+    let insitu = base(jobs)
+        .scheme(Scheme::ScanRan)
+        .in_situ_profiling(InSituConfig::default())
+        .build()
+        .run();
+    let total = |r: &RunReport| r.utility_kwh() + r.wind_kwh();
+    assert!(
+        total(&prescanned) < total(&bin),
+        "sanity: scanning must save energy"
+    );
+    let stats = insitu.profiling.expect("stats");
+    let job_energy = total(&insitu) - stats.profiling_energy_kwh;
+    assert!(
+        job_energy < total(&bin) * 1.01,
+        "in-situ job energy {job_energy:.1} not below bin {:.1}",
+        total(&bin)
+    );
+    assert!(
+        job_energy > total(&prescanned) * 0.95,
+        "in-situ job energy {job_energy:.1} implausibly below prescanned {:.1}",
+        total(&prescanned)
+    );
+}
+
+#[test]
+fn profiling_does_not_harm_qos() {
+    let plain = base(250).scheme(Scheme::ScanRan).build().run();
+    let insitu = base(250)
+        .scheme(Scheme::ScanRan)
+        .in_situ_profiling(InSituConfig::default())
+        .build()
+        .run();
+    assert!(
+        insitu.miss_rate() <= plain.miss_rate() + 0.03,
+        "in-situ profiling pushed misses from {:.1} % to {:.1} %",
+        100.0 * plain.miss_rate(),
+        100.0 * insitu.miss_rate()
+    );
+}
+
+#[test]
+fn sbft_campaign_finishes_much_faster_than_stress() {
+    let cfg = |kind| InSituConfig {
+        scanner: ScannerConfig {
+            test_kind: kind,
+            ..ScannerConfig::default()
+        },
+        ..InSituConfig::default()
+    };
+    let stress = base(150)
+        .in_situ_profiling(cfg(TestKind::Stress))
+        .build()
+        .run();
+    let sbft = base(150)
+        .in_situ_profiling(cfg(TestKind::Sbft))
+        .build()
+        .run();
+    let s1 = stress.profiling.unwrap();
+    let s2 = sbft.profiling.unwrap();
+    assert!(
+        s2.chips_profiled >= s1.chips_profiled,
+        "29-s SBFT ({}) should cover at least as many chips as 10-min stress ({})",
+        s2.chips_profiled,
+        s1.chips_profiled
+    );
+    assert!(
+        s2.profiling_energy_kwh < s1.profiling_energy_kwh,
+        "SBFT must be cheaper"
+    );
+}
+
+#[test]
+fn in_situ_is_deterministic() {
+    let a = base(100)
+        .in_situ_profiling(InSituConfig::default())
+        .build()
+        .run();
+    let b = base(100)
+        .in_situ_profiling(InSituConfig::default())
+        .build()
+        .run();
+    assert_eq!(a.ledger, b.ledger);
+    assert_eq!(a.profiling, b.profiling);
+}

@@ -1,0 +1,123 @@
+//! Cross-crate checks of the paper's headline orderings at integration
+//! scale: who wins, in which metric, under which supply.
+
+use iscope::prelude::*;
+use iscope_sched::Scheme;
+
+const FLEET: usize = 120;
+const JOBS: usize = 300;
+
+fn run(scheme: Scheme, wind: bool) -> RunReport {
+    let b = GreenDatacenterSim::builder()
+        .fleet_size(FLEET)
+        .synthetic_jobs(JOBS)
+        .scheme(scheme)
+        .seed(99);
+    let b = if wind {
+        b.supply(Supply::hybrid_farm(
+            &WindFarm::default(),
+            SimDuration::from_hours(168),
+            FLEET as f64 / 4800.0,
+            99,
+        ))
+    } else {
+        b
+    };
+    b.build().run()
+}
+
+#[test]
+fn efficiency_awareness_beats_random_on_utility_energy() {
+    // Fig. 5: Effi schemes always beat Ran schemes in utility-only energy.
+    let bin_ran = run(Scheme::BinRan, false);
+    let bin_effi = run(Scheme::BinEffi, false);
+    let scan_ran = run(Scheme::ScanRan, false);
+    let scan_effi = run(Scheme::ScanEffi, false);
+    assert!(bin_effi.utility_kwh() < bin_ran.utility_kwh());
+    assert!(scan_effi.utility_kwh() < scan_ran.utility_kwh());
+}
+
+#[test]
+fn scanning_beats_binning_by_roughly_ten_percent() {
+    // Fig. 5: "Scan schemes outperform Bin schemes by roughly 10 %".
+    let bin_ran = run(Scheme::BinRan, false);
+    let scan_ran = run(Scheme::ScanRan, false);
+    let gap = 1.0 - scan_ran.utility_kwh() / bin_ran.utility_kwh();
+    assert!(
+        (0.03..0.18).contains(&gap),
+        "scan-vs-bin gap {gap:.3} out of the paper's ballpark"
+    );
+}
+
+#[test]
+fn scanning_cuts_total_cost_with_wind_scheme_by_scheme() {
+    // Fig. 8: every Scan scheme undercuts its Bin counterpart, and the
+    // variation-aware schemes stay within a small band of the cheapest.
+    // (The strict "ScanEffi is the single cheapest" claim is asserted at
+    // the experiment harness's default scale — at this reduced fleet the
+    // Effi/Fair gap is within seed noise.)
+    let costs: Vec<(String, f64)> = Scheme::ALL
+        .iter()
+        .map(|&s| {
+            let r = run(s, true);
+            (r.scheme.clone(), r.total_cost_usd())
+        })
+        .collect();
+    let cost = |n: &str| costs.iter().find(|(name, _)| name == n).unwrap().1;
+    assert!(cost("ScanRan") < cost("BinRan"));
+    assert!(cost("ScanEffi") < cost("BinEffi"));
+    let cheapest = costs.iter().map(|(_, c)| *c).fold(f64::INFINITY, f64::min);
+    assert!(
+        cost("ScanEffi") <= cheapest * 1.2,
+        "ScanEffi ({:.2}) far from the cheapest ({cheapest:.2})",
+        cost("ScanEffi")
+    );
+    assert!(
+        cost("ScanFair") <= cheapest * 1.2,
+        "ScanFair ({:.2}) far from the cheapest ({cheapest:.2})",
+        cost("ScanFair")
+    );
+}
+
+#[test]
+fn green_scanfair_undercuts_brown_binran_by_a_large_fraction() {
+    // Fig. 8's cross-scenario claim (paper: up to 54 %).
+    let brown = run(Scheme::BinRan, false);
+    let green = run(Scheme::ScanFair, true);
+    let saving = 1.0 - green.total_cost_usd() / brown.total_cost_usd();
+    assert!(
+        saving > 0.3,
+        "green ScanFair saves only {:.1} % over brown BinRan",
+        100.0 * saving
+    );
+}
+
+#[test]
+fn fair_balances_lifetime_between_ran_and_effi() {
+    // Fig. 9's ordering with wind: Ran lowest variance, Effi highest,
+    // ScanFair in between (close to Ran).
+    let ran = run(Scheme::ScanRan, true).usage_variance();
+    let effi = run(Scheme::ScanEffi, true).usage_variance();
+    let fair = run(Scheme::ScanFair, true).usage_variance();
+    assert!(effi > fair, "Effi variance {effi:.2} <= Fair {fair:.2}");
+    assert!(
+        effi > 3.0 * ran,
+        "Effi variance {effi:.2} should dwarf Ran {ran:.2}"
+    );
+    assert!(
+        fair < 0.5 * effi,
+        "Fair variance {fair:.2} not meaningfully below Effi {effi:.2}"
+    );
+}
+
+#[test]
+fn scan_and_bin_random_schedules_are_identical_in_shape() {
+    // ScanRan and BinRan place identically (same RNG stream); only the
+    // applied voltages differ, so ScanRan's energy is strictly lower while
+    // makespans match.
+    let bin = run(Scheme::BinRan, false);
+    let scan = run(Scheme::ScanRan, false);
+    assert_eq!(bin.makespan, scan.makespan, "placement must be identical");
+    assert!(scan.utility_kwh() < bin.utility_kwh());
+    assert_eq!(bin.deadline_misses, scan.deadline_misses);
+}

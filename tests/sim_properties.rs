@@ -1,0 +1,148 @@
+//! Property-based tests over whole simulation runs: for arbitrary small
+//! workloads and supplies, the physical invariants must hold.
+
+use iscope::prelude::*;
+use iscope_dcsim::{SimDuration, SimTime};
+use iscope_pvmodel::CpuBoundness;
+use iscope_sched::Scheme;
+use iscope_workload::{Job, JobId, Urgency, Workload};
+use proptest::prelude::*;
+
+const FLEET: usize = 12;
+
+#[derive(Debug, Clone)]
+struct RawSpec {
+    submit_s: u64,
+    cpus: u32,
+    runtime_s: u64,
+    factor_tenths: u64,
+    gamma_pct: u8,
+    high: bool,
+}
+
+fn job_strategy() -> impl Strategy<Value = RawSpec> {
+    (
+        0u64..20_000,
+        1u32..=8,
+        30u64..2000,
+        12u64..200, // deadline factor in tenths: 1.2x .. 20x
+        30u8..=100,
+        any::<bool>(),
+    )
+        .prop_map(
+            |(submit_s, cpus, runtime_s, factor_tenths, gamma_pct, high)| RawSpec {
+                submit_s,
+                cpus,
+                runtime_s,
+                factor_tenths,
+                gamma_pct,
+                high,
+            },
+        )
+}
+
+fn build_workload(specs: &[RawSpec]) -> Workload {
+    let jobs = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let submit = SimTime::from_secs(s.submit_s);
+            let runtime = SimDuration::from_secs(s.runtime_s);
+            Job {
+                id: JobId(i as u32),
+                submit,
+                cpus: s.cpus,
+                runtime_at_fmax: runtime,
+                gamma: CpuBoundness::new(s.gamma_pct as f64 / 100.0),
+                deadline: submit + runtime.mul_f64(s.factor_tenths as f64 / 10.0),
+                urgency: if s.high { Urgency::High } else { Urgency::Low },
+            }
+        })
+        .collect();
+    Workload::new(jobs)
+}
+
+fn run(specs: &[RawSpec], scheme: Scheme, wind: bool, seed: u64) -> RunReport {
+    let b = GreenDatacenterSim::builder()
+        .fleet_size(FLEET)
+        .workload(build_workload(specs))
+        .scheme(scheme)
+        .seed(seed);
+    let b = if wind {
+        b.supply(Supply::hybrid_farm(
+            &WindFarm::default(),
+            SimDuration::from_hours(48),
+            FLEET as f64 / 4800.0,
+            seed,
+        ))
+    } else {
+        b
+    };
+    b.build().run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every job completes; energy and usage accounting stay physical.
+    #[test]
+    fn simulation_invariants(
+        specs in proptest::collection::vec(job_strategy(), 1..25),
+        wind in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        for scheme in [Scheme::BinRan, Scheme::ScanEffi, Scheme::ScanFair] {
+            let r = run(&specs, scheme, wind, seed);
+            // Completeness.
+            prop_assert_eq!(r.jobs, specs.len());
+            prop_assert!(r.deadline_misses <= r.jobs);
+            // Energy is non-negative and split consistently.
+            prop_assert!(r.utility_kwh() >= 0.0 && r.wind_kwh() >= 0.0);
+            if !wind {
+                prop_assert!(r.wind_kwh() == 0.0);
+            }
+            let expected_cost = r.wind_kwh() * r.prices.wind_usd_per_kwh
+                + r.utility_kwh() * r.prices.utility_usd_per_kwh;
+            prop_assert!((r.total_cost_usd() - expected_cost).abs() < 1e-9);
+            // Usage covers at least the nominal work (DVFS only stretches).
+            let w = build_workload(&specs);
+            let nominal_h = w.total_core_seconds() / 3600.0;
+            let usage_h: f64 = r.usage_hours.iter().sum();
+            prop_assert!(
+                usage_h >= nominal_h * 0.999,
+                "usage {usage_h} below nominal {nominal_h}"
+            );
+            // Makespan bounds every job's span.
+            let last_submit = w.last_submit();
+            prop_assert!(r.makespan >= last_submit);
+        }
+    }
+
+    /// Determinism across repeated runs for arbitrary inputs.
+    #[test]
+    fn simulation_is_deterministic(
+        specs in proptest::collection::vec(job_strategy(), 1..15),
+        seed in 0u64..1000,
+    ) {
+        let a = run(&specs, Scheme::ScanFair, true, seed);
+        let b = run(&specs, Scheme::ScanFair, true, seed);
+        prop_assert_eq!(a.ledger, b.ledger);
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.deadline_misses, b.deadline_misses);
+    }
+
+    /// Jobs with generous deadlines on an idle fleet never miss.
+    #[test]
+    fn generous_deadlines_never_miss_when_load_is_light(
+        mut specs in proptest::collection::vec(job_strategy(), 1..6),
+        seed in 0u64..1000,
+    ) {
+        for (i, s) in specs.iter_mut().enumerate() {
+            s.factor_tenths = 300; // 30x slack
+            s.cpus = s.cpus.min(4);
+            s.submit_s = i as u64 * 10_000; // arrivals far apart
+        }
+        let r = run(&specs, Scheme::ScanFair, false, seed);
+        prop_assert_eq!(r.deadline_misses, 0, "misses on a trivially light load");
+    }
+}

@@ -1,0 +1,65 @@
+//! End-to-end path from a real SWF file on disk into a simulation run —
+//! the drop-in-a-PWA-trace workflow the workload crate promises.
+
+use iscope::prelude::*;
+use iscope_sched::Scheme;
+use iscope_workload::{parse_swf, raw_jobs_from_swf, Shaper};
+
+fn sample_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../data/llnl_thunder_sample.swf")
+}
+
+#[test]
+fn committed_sample_parses_cleanly() {
+    let text = std::fs::read_to_string(sample_path()).expect("sample file present");
+    let records = parse_swf(&text).expect("valid SWF");
+    assert_eq!(records.len(), 300);
+    assert!(records.iter().all(|r| r.is_usable()));
+    let raw = raw_jobs_from_swf(&records);
+    assert_eq!(raw.len(), 300);
+    assert_eq!(raw[0].submit, SimTime::ZERO, "rebased to origin");
+    assert!(raw.windows(2).all(|w| w[0].submit <= w[1].submit));
+}
+
+#[test]
+fn swf_file_drives_a_full_simulation() {
+    let text = std::fs::read_to_string(sample_path()).expect("sample file present");
+    let raw = raw_jobs_from_swf(&parse_swf(&text).expect("valid SWF"));
+    let workload = Shaper::default().with_hu_fraction(0.25).shape(&raw, 7);
+    let report = GreenDatacenterSim::builder()
+        .fleet_size(256) // 2x the widest job, like the paper's 4800 CPUs over a 4096-proc trace
+        .workload(workload)
+        .scheme(Scheme::ScanFair)
+        .seed(7)
+        .build()
+        .run();
+    assert_eq!(report.jobs, 300);
+    assert!(report.utility_kwh() > 0.0);
+    assert!(
+        report.miss_rate() < 0.15,
+        "sample trace should run comfortably, missed {:.1} %",
+        100.0 * report.miss_rate()
+    );
+}
+
+#[test]
+fn swf_and_synthetic_paths_agree_statistically() {
+    // The committed sample was generated from the same synthetic model:
+    // job counts, size mix and total work should be in the same ballpark
+    // as a fresh generation with the same parameters.
+    let text = std::fs::read_to_string(sample_path()).expect("sample file present");
+    let raw = raw_jobs_from_swf(&parse_swf(&text).expect("valid SWF"));
+    let fresh = SyntheticTrace {
+        num_jobs: 300,
+        ..SyntheticTrace::default()
+    }
+    .generate(99);
+    let work = |jobs: &[iscope_workload::RawJob]| -> f64 {
+        jobs.iter()
+            .map(|j| j.cpus as f64 * j.runtime.as_secs_f64())
+            .sum()
+    };
+    let (a, b) = (work(&raw), work(&fresh));
+    let ratio = a / b;
+    assert!((0.4..2.5).contains(&ratio), "total work ratio {ratio:.2}");
+}
