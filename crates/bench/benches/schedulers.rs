@@ -5,7 +5,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use iscope_dcsim::{SimDuration, SimRng, SimTime};
 use iscope_pvmodel::{Binning, CpuBoundness, DvfsConfig, Fleet, OperatingPlan, VariationParams};
 use iscope_scanner::{Scanner, ScannerConfig};
-use iscope_sched::{EfficiencyPlacement, FairPlacement, Placement, ProcView, RandomPlacement};
+use iscope_sched::{
+    EfficiencyPlacement, FairPlacement, PlaceScratch, Placement, ProcView, RandomPlacement,
+};
 use iscope_workload::{Job, JobId, Urgency};
 use std::hint::black_box;
 
@@ -43,6 +45,7 @@ fn bench_placement(c: &mut Criterion) {
         let usage: Vec<SimDuration> = (0..n)
             .map(|_| SimDuration::from_secs(rng.index(36_000) as u64))
             .collect();
+        let scratch = PlaceScratch::default();
         let policies: [(&str, &dyn Placement); 3] = [
             ("Ran", &RandomPlacement),
             ("Effi", &EfficiencyPlacement),
@@ -60,6 +63,7 @@ fn bench_placement(c: &mut Criterion) {
                         plan: &plan,
                         dvfs: &f.dvfs,
                         blocked: &[],
+                        scratch: &scratch,
                     };
                     black_box(policy.place(&j, &view, true, &mut rng))
                 })

@@ -42,6 +42,7 @@ pub struct GreenDatacenterSim {
     in_situ: Option<InSituConfig>,
     surplus_signal: SurplusSignal,
     per_core_domains: bool,
+    force_replay_avail: bool,
 }
 
 impl GreenDatacenterSim {
@@ -69,6 +70,7 @@ impl GreenDatacenterSim {
             in_situ: None,
             surplus_signal: SurplusSignal::default(),
             per_core_domains: false,
+            force_replay_avail: false,
         }
     }
 
@@ -182,6 +184,16 @@ impl GreenDatacenterSim {
         self
     }
 
+    /// Testing knob: derive chip availability by replaying the queues on
+    /// every placement (the pre-incremental hot path) instead of
+    /// maintaining it incrementally. Runs must be identical either way;
+    /// the equivalence suite flips this to prove it. Not useful outside
+    /// tests — it only makes placements slower.
+    pub fn force_replay_avail(mut self, on: bool) -> Self {
+        self.force_replay_avail = on;
+        self
+    }
+
     /// Enables in-situ opportunistic profiling: the fleet starts on its
     /// factory-bin plan and upgrades chip by chip as the scanner completes
     /// (§III.C / Fig. 3). Pair with a `Scan*` scheme: the scheme's
@@ -257,6 +269,7 @@ impl GreenDatacenterSim {
                 deferral: self.deferral,
                 in_situ: self.in_situ,
                 surplus_signal: self.surplus_signal,
+                force_replay_avail: self.force_replay_avail,
             },
         }
     }
@@ -271,6 +284,12 @@ impl SimRun {
     /// Runs the simulation to completion.
     pub fn run(self) -> RunReport {
         run_simulation(self.input)
+    }
+
+    /// Runs the simulation and also returns runtime counters (events,
+    /// placements, wall-clock) for the performance harness.
+    pub fn run_instrumented(self) -> (RunReport, crate::simulation::RunStats) {
+        crate::simulation::run_simulation_instrumented(self.input)
     }
 
     /// The assembled fleet (for inspection before running).

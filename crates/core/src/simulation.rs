@@ -59,6 +59,11 @@ pub struct SimInput {
     pub in_situ: Option<InSituConfig>,
     /// How ScanFair decides whether wind is in surplus at placement time.
     pub surplus_signal: SurplusSignal,
+    /// Testing knob: always derive chip availability by replaying the
+    /// queues (the pre-incremental hot path) instead of maintaining it
+    /// incrementally. The two must produce identical runs; the
+    /// equivalence suite flips this to prove it.
+    pub force_replay_avail: bool,
 }
 
 /// ScanFair's wind-surplus detector.
@@ -171,6 +176,19 @@ struct JobState {
     last_progress: SimTime,
     started_at: SimTime,
     gen: u64,
+    /// Absolute time of the live `Completion` event (valid while
+    /// running): the exact instant the job will finish unless a DVFS
+    /// change reschedules it. Availability projections anchor on this
+    /// instead of re-deriving it from floats, so they match the event
+    /// the engine will actually fire.
+    sched_end: SimTime,
+    /// Facility power (W) of this job at each frequency level under the
+    /// current plan (valid while running). A job's chip set is fixed at
+    /// placement, so the row only changes when an in-situ scan upgrades
+    /// the plan; caching it keeps `true_power`'s per-chip evaluation off
+    /// the per-event demand path. Entries are exactly `job_power` values,
+    /// so sums over them stay bit-identical to recomputing.
+    power_at: Vec<f64>,
 }
 
 struct Sim {
@@ -196,6 +214,25 @@ struct Sim {
     deferred: Vec<usize>,
     in_situ: Option<InSituState>,
     surplus_signal: SurplusSignal,
+    /// Placement decisions taken (one per job, counting deferred jobs
+    /// once, when finally placed). Reported through [`RunStats`].
+    placements: u64,
+    /// Incrementally maintained per-chip availability: `avail[c]` is the
+    /// absolute time chip `c` drains its queue under current knowledge
+    /// (running jobs end at their scheduled completion, queued gangs at
+    /// f_max behind them). Values may fall behind `now` for idle chips;
+    /// the placement view clamps them. Invalidated by DVFS level changes
+    /// (`avail_dirty`) and rebuilt by replay on the next placement.
+    avail: Vec<SimTime>,
+    /// Set when a DVFS level change moved running jobs' completions, so
+    /// every downstream projection in `avail` is stale.
+    avail_dirty: bool,
+    /// Clamped copy of `avail` handed to the placement policy.
+    avail_scratch: Vec<SimTime>,
+    /// Reusable candidate buffers for the placement policies.
+    place_scratch: iscope_sched::PlaceScratch,
+    /// Testing knob mirrored from [`SimInput::force_replay_avail`].
+    force_replay_avail: bool,
 }
 
 struct InSituState {
@@ -238,6 +275,8 @@ impl Sim {
                 last_progress: j.submit,
                 started_at: SimTime::ZERO,
                 gen: 0,
+                sched_end: SimTime::ZERO,
+                power_at: Vec::new(),
             })
             .collect();
         let sim = Sim {
@@ -257,6 +296,12 @@ impl Sim {
             deferral: input.deferral,
             deferred: Vec::new(),
             surplus_signal: input.surplus_signal,
+            placements: 0,
+            avail: vec![SimTime::ZERO; n],
+            avail_dirty: false,
+            avail_scratch: Vec::with_capacity(n),
+            place_scratch: iscope_sched::PlaceScratch::default(),
+            force_replay_avail: input.force_replay_avail,
             in_situ: input.in_situ.map(|config| {
                 let grid = VoltageGrid::from_dvfs(
                     &input.fleet.dvfs,
@@ -315,7 +360,7 @@ impl Sim {
         let mut demand: f64 = self
             .running
             .iter()
-            .map(|&i| self.job_power(&self.jobs[i], self.jobs[i].level))
+            .map(|&i| self.jobs[i].power_at[self.jobs[i].level.0 as usize])
             .sum();
         if let Some(insitu) = &self.in_situ {
             demand += insitu.profiling_power_w;
@@ -352,8 +397,9 @@ impl Sim {
         let f = self.fleet.dvfs.freq_ghz(js.level);
         let rate = speed_factor(js.job.gamma, f, self.fleet.dvfs.f_max());
         let dur = SimDuration::from_secs_f64(js.remaining_nominal_s / rate);
+        js.sched_end = now + dur;
         ctx.schedule(
-            now + dur,
+            js.sched_end,
             Ev::Completion {
                 job: idx,
                 gen: js.gen,
@@ -459,6 +505,20 @@ impl Sim {
             })
             .collect();
         self.plan.update_chip(chip_id, voltages, est);
+        // The plan changed under the running jobs: refresh every cached
+        // power row. Rows for jobs not touching this chip come out
+        // bit-identical (same inputs), so refreshing all is safe and this
+        // event is rare (once per chip per run).
+        for k in 0..self.running.len() {
+            let idx = self.running[k];
+            let row: Vec<f64> = self
+                .fleet
+                .dvfs
+                .levels()
+                .map(|l| self.job_power(&self.jobs[idx], l))
+                .collect();
+            self.jobs[idx].power_at = row;
+        }
     }
 
     /// Chips the in-situ scanner has upgraded so far.
@@ -516,12 +576,10 @@ impl Sim {
         }
         let js = &self.jobs[idx];
         // Estimate the job's draw from the scheduler-visible mean busy
-        // power (the exact chips are not chosen yet).
-        let top = self.fleet.dvfs.max_level();
-        let mean_est: f64 = (0..self.fleet.len() as u32)
-            .map(|i| self.plan.estimated_power(ChipId(i), top))
-            .sum::<f64>()
-            / self.fleet.len() as f64;
+        // power (the exact chips are not chosen yet). The fleet sum is
+        // cached on the plan (bit-identical to summing here) so this
+        // check is O(1) per arrival instead of O(chips).
+        let mean_est: f64 = self.plan.estimated_power_top_sum() / self.fleet.len() as f64;
         let job_w = self.cooling.facility_power(mean_est * js.job.cpus as f64);
         let wind = match self.surplus_signal {
             SurplusSignal::Instantaneous => self.supply.wind_power_at(now),
@@ -535,22 +593,23 @@ impl Sim {
         wind > self.current_demand_w + job_w
     }
 
-    /// Projects when each chip frees up, replaying the current queues:
-    /// running jobs complete at their *current* DVFS level, queued gang
-    /// jobs start when all their chips are free (stagger included) and run
-    /// at f_max. This keeps placement honest when DVFS has slowed the
-    /// fleet down — a stale estimate here accepts doomed placements.
-    fn projected_avail(&self, now: SimTime) -> Vec<SimTime> {
+    /// Projects when each chip frees up by replaying the current queues:
+    /// running jobs complete at their scheduled completion instant (which
+    /// already reflects their *current* DVFS level), queued gang jobs
+    /// start when all their chips are free (stagger included) and run at
+    /// f_max. This keeps placement honest when DVFS has slowed the fleet
+    /// down — a stale estimate here accepts doomed placements.
+    ///
+    /// This is the ground truth the incrementally maintained `self.avail`
+    /// must agree with; it runs on the hot path only when that state is
+    /// dirty (after a DVFS level change), under deferral (which places
+    /// jobs out of arrival order), or when `force_replay_avail` is set.
+    fn projected_avail_replay(&self, now: SimTime) -> Vec<SimTime> {
         let mut avail = vec![now; self.fleet.len()];
         for &i in &self.running {
             let js = &self.jobs[i];
-            let dt = now.saturating_since(js.last_progress).as_secs_f64();
-            let f = self.fleet.dvfs.freq_ghz(js.level);
-            let rate = speed_factor(js.job.gamma, f, self.fleet.dvfs.f_max());
-            let remaining = (js.remaining_nominal_s - dt * rate).max(0.0);
-            let end = now + SimDuration::from_secs_f64(remaining / rate);
             for &c in &js.chips {
-                avail[c.0 as usize] = avail[c.0 as usize].max(end);
+                avail[c.0 as usize] = avail[c.0 as usize].max(js.sched_end);
             }
         }
         // Waiting jobs in placement (= arrival) order: queue order on every
@@ -579,24 +638,67 @@ impl Sim {
         avail
     }
 
+    /// Whether `self.avail` can be maintained incrementally. Deferral
+    /// releases jobs out of arrival order, which breaks the replay's
+    /// one-pass assumption the cross-check relies on, so deferral runs
+    /// always replay (as they always have).
+    fn avail_incremental(&self) -> bool {
+        self.deferral.is_none() && !self.force_replay_avail
+    }
+
+    /// Refreshes the per-chip availability projection into
+    /// `self.avail_scratch`, clamped to `now` (idle chips' stored drain
+    /// times may be in the past). On the incremental path this is a copy;
+    /// a full queue replay happens only when the state is dirty.
+    fn refresh_avail(&mut self, now: SimTime) {
+        if !self.avail_incremental() {
+            self.avail = self.projected_avail_replay(now);
+        } else if self.avail_dirty {
+            self.avail = self.projected_avail_replay(now);
+            self.avail_dirty = false;
+        }
+        self.avail_scratch.clear();
+        self.avail_scratch
+            .extend(self.avail.iter().map(|&t| t.max(now)));
+        #[cfg(debug_assertions)]
+        if self.avail_incremental() {
+            let replay = self.projected_avail_replay(now);
+            debug_assert_eq!(
+                self.avail_scratch, replay,
+                "incremental availability diverged from queue replay"
+            );
+        }
+    }
+
     /// Places a newly arrived job on processors and enqueues it.
     fn place_job(&mut self, idx: usize, now: SimTime) {
+        self.placements += 1;
         let surplus = self.wind_surplus(now, idx);
-        let avail = self.projected_avail(now);
+        self.refresh_avail(now);
         let decision = {
             let view = ProcView {
                 now,
-                avail: &avail,
+                avail: &self.avail_scratch,
                 usage: &self.usage,
                 plan: &self.plan,
                 dvfs: &self.fleet.dvfs,
                 blocked: self.in_situ.as_ref().map_or(&[], |s| &s.blocked),
+                scratch: &self.place_scratch,
             };
             self.placement
                 .place(&self.jobs[idx].job, &view, surplus, &mut self.rng)
         };
         let chips = decision.chips().to_vec();
+        // Append the job to its chips' projections: it starts when the
+        // last of them drains and holds all of them for its f_max runtime
+        // — exactly what the replay would derive.
+        let start = chips
+            .iter()
+            .map(|&c| self.avail_scratch[c.0 as usize])
+            .fold(now, SimTime::max);
+        let end = start + self.jobs[idx].job.runtime_at_fmax;
         for &c in &chips {
+            self.avail[c.0 as usize] = end;
             self.queues[c.0 as usize].push_back(idx);
         }
         self.jobs[idx].chips = chips;
@@ -616,11 +718,20 @@ impl Sim {
             if !at_head {
                 continue;
             }
+            // The chip set is frozen now, so the per-level power row is
+            // too (until an in-situ upgrade rewrites the plan).
+            let row: Vec<f64> = self
+                .fleet
+                .dvfs
+                .levels()
+                .map(|l| self.job_power(&self.jobs[idx], l))
+                .collect();
             let js = &mut self.jobs[idx];
             js.phase = Phase::Running;
             js.level = self.fleet.dvfs.max_level();
             js.started_at = now;
             js.last_progress = now;
+            js.power_at = row;
             self.running.push(idx);
             self.schedule_completion(idx, now, ctx);
         }
@@ -646,23 +757,34 @@ impl Sim {
     /// or queued behind one) would face a deadline violation.
     fn rebalance_global(&mut self, budget: f64, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
         let top = self.fleet.dvfs.max_level();
-        let demand_at = |sim: &Sim, level: FreqLevel| -> f64 {
-            sim.running
+        // Demand at any level is a sum over the cached per-job rows in
+        // `running` order — the same addends in the same order as
+        // recomputing through `job_power`, so runs stay bit-identical.
+        let demand_at = |level: FreqLevel| -> f64 {
+            self.running
                 .iter()
-                .map(|&i| sim.job_power(&sim.jobs[i], level))
+                .map(|&i| self.jobs[i].power_at[level.0 as usize])
                 .sum()
         };
+        let demand_top: f64 = demand_at(top);
         let mut level = top;
-        while demand_at(self, level) > budget && level > self.fleet.dvfs.min_level() {
-            let next = level.down();
-            let violates = self
+        if demand_top > budget && top > self.fleet.dvfs.min_level() {
+            // Descending: each job's deadline-feasibility floor is level-
+            // independent, so compute it once — re-deriving it per
+            // candidate level (as the descent used to) only re-walked
+            // queues for identical answers.
+            let floors: Vec<FreqLevel> = self
                 .running
                 .iter()
-                .any(|&i| next < self.min_feasible_level(i, now));
-            if violates {
-                break; // "stop lowering when some tasks face violation"
+                .map(|&i| self.min_feasible_level(i, now))
+                .collect();
+            while demand_at(level) > budget && level > self.fleet.dvfs.min_level() {
+                let next = level.down();
+                if floors.iter().any(|&floor| next < floor) {
+                    break; // "stop lowering when some tasks face violation"
+                }
+                level = next;
             }
-            level = next;
         }
         let to_change: Vec<usize> = self
             .running
@@ -670,6 +792,11 @@ impl Sim {
             .copied()
             .filter(|&i| self.jobs[i].level != level)
             .collect();
+        if !to_change.is_empty() {
+            // Completions moved: every queued start projected behind them
+            // is stale. Rebuilt by replay on the next placement.
+            self.avail_dirty = true;
+        }
         for idx in to_change {
             self.advance_progress(idx, now);
             self.jobs[idx].level = level;
@@ -685,21 +812,18 @@ impl Sim {
             .iter()
             .map(|&i| {
                 let js = &self.jobs[i];
-                let power_at: Vec<f64> = self
-                    .fleet
-                    .dvfs
-                    .levels()
-                    .map(|l| self.job_power(js, l))
-                    .collect();
                 DvfsCandidate {
                     key: i,
                     level: js.level,
                     min_level: self.min_feasible_level(i, now),
-                    power_at,
+                    power_at: js.power_at.clone(),
                 }
             })
             .collect();
         let outcome = match_budget(&mut cands, budget, 0.0, top);
+        if !outcome.changes.is_empty() {
+            self.avail_dirty = true;
+        }
         for (idx, new_level) in outcome.changes {
             self.advance_progress(idx, now);
             self.jobs[idx].level = new_level;
@@ -830,8 +954,41 @@ impl Model<Ev> for Sim {
     }
 }
 
+/// Runtime counters of one simulation run, for the performance
+/// harness (`iscope-exp bench-report`, `BENCH_sim.json`).
+#[derive(Debug, Clone, Copy)]
+pub struct RunStats {
+    /// Events processed by the discrete-event engine.
+    pub events: u64,
+    /// Placement decisions taken (deferred jobs count once, on release).
+    pub placements: u64,
+    /// Wall-clock time of the run.
+    pub wall: std::time::Duration,
+}
+
+impl RunStats {
+    /// Events processed per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+
+    /// Mean wall-clock nanoseconds per placement decision. This charges
+    /// the whole run to placements, so it is an upper bound on the
+    /// placement hot path itself — useful as a trend metric, not a
+    /// microbenchmark.
+    pub fn ns_per_placement(&self) -> f64 {
+        self.wall.as_nanos() as f64 / self.placements.max(1) as f64
+    }
+}
+
 /// Runs one simulation to completion and returns the report.
 pub fn run_simulation(input: SimInput) -> RunReport {
+    run_simulation_instrumented(input).0
+}
+
+/// [`run_simulation`] plus runtime counters for the performance harness.
+pub fn run_simulation_instrumented(input: SimInput) -> (RunReport, RunStats) {
+    let start = std::time::Instant::now();
     let scheme = input.scheme_name.clone();
     let prices = input.supply.prices;
     let has_wind = input.supply.has_wind();
@@ -877,7 +1034,7 @@ pub fn run_simulation(input: SimInput) -> RunReport {
         profiling_energy_kwh: s.profiling_energy_note_j / 3.6e6,
         tests_run: s.records.tests_run(),
     });
-    RunReport {
+    let report = RunReport {
         scheme,
         ledger: sim.ledger,
         prices,
@@ -887,7 +1044,13 @@ pub fn run_simulation(input: SimInput) -> RunReport {
         usage_hours: sim.usage.iter().map(|u| u.as_hours_f64()).collect(),
         power_series,
         profiling,
-    }
+    };
+    let stats = RunStats {
+        events: engine.steps(),
+        placements: sim.placements,
+        wall: start.elapsed(),
+    };
+    (report, stats)
 }
 
 #[cfg(test)]

@@ -1,0 +1,178 @@
+//! `iscope-exp bench-report` — end-to-end scheduler performance numbers.
+//!
+//! Runs the headline benchmark (the paper's 4800-processor fleet under a
+//! day of ScanFair submissions) plus one figure-scale run (the default
+//! 240-CPU experiment cell) and writes `BENCH_sim.json` with wall-clock,
+//! events/second and ns/placement, next to the recorded baseline that was
+//! measured before the incremental scheduler state landed.
+//!
+//! The JSON is rendered by hand because the vendored `serde_json`
+//! stand-in cannot serialize real values (see `vendor/README.md`).
+
+use crate::common::{ExpConfig, ExpScale};
+use iscope::prelude::*;
+use iscope::RunStats;
+use iscope_sched::Scheme;
+
+/// One benchmark measurement, normalized from [`RunStats`].
+#[derive(Debug, Clone, Copy)]
+pub struct BenchNumbers {
+    /// Wall-clock seconds of the run.
+    pub wall_s: f64,
+    /// Engine events processed.
+    pub events: u64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Placement decisions taken.
+    pub placements: u64,
+    /// Wall-clock nanoseconds charged per placement (whole-run upper
+    /// bound, not a microbenchmark).
+    pub ns_per_placement: f64,
+}
+
+impl From<RunStats> for BenchNumbers {
+    fn from(s: RunStats) -> Self {
+        BenchNumbers {
+            wall_s: s.wall.as_secs_f64(),
+            events: s.events,
+            events_per_sec: s.events_per_sec(),
+            placements: s.placements,
+            ns_per_placement: s.ns_per_placement(),
+        }
+    }
+}
+
+/// The headline baseline, measured on the replay-based scheduler state
+/// (before incremental availability / cached surplus / partial-selection
+/// placement landed), same scenario and seed, release build. Re-measure
+/// by checking out the commit before the incremental-state change and
+/// running `iscope-exp bench-report`.
+pub const BASELINE_HEADLINE: Option<BenchNumbers> = Some(BenchNumbers {
+    wall_s: 10.034,
+    events: 40_291,
+    events_per_sec: 4_015.6,
+    placements: 20_000,
+    ns_per_placement: 501_683.7,
+});
+
+/// Figure-scale baseline companion to [`BASELINE_HEADLINE`].
+pub const BASELINE_FIGURE: Option<BenchNumbers> = Some(BenchNumbers {
+    wall_s: 0.012,
+    events: 2_688,
+    events_per_sec: 228_281.1,
+    placements: 1_000,
+    ns_per_placement: 11_775.0,
+});
+
+/// The full bench-report payload.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// 4800-processor, day-long ScanFair run.
+    pub headline: BenchNumbers,
+    /// Default experiment cell (240 CPUs), as regenerated per figure.
+    pub figure_scale: BenchNumbers,
+    /// One-line summary of the headline run's simulation outcome, so a
+    /// perf regression that changes behaviour is visible in the report.
+    pub headline_outcome: String,
+}
+
+/// The headline scenario: the paper's 4800-CPU testbed under one day of
+/// diurnal submissions, ScanFair placement, standard wind power.
+pub fn headline_sim() -> GreenDatacenterSim {
+    let jobs = 20_000;
+    GreenDatacenterSim::builder()
+        .fleet_size(4800)
+        .synthetic_trace(SyntheticTrace {
+            num_jobs: jobs,
+            max_cpus: 512,
+            ..SyntheticTrace::default() // one day of submissions
+        })
+        .scheme(Scheme::ScanFair)
+        .supply(Supply::hybrid_farm(
+            &WindFarm::default(),
+            SimDuration::from_hours(48),
+            1.0,
+            42,
+        ))
+        .seed(42)
+}
+
+/// Runs both benchmark scenarios.
+pub fn run() -> BenchReport {
+    let (report, stats) = headline_sim().build().run_instrumented();
+    let cfg = ExpConfig::new(ExpScale::Default);
+    let (_, fig_stats) = cfg
+        .sim(Scheme::ScanFair)
+        .supply(cfg.wind_supply(1.0))
+        .build()
+        .run_instrumented();
+    BenchReport {
+        headline: stats.into(),
+        figure_scale: fig_stats.into(),
+        headline_outcome: report.summary(),
+    }
+}
+
+fn numbers_json(n: &BenchNumbers, indent: &str) -> String {
+    format!(
+        "{{\n{i}  \"wall_s\": {:.3},\n{i}  \"events\": {},\n{i}  \"events_per_sec\": {:.1},\n\
+         {i}  \"placements\": {},\n{i}  \"ns_per_placement\": {:.1}\n{i}}}",
+        n.wall_s,
+        n.events,
+        n.events_per_sec,
+        n.placements,
+        n.ns_per_placement,
+        i = indent,
+    )
+}
+
+impl BenchReport {
+    /// Renders the report (current numbers plus the recorded baseline)
+    /// as the `BENCH_sim.json` document.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(
+            "  \"id\": \"bench_sim\",\n  \"scenario\": {\n    \"headline\": \"4800 procs, \
+             20000 jobs over 24 h (max 512-wide), ScanFair, hybrid wind x1.0, seed 42\",\n    \
+             \"figure_scale\": \"240 procs, 1000 jobs, ScanFair, hybrid wind x1.0, seed 42\"\n  },\n",
+        );
+        out.push_str(&format!(
+            "  \"headline\": {},\n",
+            numbers_json(&self.headline, "  ")
+        ));
+        out.push_str(&format!(
+            "  \"figure_scale\": {},\n",
+            numbers_json(&self.figure_scale, "  ")
+        ));
+        match (BASELINE_HEADLINE, BASELINE_FIGURE) {
+            (Some(bh), Some(bf)) => {
+                out.push_str(&format!(
+                    "  \"baseline_headline\": {},\n",
+                    numbers_json(&bh, "  ")
+                ));
+                out.push_str(&format!(
+                    "  \"baseline_figure_scale\": {},\n",
+                    numbers_json(&bf, "  ")
+                ));
+                out.push_str(&format!(
+                    "  \"headline_speedup_wall\": {:.2},\n",
+                    bh.wall_s / self.headline.wall_s
+                ));
+            }
+            _ => out.push_str("  \"baseline_headline\": null,\n"),
+        }
+        out.push_str(&format!(
+            "  \"headline_outcome\": \"{}\"\n}}\n",
+            self.headline_outcome.trim().replace('"', "'")
+        ));
+        out
+    }
+
+    /// Writes `BENCH_sim.json` into the current directory (the repo root
+    /// when run via `cargo run -p iscope-experiments`).
+    pub fn write(&self) -> std::io::Result<std::path::PathBuf> {
+        let path = std::path::PathBuf::from("BENCH_sim.json");
+        std::fs::write(&path, self.render_json())?;
+        Ok(path)
+    }
+}

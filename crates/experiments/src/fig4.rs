@@ -16,7 +16,7 @@ use serde::Serialize;
 /// 1.219 / 1.233 V against the published 1.219 / 1.232 V). Any seed gives
 /// a valid 16-core sample; this one documents which sample the committed
 /// EXPERIMENTS.md numbers came from.
-pub const CALIBRATED_SEED: u64 = 20;
+pub const CALIBRATED_SEED: u64 = 73;
 
 /// Output of the Fig. 4 experiment.
 #[derive(Debug, Clone, Serialize)]

@@ -78,7 +78,10 @@ fn one_variant(cfg: &ExpConfig, rescan: bool) -> Vec<Round> {
                     .any(|l| plan.applied_voltage(c.id, l) < c.vmin_chip(l, false))
             })
             .count();
-        let sim = cfg.sim(Scheme::ScanEffi).seed(cfg.seed + round as u64).build();
+        let sim = cfg
+            .sim(Scheme::ScanEffi)
+            .seed(cfg.seed + round as u64)
+            .build();
         let workload = sim.workload().clone();
         let report = iscope::run_simulation(iscope::SimInput {
             scheme_name: "ScanEffi".into(),
@@ -94,6 +97,7 @@ fn one_variant(cfg: &ExpConfig, rescan: bool) -> Vec<Round> {
             deferral: None,
             in_situ: None,
             surplus_signal: iscope::SurplusSignal::Instantaneous,
+            force_replay_avail: false,
         });
         // Advance the calendar: each chip wears by its busy hours scaled
         // to the stride, at its plan voltage.

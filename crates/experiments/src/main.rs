@@ -7,12 +7,13 @@
 
 use iscope_experiments::common::{write_json, ExpConfig, ExpScale};
 use iscope_experiments::{
-    ablations, fig10, fig4, fig5, fig6, fig7, fig8, fig9, insitu, lifetime, sensitivity, tables,
+    ablations, bench_report, fig10, fig4, fig5, fig6, fig7, fig8, fig9, insitu, lifetime,
+    sensitivity, tables,
 };
 
 const USAGE: &str = "usage: iscope-exp <experiment> [--fast|--paper]\n\
 experiments: table1 table2 fig4 fig5 fig6 fig7 fig8 fig9 fig10 overhead \
-insitu ablations sensitivity lifetime workload all (default: all)\n\
+insitu ablations sensitivity lifetime workload bench-report all (default: all)\n\
 scales: default = 240 CPUs (1/20 of the paper); --fast = bench cell; \
 --paper = the full 4800-CPU testbed";
 
@@ -144,6 +145,25 @@ fn main() {
         println!("{}", o.render(c.fleet_size));
         report(write_json("overhead", &o));
     });
+    if which == "bench-report" {
+        // Not part of "all": the headline scenario is the full 4800-CPU
+        // testbed and dominates every figure's cost.
+        let b = bench_report::run();
+        println!("headline      {}", b.headline_outcome);
+        println!(
+            "headline      wall {:>8.2} s  {:>12.0} events/s  {:>10.0} ns/placement",
+            b.headline.wall_s, b.headline.events_per_sec, b.headline.ns_per_placement
+        );
+        println!(
+            "figure-scale  wall {:>8.2} s  {:>12.0} events/s  {:>10.0} ns/placement",
+            b.figure_scale.wall_s, b.figure_scale.events_per_sec, b.figure_scale.ns_per_placement
+        );
+        match b.write() {
+            Ok(p) => println!("[wrote {}]", p.display()),
+            Err(e) => eprintln!("[failed to write BENCH_sim.json: {e}]"),
+        }
+        ran += 1;
+    }
     if ran == 0 {
         eprintln!("unknown experiment '{which}'\n{USAGE}");
         std::process::exit(2);

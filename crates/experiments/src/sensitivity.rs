@@ -136,6 +136,7 @@ fn run_with_bins(cfg: &ExpConfig, bins: usize) -> iscope::RunReport {
         deferral: None,
         in_situ: None,
         surplus_signal: iscope::SurplusSignal::Instantaneous,
+        force_replay_avail: false,
     })
 }
 
@@ -192,7 +193,10 @@ mod tests {
                 "finer grid must not worsen the plan: {:?}",
                 s.by_grid
             );
-            assert!(w[1].tests_run > w[0].tests_run, "finer grid must probe more");
+            assert!(
+                w[1].tests_run > w[0].tests_run,
+                "finer grid must probe more"
+            );
         }
     }
 }

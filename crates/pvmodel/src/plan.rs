@@ -40,6 +40,13 @@ pub struct OperatingPlan {
     /// `per_core[chip][core][level]`: per-core supplies when the plan uses
     /// per-core voltage domains; `None` for chip-wide supplies.
     per_core: Option<Vec<Vec<Vec<f64>>>>,
+    /// Fleet-wide sum of `est_power[chip][top]` in chip-index order,
+    /// cached at construction so the scheduler's surplus test does not
+    /// re-sum the fleet on every arrival. Kept in sync by
+    /// [`OperatingPlan::update_chip`] (the only post-construction
+    /// mutation), and always recomputed as the full index-order sum so
+    /// the value is bit-identical to the naive loop.
+    est_power_top_sum: f64,
 }
 
 impl OperatingPlan {
@@ -189,11 +196,13 @@ impl OperatingPlan {
                 .expect("estimates are finite")
                 .then(a.cmp(b))
         });
+        let est_power_top_sum = est_power.iter().map(|row| row[top]).sum();
         OperatingPlan {
             voltages,
             est_power,
             ranking,
             per_core: None,
+            est_power_top_sum,
         }
     }
 
@@ -205,6 +214,13 @@ impl OperatingPlan {
     /// Scheduler-visible busy-power estimate (W) at `level`.
     pub fn estimated_power(&self, chip: ChipId, level: FreqLevel) -> f64 {
         self.est_power[chip.0 as usize][level.0 as usize]
+    }
+
+    /// Fleet-wide sum of the top-level busy-power estimates (W), equal to
+    /// summing [`OperatingPlan::estimated_power`] at the top level over
+    /// all chips in index order. Cached; O(1).
+    pub fn estimated_power_top_sum(&self) -> f64 {
+        self.est_power_top_sum
     }
 
     /// True power (W) the chip draws when busy at `level` under this plan.
@@ -246,6 +262,10 @@ impl OperatingPlan {
         self.voltages[chip.0 as usize] = voltages;
         self.est_power[chip.0 as usize] = est_power;
         let top = self.voltages[chip.0 as usize].len() - 1;
+        // Full index-order re-sum (not a delta fix-up): float addition is
+        // not associative, and the cache must stay bit-identical to the
+        // naive loop the scheduler used to run.
+        self.est_power_top_sum = self.est_power.iter().map(|row| row[top]).sum();
         self.ranking.sort_by(|a, b| {
             let pa = self.est_power[a.0 as usize][top];
             let pb = self.est_power[b.0 as usize][top];
@@ -384,6 +404,41 @@ mod tests {
                 assert!((est - truth).abs() < 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn top_sum_cache_matches_naive_sum_and_survives_updates() {
+        let f = fleet();
+        let binning = Binning::by_efficiency(&f, 3);
+        let mut plan = OperatingPlan::from_binning(&f, &binning);
+        let top = f.dvfs.max_level();
+        let naive = |p: &OperatingPlan| -> f64 {
+            (0..f.len() as u32)
+                .map(|i| p.estimated_power(ChipId(i), top))
+                .sum()
+        };
+        assert_eq!(
+            plan.estimated_power_top_sum().to_bits(),
+            naive(&plan).to_bits()
+        );
+        // Upgrade one chip the way in-situ profiling does and re-check
+        // bit-identity with the naive index-order loop.
+        let scan = OperatingPlan::oracle(&f);
+        let volts: Vec<f64> = f
+            .dvfs
+            .levels()
+            .map(|l| scan.applied_voltage(ChipId(7), l))
+            .collect();
+        let est: Vec<f64> = f
+            .dvfs
+            .levels()
+            .map(|l| scan.estimated_power(ChipId(7), l))
+            .collect();
+        plan.update_chip(ChipId(7), volts, est);
+        assert_eq!(
+            plan.estimated_power_top_sum().to_bits(),
+            naive(&plan).to_bits()
+        );
     }
 
     #[test]

@@ -22,4 +22,4 @@ pub use placement::{
     EfficiencyPlacement, FairPlacement, Placement, PlacementDecision, RandomPlacement,
 };
 pub use scheme::{Profiling, Scheme};
-pub use view::ProcView;
+pub use view::{PlaceScratch, ProcView, ScratchBufs};

@@ -79,21 +79,40 @@ impl Placement for RandomPlacement {
         rng: &mut SimRng,
     ) -> PlacementDecision {
         let n = job.cpus as usize;
-        assert!(
-            n <= view.available_count(),
-            "job wider than the in-service fleet"
-        );
-        for _ in 0..RANDOM_RETRIES {
-            let pick: Vec<ChipId> = rng
-                .sample_indices(view.len(), n)
-                .into_iter()
-                .map(|i| ChipId(i as u32))
-                .collect();
-            if pick.iter().any(|&c| view.is_blocked(c)) {
-                continue;
+        let in_service = view.available_count();
+        assert!(n <= in_service, "job wider than the in-service fleet");
+        // Sample from the unblocked index set: rejecting whole draws that
+        // touch a blocked chip wastes retries and, with enough chips out
+        // for in-situ profiling, spuriously falls back to best effort
+        // even though feasible sets exist. When nothing is blocked the
+        // draw stream is unchanged.
+        let all_in_service = in_service == view.len();
+        {
+            let mut bufs = view.scratch.borrow_mut();
+            let unblocked = &mut bufs.pool;
+            unblocked.clear();
+            if !all_in_service {
+                unblocked.extend(
+                    (0..view.len() as u32)
+                        .map(ChipId)
+                        .filter(|&c| !view.is_blocked(c)),
+                );
             }
-            if view.meets_deadline(job, &pick) {
-                return PlacementDecision::Feasible(pick);
+            for _ in 0..RANDOM_RETRIES {
+                let pick: Vec<ChipId> = if all_in_service {
+                    rng.sample_indices(view.len(), n)
+                        .into_iter()
+                        .map(|i| ChipId(i as u32))
+                        .collect()
+                } else {
+                    rng.sample_indices(unblocked.len(), n)
+                        .into_iter()
+                        .map(|i| unblocked[i])
+                        .collect()
+                };
+                if view.meets_deadline(job, &pick) {
+                    return PlacementDecision::Feasible(pick);
+                }
             }
         }
         best_effort(job, view)
@@ -138,9 +157,7 @@ impl Placement for FairPlacement {
         _rng: &mut SimRng,
     ) -> PlacementDecision {
         if wind_surplus {
-            let mut order: Vec<ChipId> = (0..view.len() as u32).map(ChipId).collect();
-            order.sort_by_key(|c| (view.usage[c.0 as usize], *c));
-            prefix_place(&order, job, view)
+            fair_surplus_place(job, view)
         } else {
             prefix_place(view.plan.ranking(), job, view)
         }
@@ -149,6 +166,56 @@ impl Placement for FairPlacement {
     fn name(&self) -> &'static str {
         "Fair"
     }
+}
+
+/// Merges two `(avail, id)`-sorted runs into `out` (cleared first). The
+/// key is strictly ordering (ids are unique), so the merge of sorted runs
+/// equals the full sort of their concatenation.
+fn merge_by_avail(a: &[ChipId], b: &[ChipId], out: &mut Vec<ChipId>, view: &ProcView<'_>) {
+    let key = |c: &ChipId| (view.avail[c.0 as usize], *c);
+    out.clear();
+    out.reserve(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if key(&a[i]) <= key(&b[j]) {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
+
+/// One doubling round shared by the prefix walkers: admits `slice` (the
+/// newly widened part of the preference order) into the `(avail, id)`-
+/// sorted candidate run `bufs.cand`, then checks whether the `n` earliest-
+/// available candidates form a feasible set. Carrying the surviving
+/// sorted candidates across rounds means each chip is sorted into the run
+/// once, instead of the whole prefix being re-sorted every round.
+fn admit_and_try(
+    slice: &[ChipId],
+    n: usize,
+    job: &Job,
+    view: &ProcView<'_>,
+    bufs: &mut crate::view::ScratchBufs,
+) -> Option<PlacementDecision> {
+    bufs.admit.clear();
+    bufs.admit
+        .extend(slice.iter().copied().filter(|&c| !view.is_blocked(c)));
+    bufs.admit
+        .sort_unstable_by_key(|c| (view.avail[c.0 as usize], *c));
+    merge_by_avail(&bufs.cand, &bufs.admit, &mut bufs.merged, view);
+    std::mem::swap(&mut bufs.cand, &mut bufs.merged);
+    if bufs.cand.len() >= n {
+        let head = &bufs.cand[..n];
+        if view.meets_deadline(job, head) {
+            return Some(PlacementDecision::Feasible(head.to_vec()));
+        }
+    }
+    None
 }
 
 /// Walks growing prefixes of `order`, choosing within each prefix the `n`
@@ -161,36 +228,89 @@ fn prefix_place(order: &[ChipId], job: &Job, view: &ProcView<'_>) -> PlacementDe
         n <= view.available_count(),
         "job wider than the in-service fleet"
     );
-    let mut k = n;
-    loop {
-        let k_now = k.min(order.len());
-        let mut prefix: Vec<ChipId> = order[..k_now]
-            .iter()
-            .copied()
-            .filter(|&c| !view.is_blocked(c))
-            .collect();
-        prefix.sort_by_key(|c| (view.avail[c.0 as usize], *c));
-        prefix.truncate(n);
-        if prefix.len() == n && view.meets_deadline(job, &prefix) {
-            return PlacementDecision::Feasible(prefix);
+    {
+        let mut bufs = view.scratch.borrow_mut();
+        bufs.cand.clear();
+        let mut taken = 0;
+        let mut k = n;
+        loop {
+            let k_now = k.min(order.len());
+            if let Some(d) = admit_and_try(&order[taken..k_now], n, job, view, &mut bufs) {
+                return d;
+            }
+            taken = k_now;
+            if k_now == order.len() {
+                break;
+            }
+            k = k_now.saturating_mul(2);
         }
-        if k_now == order.len() {
-            return best_effort(job, view);
-        }
-        k = k_now.saturating_mul(2);
     }
+    best_effort(job, view)
+}
+
+/// Fair's surplus mode: the same doubling walk, but over the least-used
+/// ordering, materialized lazily — each round selects the next block of
+/// `(usage, id)`-smallest chips with a partial `select_nth` instead of
+/// sorting the whole fleet up front.
+fn fair_surplus_place(job: &Job, view: &ProcView<'_>) -> PlacementDecision {
+    let n = job.cpus as usize;
+    assert!(
+        n <= view.available_count(),
+        "job wider than the in-service fleet"
+    );
+    {
+        let mut bufs = view.scratch.borrow_mut();
+        let mut pool = std::mem::take(&mut bufs.pool);
+        pool.clear();
+        pool.extend((0..view.len() as u32).map(ChipId));
+        bufs.cand.clear();
+        let usage_key = |c: &ChipId| (view.usage[c.0 as usize], *c);
+        // Invariant: pool[..sel] are the `sel` least-used chips, sorted.
+        let mut sel = 0;
+        let mut k = n;
+        loop {
+            let k_now = k.min(pool.len());
+            if k_now > sel {
+                if k_now < pool.len() {
+                    pool[sel..].select_nth_unstable_by_key(k_now - sel - 1, usage_key);
+                }
+                pool[sel..k_now].sort_unstable_by_key(usage_key);
+                let decision = admit_and_try(&pool[sel..k_now], n, job, view, &mut bufs);
+                sel = k_now;
+                if let Some(d) = decision {
+                    bufs.pool = pool;
+                    return d;
+                }
+            }
+            if k_now == pool.len() {
+                break;
+            }
+            k = k_now.saturating_mul(2);
+        }
+        bufs.pool = pool;
+    }
+    best_effort(job, view)
 }
 
 /// The `n` earliest-available processors overall (deadline already known
-/// to be missed).
+/// to be missed). Partial selection: only the kept prefix gets sorted.
 fn best_effort(job: &Job, view: &ProcView<'_>) -> PlacementDecision {
     let n = job.cpus as usize;
-    let mut all: Vec<ChipId> = (0..view.len() as u32)
-        .map(ChipId)
-        .filter(|&c| !view.is_blocked(c))
-        .collect();
-    all.sort_by_key(|c| (view.avail[c.0 as usize], *c));
+    let mut bufs = view.scratch.borrow_mut();
+    let all = &mut bufs.pool;
+    all.clear();
+    all.extend(
+        (0..view.len() as u32)
+            .map(ChipId)
+            .filter(|&c| !view.is_blocked(c)),
+    );
+    let key = |c: &ChipId| (view.avail[c.0 as usize], *c);
+    if n > 0 && all.len() > n {
+        all.select_nth_unstable_by_key(n - 1, key);
+    }
     all.truncate(n);
+    all.sort_unstable_by_key(key);
+    let all = all.clone();
     if view.meets_deadline(job, &all) {
         // Possible when retries were unlucky (Ran): the earliest set works.
         PlacementDecision::Feasible(all)
@@ -212,6 +332,7 @@ mod tests {
         avail: Vec<SimTime>,
         usage: Vec<SimDuration>,
         blocked: Vec<bool>,
+        scratch: crate::view::PlaceScratch,
     }
 
     impl Fixture {
@@ -227,6 +348,7 @@ mod tests {
                 avail: vec![SimTime::ZERO; n],
                 usage: vec![SimDuration::ZERO; n],
                 blocked: vec![false; n],
+                scratch: crate::view::PlaceScratch::default(),
                 fleet,
                 plan,
             }
@@ -240,6 +362,7 @@ mod tests {
                 plan: &self.plan,
                 dvfs: &self.fleet.dvfs,
                 blocked: &self.blocked,
+                scratch: &self.scratch,
             }
         }
     }

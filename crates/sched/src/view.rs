@@ -3,6 +3,39 @@
 use iscope_dcsim::{SimDuration, SimTime};
 use iscope_pvmodel::{ChipId, DvfsConfig, OperatingPlan};
 use iscope_workload::Job;
+use std::cell::RefCell;
+
+/// Reusable candidate buffers a placement policy borrows for the span of
+/// one decision, so the per-placement hot path allocates nothing once the
+/// buffers have grown to fleet size. The owner (one per simulation)
+/// threads a reference through every [`ProcView`]; policies take the
+/// single interior borrow via [`PlaceScratch::borrow_mut`].
+#[derive(Debug, Default)]
+pub struct PlaceScratch {
+    bufs: RefCell<ScratchBufs>,
+}
+
+/// The buffers themselves; fields are free for any use within one
+/// placement call, no content survives between calls.
+#[derive(Debug, Default)]
+pub struct ScratchBufs {
+    /// Candidate pool under (partial) preference ordering.
+    pub pool: Vec<ChipId>,
+    /// Surviving candidates, kept sorted by `(avail, id)`.
+    pub cand: Vec<ChipId>,
+    /// Newly admitted candidates being sorted before a merge.
+    pub admit: Vec<ChipId>,
+    /// Merge staging area.
+    pub merged: Vec<ChipId>,
+}
+
+impl PlaceScratch {
+    /// Borrows the buffers for one placement decision. Panics if the
+    /// buffers are already borrowed — policies must not nest decisions.
+    pub fn borrow_mut(&self) -> std::cell::RefMut<'_, ScratchBufs> {
+        self.bufs.borrow_mut()
+    }
+}
 
 /// Read-only snapshot handed to a placement policy.
 ///
@@ -23,6 +56,8 @@ pub struct ProcView<'a> {
     /// Chips currently out of service (e.g. isolated for in-situ
     /// profiling); empty slice means everything is in service.
     pub blocked: &'a [bool],
+    /// Reusable candidate buffers (see [`PlaceScratch`]).
+    pub scratch: &'a PlaceScratch,
 }
 
 impl ProcView<'_> {

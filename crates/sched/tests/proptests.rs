@@ -4,7 +4,9 @@
 
 use iscope_dcsim::{SimDuration, SimRng, SimTime};
 use iscope_pvmodel::{CpuBoundness, DvfsConfig, Fleet, OperatingPlan, VariationParams};
-use iscope_sched::{EfficiencyPlacement, FairPlacement, Placement, ProcView, RandomPlacement};
+use iscope_sched::{
+    EfficiencyPlacement, FairPlacement, PlaceScratch, Placement, ProcView, RandomPlacement,
+};
 use iscope_workload::{Job, JobId, Urgency};
 use proptest::prelude::*;
 
@@ -64,6 +66,42 @@ fn job(cpus: u32, runtime_s: u32, deadline_s: u32) -> Job {
     }
 }
 
+/// Heavy-blocking regression: with two thirds of the pool out of
+/// service, random placement must still find the feasible set that
+/// exists (the 8 idle unblocked chips) instead of exhausting its
+/// retries on blocked draws and degrading to an infeasible answer.
+#[test]
+fn random_placement_survives_heavy_blocking() {
+    let f = fleet();
+    let plan = OperatingPlan::oracle(&f);
+    let avail = vec![SimTime::ZERO; POOL];
+    let usage = vec![SimDuration::ZERO; POOL];
+    let blocked: Vec<bool> = (0..POOL).map(|i| i >= POOL / 3).collect();
+    let j = job(8, 100, 1_000_000);
+    let scratch = PlaceScratch::default();
+    let view = ProcView {
+        now: SimTime::ZERO,
+        avail: &avail,
+        usage: &usage,
+        plan: &plan,
+        dvfs: &f.dvfs,
+        blocked: &blocked,
+        scratch: &scratch,
+    };
+    for seed in 0..64 {
+        let mut rng = SimRng::new(seed);
+        let d = RandomPlacement.place(&j, &view, false, &mut rng);
+        assert!(
+            d.is_feasible(),
+            "seed {seed}: feasible set exists but was missed"
+        );
+        assert!(
+            d.chips().iter().all(|&c| !blocked[c.0 as usize]),
+            "seed {seed}: blocked chip chosen"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -83,6 +121,7 @@ proptest! {
         let avail: Vec<SimTime> = state.avail_s.iter().map(|&s| SimTime::from_secs(s as u64)).collect();
         let usage: Vec<SimDuration> = state.usage_s.iter().map(|&s| SimDuration::from_secs(s as u64)).collect();
         let j = job(cpus, runtime_s, deadline_s);
+        let scratch = PlaceScratch::default();
         let mut rng = SimRng::new(seed);
         for policy in [
             &RandomPlacement as &dyn Placement,
@@ -96,6 +135,7 @@ proptest! {
                 plan: &plan,
                 dvfs: &f.dvfs,
                 blocked: &state.blocked,
+                scratch: &scratch,
             };
             let d = policy.place(&j, &view, surplus, &mut rng);
             let chips = d.chips();
@@ -131,6 +171,7 @@ proptest! {
         let usage = vec![SimDuration::ZERO; POOL];
         let blocked = vec![false; POOL];
         let j = job(cpus, 100, 1_000_000);
+        let scratch = PlaceScratch::default();
         let mut rng = SimRng::new(seed);
         for policy in [
             &RandomPlacement as &dyn Placement,
@@ -144,6 +185,7 @@ proptest! {
                 plan: &plan,
                 dvfs: &f.dvfs,
                 blocked: &blocked,
+                scratch: &scratch,
             };
             let d = policy.place(&j, &view, surplus, &mut rng);
             prop_assert!(d.is_feasible(), "{}", policy.name());
@@ -162,6 +204,7 @@ proptest! {
         let avail: Vec<SimTime> = state.avail_s.iter().map(|&s| SimTime::from_secs(s as u64)).collect();
         let usage: Vec<SimDuration> = state.usage_s.iter().map(|&s| SimDuration::from_secs(s as u64)).collect();
         let j = job(cpus, 60, 50_000);
+        let scratch = PlaceScratch::default();
         let view = || ProcView {
             now: SimTime::ZERO,
             avail: &avail,
@@ -169,6 +212,7 @@ proptest! {
             plan: &plan,
             dvfs: &f.dvfs,
             blocked: &state.blocked,
+            scratch: &scratch,
         };
         let mut rng = SimRng::new(seed);
         let a = EfficiencyPlacement.place(&j, &view(), false, &mut rng);

@@ -1,0 +1,219 @@
+//! Incremental-vs-replay equivalence: the incrementally maintained
+//! per-chip availability (and every cache layered on it) must be
+//! *invisible* — a run with `force_replay_avail(true)` (the
+//! pre-incremental hot path, kept as ground truth) must be bit-identical
+//! to the default incremental run for every scheme, supply, and DVFS
+//! mode. In debug builds these runs also exercise the
+//! `debug_assertions` cross-check inside the simulator on every single
+//! placement, so each case here validates the invariant at every event
+//! interleaving the run produces.
+
+use iscope::prelude::*;
+use iscope::{DvfsMode, InSituConfig};
+use iscope_dcsim::{SimDuration, SimTime};
+use iscope_pvmodel::CpuBoundness;
+use iscope_sched::Scheme;
+use iscope_workload::{Job, JobId, Urgency, Workload};
+use proptest::prelude::*;
+
+const FLEET: usize = 24;
+
+fn builder(
+    scheme: Scheme,
+    wind: bool,
+    mode: DvfsMode,
+    in_situ: bool,
+    seed: u64,
+) -> GreenDatacenterSim {
+    let mut b = GreenDatacenterSim::builder()
+        .fleet_size(FLEET)
+        .synthetic_jobs(48)
+        .scheme(scheme)
+        .dvfs_mode(mode)
+        .seed(seed);
+    if wind {
+        b = b.supply(Supply::hybrid_farm(
+            &WindFarm::default(),
+            SimDuration::from_hours(48),
+            FLEET as f64 / 4800.0,
+            seed,
+        ));
+    }
+    if in_situ {
+        b = b.in_situ_profiling(InSituConfig::default());
+    }
+    b
+}
+
+fn assert_identical(a: &RunReport, b: &RunReport, what: &str) {
+    assert_eq!(a.ledger, b.ledger, "{what}: energy ledger diverged");
+    assert_eq!(a.makespan, b.makespan, "{what}: makespan diverged");
+    assert_eq!(
+        a.deadline_misses, b.deadline_misses,
+        "{what}: deadline misses diverged"
+    );
+    assert_eq!(a.usage_hours, b.usage_hours, "{what}: usage diverged");
+    assert_eq!(a.profiling, b.profiling, "{what}: profiling stats diverged");
+}
+
+/// Every scheme × supply × DVFS-mode × in-situ combination runs
+/// bit-identically with and without the incremental availability path.
+#[test]
+fn incremental_equals_replay_across_modes() {
+    for scheme in [Scheme::BinRan, Scheme::ScanEffi, Scheme::ScanFair] {
+        for wind in [false, true] {
+            for mode in [DvfsMode::GlobalLevel, DvfsMode::PerJobGreedy] {
+                for in_situ in [false, true] {
+                    let fast = builder(scheme, wind, mode, in_situ, 11).build().run();
+                    let replay = builder(scheme, wind, mode, in_situ, 11)
+                        .force_replay_avail(true)
+                        .build()
+                        .run();
+                    let what = format!("{scheme} wind={wind} {mode:?} in_situ={in_situ}");
+                    assert_identical(&fast, &replay, &what);
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RawSpec {
+    submit_s: u64,
+    cpus: u32,
+    runtime_s: u64,
+    factor_tenths: u64,
+    gamma_pct: u8,
+    high: bool,
+}
+
+fn job_strategy() -> impl Strategy<Value = RawSpec> {
+    (
+        0u64..20_000,
+        1u32..=8,
+        30u64..2000,
+        12u64..200,
+        30u8..=100,
+        any::<bool>(),
+    )
+        .prop_map(
+            |(submit_s, cpus, runtime_s, factor_tenths, gamma_pct, high)| RawSpec {
+                submit_s,
+                cpus,
+                runtime_s,
+                factor_tenths,
+                gamma_pct,
+                high,
+            },
+        )
+}
+
+fn build_workload(specs: &[RawSpec]) -> Workload {
+    let jobs = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let submit = SimTime::from_secs(s.submit_s);
+            let runtime = SimDuration::from_secs(s.runtime_s);
+            Job {
+                id: JobId(i as u32),
+                submit,
+                cpus: s.cpus,
+                runtime_at_fmax: runtime,
+                gamma: CpuBoundness::new(s.gamma_pct as f64 / 100.0),
+                deadline: submit + runtime.mul_f64(s.factor_tenths as f64 / 10.0),
+                urgency: if s.high { Urgency::High } else { Urgency::Low },
+            }
+        })
+        .collect();
+    Workload::new(jobs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary workloads produce arbitrary interleavings of
+    /// place/start/complete/rebalance events; the incremental run must
+    /// match the replay run bit for bit on all of them.
+    #[test]
+    fn arbitrary_interleavings_stay_equivalent(
+        specs in proptest::collection::vec(job_strategy(), 1..40),
+        seed in 0u64..1000,
+        wind in any::<bool>(),
+        scheme_pick in 0u8..3,
+    ) {
+        let scheme = [Scheme::BinRan, Scheme::ScanEffi, Scheme::ScanFair][scheme_pick as usize];
+        let workload = build_workload(&specs);
+        let mk = |replay: bool| {
+            let mut b = GreenDatacenterSim::builder()
+                .fleet_size(FLEET)
+                .workload(workload.clone())
+                .scheme(scheme)
+                .force_replay_avail(replay)
+                .seed(seed);
+            if wind {
+                b = b.supply(Supply::hybrid_farm(
+                    &WindFarm::default(),
+                    SimDuration::from_hours(48),
+                    FLEET as f64 / 4800.0,
+                    seed,
+                ));
+            }
+            b.build().run()
+        };
+        let fast = mk(false);
+        let slow = mk(true);
+        prop_assert_eq!(&fast.ledger, &slow.ledger);
+        prop_assert_eq!(fast.makespan, slow.makespan);
+        prop_assert_eq!(fast.deadline_misses, slow.deadline_misses);
+        prop_assert_eq!(&fast.usage_hours, &slow.usage_hours);
+    }
+}
+
+/// Regression for the blocked-chip sampling fix: `BinRan` keeps finding
+/// feasible placements while in-situ profiling blocks chips, instead of
+/// wasting its retry draws on out-of-service chips and falling through
+/// to infeasible best-effort sets. Deadlines are generous, so every
+/// placement a correct sampler makes is feasible — any miss means the
+/// sampler failed to find a set that existed.
+#[test]
+fn binran_with_blocked_chips_still_finds_feasible_sets() {
+    let trace = SyntheticTrace {
+        num_jobs: 60,
+        max_cpus: 6,
+        ..SyntheticTrace::default()
+    };
+    let raw = trace.generate(23);
+    // Stretch every deadline so feasible sets always exist even with
+    // 40 % of the fleet out of service for profiling.
+    let jobs: Vec<Job> = Shaper::default()
+        .shape(&raw, 23)
+        .jobs()
+        .iter()
+        .cloned()
+        .map(|mut j| {
+            j.deadline = j.submit + j.runtime_at_fmax.mul_f64(40.0);
+            j
+        })
+        .collect();
+    let report = GreenDatacenterSim::builder()
+        .fleet_size(FLEET)
+        .workload(Workload::new(jobs))
+        .scheme(Scheme::BinRan)
+        .in_situ_profiling(InSituConfig {
+            // Profile aggressively so blocking pressure stays high.
+            utilization_threshold: 1.0,
+            min_available_fraction: 0.6,
+            ..InSituConfig::default()
+        })
+        .seed(23)
+        .build()
+        .run();
+    assert_eq!(report.jobs, 60);
+    assert!(report.makespan > SimTime::ZERO, "no job ever completed");
+    assert_eq!(
+        report.deadline_misses, 0,
+        "BinRan missed generous deadlines under blocking — the sampler \
+         is not finding the feasible sets that exist"
+    );
+}

@@ -1,0 +1,249 @@
+//! Offline stand-in for `criterion`: same macro and builder surface,
+//! wall-clock means instead of full statistical analysis.
+//!
+//! Each benchmark is timed with `std::time::Instant` over a fixed number
+//! of samples (after a measured warm-up used to size iteration batches)
+//! and the per-iteration mean and min are printed. `--test` (as passed by
+//! `cargo bench -- --test`) runs every benchmark body once and skips
+//! measurement, matching upstream's smoke-test behavior. See
+//! `vendor/README.md` for what upstream functionality is out of scope.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// True when the binary was invoked in smoke-test mode
+/// (`cargo bench -- --test`).
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Benchmark identifier: function name plus optional parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new<S: Into<String>, P: fmt::Display>(name: S, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier carrying only a parameter (group name supplies context).
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Batch sizing hint for `iter_batched`; the stand-in times batches of
+/// one regardless.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_one(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Accepts both `&str` names and `BenchmarkId`s where upstream does.
+pub trait IntoBenchmarkId {
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+/// Passed to benchmark closures; `iter`/`iter_batched` time the routine.
+pub struct Bencher {
+    samples: usize,
+    /// (total duration, total iterations) accumulated by iter calls.
+    measured: Option<(Duration, u64)>,
+    smoke_only: bool,
+}
+
+impl Bencher {
+    /// Times `routine` and records the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.smoke_only {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warm-up measures one call to size per-sample batches so that
+        // fast routines are not dominated by clock overhead.
+        let warm = Instant::now();
+        std::hint::black_box(routine());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                std::hint::black_box(routine());
+            }
+            total += t.elapsed();
+            iters += per_batch as u64;
+        }
+        self.measured = Some((total, iters));
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.smoke_only {
+            std::hint::black_box(routine(setup()));
+            return;
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            total += t.elapsed();
+            iters += 1;
+        }
+        self.measured = Some((total, iters));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher {
+        samples,
+        measured: None,
+        smoke_only: test_mode(),
+    };
+    f(&mut b);
+    if b.smoke_only {
+        println!("bench {label}: smoke ok");
+    } else if let Some((total, iters)) = b.measured {
+        let mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+        println!("bench {label}: {mean_ns:.0} ns/iter ({iters} iters)");
+    } else {
+        println!("bench {label}: no measurement recorded");
+    }
+}
+
+/// Groups benchmark functions, with optional shared configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

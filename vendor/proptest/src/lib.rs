@@ -1,0 +1,148 @@
+//! Offline stand-in for `proptest`, covering the API surface this
+//! workspace uses: range / tuple / `collection::vec` / string-pattern
+//! strategies, `prop_map`, `any::<T>()`, `Just`, the `proptest!` macro
+//! with `#![proptest_config(...)]`, and `prop_assert*` macros.
+//!
+//! Differences from upstream (see `vendor/README.md`):
+//! - cases are generated from a per-test deterministic stream (case `i`
+//!   of every run draws identical values — failures reproduce exactly);
+//! - no shrinking: the failing case index is reported and the original
+//!   panic is propagated unchanged;
+//! - string strategies support the subset of regex syntax used here
+//!   (character classes, literals, and `{m,n}` / `{m}` / `+` / `*` / `?`
+//!   quantifiers), not full regex.
+
+pub mod strategy;
+
+pub mod collection {
+    pub use crate::strategy::{vec, SizeRange, VecStrategy};
+}
+
+pub mod test_runner {
+    pub use crate::strategy::TestRng;
+
+    /// Runner configuration; only `cases` is meaningful here.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated inputs per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Configuration running `cases` inputs per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Upstream defaults to 256; the stand-in keeps that so local
+            // coverage matches what the seed tests were written against.
+            Config { cases: 256 }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Drives `body` over `cases` deterministic inputs, labelling any failure
+/// with the case index before re-raising the original panic.
+pub fn run_cases<F>(test_name: &str, cases: u32, mut body: F)
+where
+    F: FnMut(&mut strategy::TestRng),
+{
+    for case in 0..cases {
+        let mut rng = strategy::TestRng::for_case(test_name, case);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(panic) = outcome {
+            eprintln!(
+                "proptest stand-in: property `{test_name}` failed on case {case}/{cases} \
+                 (deterministic: re-running reproduces this case)"
+            );
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+/// Property-test entry point. Accepts the upstream surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(xs in proptest::collection::vec(0u64..100, 1..50), flag in any::<bool>()) {
+///         prop_assert!(xs.len() < 50);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            (<$crate::test_runner::Config as Default>::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            $crate::run_cases(stringify!($name), __cfg.cases, |__proptest_rng| {
+                $crate::__proptest_bind!(__proptest_rng, $($params)*);
+                $body
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:expr $(,)?) => {};
+    ($rng:expr, mut $name:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        #[allow(unused_mut)]
+        let mut $name = $crate::strategy::Strategy::generate(&$strat, $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+    ($rng:expr, $name:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        let $name = $crate::strategy::Strategy::generate(&$strat, $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+}
+
+/// `assert!` under its proptest name (no shrinking to drive, so plain
+/// panics carry the report).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under its proptest name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under its proptest name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

@@ -1,0 +1,64 @@
+//! Offline stand-in for `rayon`: the same `par_iter().map().collect()`
+//! shape the workspace uses, executed sequentially.
+//!
+//! The simulator's sweeps are deterministic and order-independent by
+//! construction (each cell is independently seeded), so sequential
+//! execution produces byte-identical results — only wall-clock parallel
+//! speedup is lost. See `vendor/README.md`.
+
+/// Sequential "parallel" iterator adapter.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Maps each element, preserving input order.
+    pub fn map<O, F>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> O,
+    {
+        ParIter(self.0.map(f))
+    }
+
+    /// Collects in input order.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+}
+
+/// By-reference conversion into a (sequential) parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// The iterator adapter type.
+    type Iter;
+    /// Iterates the collection by shared reference.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParIter<std::slice::Iter<'a, T>>;
+    fn par_iter(&'a self) -> Self::Iter {
+        ParIter(self.iter())
+    }
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParIter<std::slice::Iter<'a, T>>;
+    fn par_iter(&'a self) -> Self::Iter {
+        ParIter(self.as_slice().iter())
+    }
+}
+
+/// Rayon-compatible prelude.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs = [3u64, 1, 4, 1, 5];
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+    }
+}

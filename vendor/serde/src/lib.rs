@@ -1,0 +1,30 @@
+//! Offline stand-in for `serde`: marker traits satisfied by every type,
+//! plus no-op `#[derive(Serialize, Deserialize)]` macros (re-exported from
+//! the companion `serde_derive` stub).
+//!
+//! The workspace's own (de)serialization needs are covered by the
+//! `serde_json` stand-in, which renders a debug-structured JSON document;
+//! these traits exist so the seed code's derives and bounds keep compiling
+//! unchanged in the offline build environment (see `vendor/README.md`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker: a type that can be serialized. Satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker: a type that can be deserialized. Satisfied by every type.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Deserialization marker traits.
+pub mod de {
+    /// Marker for owned deserialization. Satisfied by every sized type.
+    pub trait DeserializeOwned: Sized {}
+    impl<T> DeserializeOwned for T {}
+}
+
+/// Serialization marker traits.
+pub mod ser {
+    pub use crate::Serialize;
+}
