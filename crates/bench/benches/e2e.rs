@@ -65,6 +65,48 @@ fn bench_incremental_vs_replay(c: &mut Criterion) {
     g.finish();
 }
 
+/// A shrunk DVFS-stressed scenario (scarce wind, 4× arrival rate): the
+/// supply-matching loop dominates, so the gap between `incremental` and
+/// `replay` here is what the demand aggregates and cached chain limits
+/// bought.
+fn dvfs_stress(fleet: usize, jobs: usize) -> GreenDatacenterSim {
+    GreenDatacenterSim::builder()
+        .fleet_size(fleet)
+        .synthetic_trace(SyntheticTrace {
+            num_jobs: jobs,
+            max_cpus: 16,
+            ..SyntheticTrace::default()
+        })
+        .arrival_rate(4.0)
+        .scheme(Scheme::ScanFair)
+        .supply(Supply::hybrid_farm(
+            &WindFarm::default(),
+            SimDuration::from_hours(96),
+            fleet as f64 / 4800.0 * 0.25,
+            42,
+        ))
+        .seed(42)
+}
+
+fn bench_dvfs_demand_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e_dvfs_demand_path");
+    g.sample_size(10);
+    g.bench_function("incremental", |b| {
+        b.iter(|| black_box(dvfs_stress(240, 1000).build().run()))
+    });
+    g.bench_function("replay", |b| {
+        b.iter(|| {
+            black_box(
+                dvfs_stress(240, 1000)
+                    .force_replay_demand(true)
+                    .build()
+                    .run(),
+            )
+        })
+    });
+    g.finish();
+}
+
 fn bench_all_schemes(c: &mut Criterion) {
     let mut g = c.benchmark_group("e2e_schemes");
     g.sample_size(10);
@@ -96,6 +138,7 @@ criterion_group!(
     e2e,
     bench_e2e_scaling,
     bench_incremental_vs_replay,
+    bench_dvfs_demand_path,
     bench_all_schemes
 );
 criterion_main!(e2e);

@@ -43,6 +43,7 @@ pub struct GreenDatacenterSim {
     surplus_signal: SurplusSignal,
     per_core_domains: bool,
     force_replay_avail: bool,
+    force_replay_demand: bool,
 }
 
 impl GreenDatacenterSim {
@@ -71,6 +72,7 @@ impl GreenDatacenterSim {
             surplus_signal: SurplusSignal::default(),
             per_core_domains: false,
             force_replay_avail: false,
+            force_replay_demand: false,
         }
     }
 
@@ -194,6 +196,18 @@ impl GreenDatacenterSim {
         self
     }
 
+    /// Testing knob: derive the supply-matching loop's demand sums and
+    /// deadline chain limits by re-walking the running set and queues on
+    /// every probe instead of reading the incrementally maintained
+    /// fixed-point aggregates. Both paths work in integer microwatts, so
+    /// runs must be bit-identical either way; the equivalence suite flips
+    /// this to prove it. Not useful outside tests — it only makes
+    /// rebalances slower.
+    pub fn force_replay_demand(mut self, on: bool) -> Self {
+        self.force_replay_demand = on;
+        self
+    }
+
     /// Enables in-situ opportunistic profiling: the fleet starts on its
     /// factory-bin plan and upgrades chip by chip as the scanner completes
     /// (§III.C / Fig. 3). Pair with a `Scan*` scheme: the scheme's
@@ -270,6 +284,7 @@ impl GreenDatacenterSim {
                 in_situ: self.in_situ,
                 surplus_signal: self.surplus_signal,
                 force_replay_avail: self.force_replay_avail,
+                force_replay_demand: self.force_replay_demand,
             },
         }
     }

@@ -41,8 +41,8 @@ pub mod simulation;
 pub use config::{GreenDatacenterSim, SimRun};
 pub use report::{ProfilingStats, RunReport};
 pub use simulation::{
-    run_simulation, run_simulation_instrumented, DeferralConfig, DvfsMode, InSituConfig, RunStats,
-    SimInput, SurplusSignal,
+    run_simulation, run_simulation_instrumented, DeferralConfig, DvfsMode, InSituConfig,
+    PhaseTimers, RunStats, SimInput, SurplusSignal,
 };
 
 /// One-stop imports for examples and downstream users.

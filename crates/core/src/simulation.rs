@@ -18,11 +18,15 @@
 use crate::report::RunReport;
 use iscope_dcsim::{Ctx, Engine, Model, Sampler, SimDuration, SimRng, SimTime, StopReason};
 use iscope_energy::{EnergyLedger, Supply};
-use iscope_pvmodel::{speed_factor, ChipId, CoolingModel, Fleet, FreqLevel, OperatingPlan};
+use iscope_pvmodel::{
+    microwatts_to_watts, speed_factor, watts_to_microwatts, ChipId, CoolingModel, Fleet, FreqLevel,
+    OperatingPlan,
+};
 use iscope_scanner::{ProfilingRecords, Scanner, ScannerConfig, VoltageGrid};
 use iscope_sched::{match_budget, DvfsCandidate, Placement, ProcView};
 use iscope_workload::{Job, Workload};
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
+use std::time::Instant;
 
 /// Inputs of one simulation run.
 pub struct SimInput {
@@ -64,6 +68,13 @@ pub struct SimInput {
     /// incrementally. The two must produce identical runs; the
     /// equivalence suite flips this to prove it.
     pub force_replay_avail: bool,
+    /// Testing knob: derive the supply-matching loop's demand sums and
+    /// deadline chain limits by re-walking the running set and queues on
+    /// every probe (the pre-aggregate hot path) instead of reading the
+    /// incrementally maintained fixed-point aggregates. Both paths work in
+    /// integer microwatts, so runs must be bit-identical either way; the
+    /// equivalence suite flips this to prove it.
+    pub force_replay_demand: bool,
 }
 
 /// ScanFair's wind-surplus detector.
@@ -182,13 +193,24 @@ struct JobState {
     /// instead of re-deriving it from floats, so they match the event
     /// the engine will actually fire.
     sched_end: SimTime,
-    /// Facility power (W) of this job at each frequency level under the
-    /// current plan (valid while running). A job's chip set is fixed at
-    /// placement, so the row only changes when an in-situ scan upgrades
-    /// the plan; caching it keeps `true_power`'s per-chip evaluation off
-    /// the per-event demand path. Entries are exactly `job_power` values,
-    /// so sums over them stay bit-identical to recomputing.
-    power_at: Vec<f64>,
+    /// Facility power of this job at each frequency level under the
+    /// current plan (valid while running), in fixed-point integer
+    /// microwatts. A job's chip set is fixed at placement, so the row only
+    /// changes when an in-situ scan upgrades the plan; freezing it keeps
+    /// `true_power`'s per-chip evaluation off the per-event demand path,
+    /// and the integer representation makes every sum over rows exactly
+    /// order-independent — the fleet-wide demand aggregates maintained
+    /// from these rows match a from-scratch replay bit for bit.
+    power_uw_at: Vec<i64>,
+    /// Cached deadline bound imposed by this job's direct queue successors
+    /// (valid while running): the minimum over its chips of "successor k
+    /// must start by deadline_k − chain-through-k". `SimTime::MAX` when no
+    /// successor constrains it. A successor set only grows by appends
+    /// while this job runs (it is the head of all its queues), so the
+    /// bound is initialized by one queue walk at start and tightened in
+    /// O(1) per placement that lands behind this job — `min_feasible_level`
+    /// never re-walks queues on the rebalance path.
+    chain_limit: SimTime,
 }
 
 struct Sim {
@@ -233,6 +255,37 @@ struct Sim {
     place_scratch: iscope_sched::PlaceScratch,
     /// Testing knob mirrored from [`SimInput::force_replay_avail`].
     force_replay_avail: bool,
+    /// Testing knob mirrored from [`SimInput::force_replay_demand`].
+    force_replay_demand: bool,
+    /// `demand_uw_at_level[l]`: fleet demand (integer µW) if every running
+    /// job sat at level `l` — the sum of the frozen `power_uw_at` rows over
+    /// the running set. Maintained incrementally on start/finish/plan
+    /// upgrade; `rebalance_global`'s level descent probes it in O(1).
+    demand_uw_at_level: Vec<i64>,
+    /// Fleet demand (integer µW) at the jobs' *current* levels (what the
+    /// ledger actually charges, before cooling-free profiling overhead).
+    /// Maintained incrementally on start/finish/level change/plan upgrade;
+    /// `refresh_demand` reads it in O(1).
+    running_demand_uw: i64,
+    /// `chain_len_ms[c]`: summed nominal runtimes (ms) of everything
+    /// queued on chip `c` *behind* its head job. Appends extend it, a
+    /// completion re-bases it to the next head; it feeds the O(1) cached
+    /// chain-limit tightening in `place_job`.
+    chain_len_ms: Vec<u64>,
+    /// Number of chips with a non-empty queue, maintained at the two queue
+    /// transition points (`place_job` push, `finish_job` pop) so the
+    /// in-situ profiling check stops recounting the fleet per event.
+    busy_queues: usize,
+    /// Chips that are simultaneously idle, unprofiled, and unblocked — the
+    /// in-situ scanner's candidate pool. Ordered (BTreeSet) so candidate
+    /// selection matches the ascending-id scan it replaces bit for bit.
+    /// Maintained only when in-situ profiling is active; empty otherwise.
+    idle_unprofiled: BTreeSet<u32>,
+    /// Scratch buffer for the level changes a rebalance applies, reused
+    /// across invocations like `PlaceScratch`'s candidate buffers.
+    level_scratch: Vec<usize>,
+    /// Wall-clock nanoseconds spent per hot-path phase.
+    phase_ns: PhaseTimers,
 }
 
 struct InSituState {
@@ -242,8 +295,13 @@ struct InSituState {
     rng: SimRng,
     /// Chips currently isolated for profiling (out of service).
     blocked: Vec<bool>,
+    /// Number of `true` entries in `blocked`, so the per-check headroom
+    /// computation stops scanning the fleet.
+    blocked_count: usize,
     /// Chips whose scan completed and whose plan entry was upgraded.
     profiled: Vec<bool>,
+    /// Number of `true` entries in `profiled`.
+    profiled_count: usize,
     /// Facility power drawn by chips under test.
     profiling_power_w: f64,
     /// Accumulated profiling energy (J) — part of demand but reported
@@ -276,9 +334,18 @@ impl Sim {
                 started_at: SimTime::ZERO,
                 gen: 0,
                 sched_end: SimTime::ZERO,
-                power_at: Vec::new(),
+                power_uw_at: Vec::new(),
+                chain_limit: SimTime::MAX,
             })
             .collect();
+        let num_levels = input.fleet.dvfs.num_levels();
+        // Every chip starts idle, unprofiled, and unblocked, so the
+        // in-situ candidate pool starts as the whole fleet.
+        let idle_unprofiled: BTreeSet<u32> = if input.in_situ.is_some() {
+            (0..n as u32).collect()
+        } else {
+            BTreeSet::new()
+        };
         let sim = Sim {
             rng: SimRng::derive(input.seed, "simulation"),
             jobs,
@@ -302,6 +369,14 @@ impl Sim {
             avail_scratch: Vec::with_capacity(n),
             place_scratch: iscope_sched::PlaceScratch::default(),
             force_replay_avail: input.force_replay_avail,
+            force_replay_demand: input.force_replay_demand,
+            demand_uw_at_level: vec![0; num_levels],
+            running_demand_uw: 0,
+            chain_len_ms: vec![0; n],
+            busy_queues: 0,
+            idle_unprofiled,
+            level_scratch: Vec::new(),
+            phase_ns: PhaseTimers::default(),
             in_situ: input.in_situ.map(|config| {
                 let grid = VoltageGrid::from_dvfs(
                     &input.fleet.dvfs,
@@ -314,7 +389,9 @@ impl Sim {
                     records: ProfilingRecords::new(grid, n, cores),
                     rng: SimRng::derive(input.seed, "in-situ-scanner"),
                     blocked: vec![false; n],
+                    blocked_count: 0,
                     profiled: vec![false; n],
+                    profiled_count: 0,
                     profiling_power_w: 0.0,
                     profiling_energy_note_j: 0.0,
                     config,
@@ -343,6 +420,7 @@ impl Sim {
     /// Integrates energy up to `now` at the current demand, splitting the
     /// draw between wind and utility.
     fn account(&mut self, now: SimTime) {
+        let t0 = Instant::now();
         let dt = now.saturating_since(self.last_account).as_secs_f64();
         if dt > 0.0 {
             let wind = self.supply.wind_power_at(self.last_account);
@@ -352,16 +430,72 @@ impl Sim {
             }
         }
         self.last_account = now;
+        self.phase_ns.accounting_ns += t0.elapsed().as_nanos() as u64;
     }
 
-    /// Recomputes total demand and updates the trace samplers. Chips under
-    /// in-situ test draw their profiling power on top of the job load.
-    fn refresh_demand(&mut self, now: SimTime) {
-        let mut demand: f64 = self
-            .running
+    /// Ground truth for [`Sim::running_demand_uw`]: re-sums the frozen
+    /// rows at each running job's current level. Integer µW, so the order
+    /// of summation cannot matter.
+    fn replay_running_demand_uw(&self) -> i64 {
+        self.running
             .iter()
-            .map(|&i| self.jobs[i].power_at[self.jobs[i].level.0 as usize])
-            .sum();
+            .map(|&i| self.jobs[i].power_uw_at[self.jobs[i].level.0 as usize])
+            .sum()
+    }
+
+    /// Ground truth for one [`Sim::demand_uw_at_level`] entry: re-sums the
+    /// frozen rows at a fixed candidate level.
+    fn replay_demand_at_level_uw(&self, level: FreqLevel) -> i64 {
+        self.running
+            .iter()
+            .map(|&i| self.jobs[i].power_uw_at[level.0 as usize])
+            .sum()
+    }
+
+    /// Fleet demand (µW) if every running job sat at `level` — the value
+    /// `rebalance_global`'s descent probes. O(1) from the incremental
+    /// aggregate; O(running) replay under `force_replay_demand`.
+    fn demand_at_level_uw(&self, level: FreqLevel) -> i64 {
+        if self.force_replay_demand {
+            return self.replay_demand_at_level_uw(level);
+        }
+        debug_assert_eq!(
+            self.demand_uw_at_level[level.0 as usize],
+            self.replay_demand_at_level_uw(level),
+            "incremental per-level demand aggregate diverged from replay"
+        );
+        self.demand_uw_at_level[level.0 as usize]
+    }
+
+    /// Rebuilds both demand aggregates from scratch. Only needed after an
+    /// in-situ plan upgrade rewrites the frozen rows under the running
+    /// jobs (rare: once per chip per run); integer sums make the rebuild
+    /// indistinguishable from incremental maintenance.
+    fn rebuild_demand_aggregates(&mut self) {
+        for l in self.fleet.dvfs.levels() {
+            self.demand_uw_at_level[l.0 as usize] = self.replay_demand_at_level_uw(l);
+        }
+        self.running_demand_uw = self.replay_running_demand_uw();
+    }
+
+    /// Refreshes total demand and updates the trace samplers. Chips under
+    /// in-situ test draw their profiling power on top of the job load. The
+    /// job share is the incrementally maintained fixed-point aggregate —
+    /// O(1) per event — converted to watts only here, at the ledger /
+    /// sampler boundary.
+    fn refresh_demand(&mut self, now: SimTime) {
+        let t0 = Instant::now();
+        let job_uw = if self.force_replay_demand {
+            self.replay_running_demand_uw()
+        } else {
+            debug_assert_eq!(
+                self.running_demand_uw,
+                self.replay_running_demand_uw(),
+                "incremental running-demand aggregate diverged from replay"
+            );
+            self.running_demand_uw
+        };
+        let mut demand = microwatts_to_watts(job_uw);
         if let Some(insitu) = &self.in_situ {
             demand += insitu.profiling_power_w;
         }
@@ -373,6 +507,7 @@ impl Sim {
             s[2].record(now, (demand - wind).max(0.0));
             s[3].record(now, demand.min(wind));
         }
+        self.phase_ns.demand_ns += t0.elapsed().as_nanos() as u64;
     }
 
     /// Advances a running job's remaining work to `now`.
@@ -408,10 +543,18 @@ impl Sim {
     }
 
     /// Stage 1-4 of Fig. 3: when utilization is low, isolate idle,
-    /// inadequately profiled chips and start their scans.
+    /// inadequately profiled chips and start their scans. Utilization
+    /// comes from the maintained busy-queue counter and the candidate
+    /// domain from the maintained idle/unprofiled pool — nothing here
+    /// recounts queues or scans the fleet per check.
     fn profiling_check(&mut self, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
         let n = self.fleet.len();
-        let busy: usize = self.queues.iter().filter(|q| !q.is_empty()).count();
+        debug_assert_eq!(
+            self.busy_queues,
+            self.queues.iter().filter(|q| !q.is_empty()).count(),
+            "busy-queue counter diverged from the queues"
+        );
+        let busy = self.busy_queues;
         let Some(insitu) = &mut self.in_situ else {
             return;
         };
@@ -419,7 +562,7 @@ impl Sim {
         if utilization >= insitu.config.utilization_threshold {
             return; // stage 1: only profile at low utilization
         }
-        let available_now = insitu.blocked.iter().filter(|&&b| !b).count();
+        let available_now = n - insitu.blocked_count;
         let min_available = (n as f64 * insitu.config.min_available_fraction).ceil() as usize;
         let mut may_take = available_now.saturating_sub(min_available);
         may_take = may_take.min(insitu.scanner.config().domain_size);
@@ -427,13 +570,24 @@ impl Sim {
             return;
         }
         // Stage 2: choose idle, unprofiled, unblocked chips (a profiling
-        // domain).
-        let candidates: Vec<u32> = (0..n as u32)
-            .filter(|&c| {
-                !insitu.profiled[c as usize]
-                    && !insitu.blocked[c as usize]
-                    && self.queues[c as usize].is_empty()
-            })
+        // domain). The pool is kept in ascending chip id, so the domain is
+        // the same one the full-fleet filter scan used to pick.
+        #[cfg(debug_assertions)]
+        {
+            let replay: Vec<u32> = (0..n as u32)
+                .filter(|&c| {
+                    !insitu.profiled[c as usize]
+                        && !insitu.blocked[c as usize]
+                        && self.queues[c as usize].is_empty()
+                })
+                .collect();
+            let pool: Vec<u32> = self.idle_unprofiled.iter().copied().collect();
+            debug_assert_eq!(pool, replay, "idle-unprofiled pool diverged");
+        }
+        let candidates: Vec<u32> = self
+            .idle_unprofiled
+            .iter()
+            .copied()
             .take(may_take)
             .collect();
         for c in candidates {
@@ -444,6 +598,8 @@ impl Sim {
                 .scanner
                 .profile_chip(chip, &mut insitu.records, &mut insitu.rng);
             insitu.blocked[c as usize] = true;
+            insitu.blocked_count += 1;
+            self.idle_unprofiled.remove(&c);
             // A chip under test runs its stress workload at nominal
             // voltage and full clock.
             let top = self.fleet.dvfs.max_level();
@@ -466,7 +622,11 @@ impl Sim {
             return;
         };
         insitu.blocked[chip_idx as usize] = false;
+        insitu.blocked_count -= 1;
         insitu.profiled[chip_idx as usize] = true;
+        insitu.profiled_count += 1;
+        // A profiled chip never re-enters the scan pool; it was removed
+        // when blocked and stays out.
         let top = self.fleet.dvfs.max_level();
         let pm = self.fleet.power_model();
         let chip = &self.fleet.chips[chip_idx as usize];
@@ -506,26 +666,29 @@ impl Sim {
             .collect();
         self.plan.update_chip(chip_id, voltages, est);
         // The plan changed under the running jobs: refresh every cached
-        // power row. Rows for jobs not touching this chip come out
-        // bit-identical (same inputs), so refreshing all is safe and this
-        // event is rare (once per chip per run).
+        // power row and rebuild the demand aggregates from the new rows.
+        // Rows for jobs not touching this chip come out bit-identical
+        // (same inputs), so refreshing all is safe and this event is rare
+        // (once per chip per run).
         for k in 0..self.running.len() {
             let idx = self.running[k];
-            let row: Vec<f64> = self
+            let row: Vec<i64> = self
                 .fleet
                 .dvfs
                 .levels()
-                .map(|l| self.job_power(&self.jobs[idx], l))
+                .map(|l| watts_to_microwatts(self.job_power(&self.jobs[idx], l)))
                 .collect();
-            self.jobs[idx].power_at = row;
+            self.jobs[idx].power_uw_at = row;
         }
+        self.rebuild_demand_aggregates();
     }
 
     /// Chips the in-situ scanner has upgraded so far.
     fn profiled_count(&self) -> usize {
-        self.in_situ
-            .as_ref()
-            .map_or(0, |s| s.profiled.iter().filter(|&&p| p).count())
+        self.in_situ.as_ref().map_or(0, |s| {
+            debug_assert_eq!(s.profiled_count, s.profiled.iter().filter(|&&p| p).count());
+            s.profiled_count
+        })
     }
 
     /// GreenSlot-style deferral test: hold the job back if wind is short
@@ -672,6 +835,7 @@ impl Sim {
 
     /// Places a newly arrived job on processors and enqueues it.
     fn place_job(&mut self, idx: usize, now: SimTime) {
+        let t0 = Instant::now();
         self.placements += 1;
         let surplus = self.wind_surplus(now, idx);
         self.refresh_avail(now);
@@ -697,16 +861,44 @@ impl Sim {
             .map(|&c| self.avail_scratch[c.0 as usize])
             .fold(now, SimTime::max);
         let end = start + self.jobs[idx].job.runtime_at_fmax;
+        let runtime_ms = self.jobs[idx].job.runtime_at_fmax.as_millis();
+        let deadline = self.jobs[idx].job.deadline;
+        let track_idle = self.in_situ.is_some();
         for &c in &chips {
-            self.avail[c.0 as usize] = end;
-            self.queues[c.0 as usize].push_back(idx);
+            let ci = c.0 as usize;
+            self.avail[ci] = end;
+            if let Some(&head) = self.queues[ci].front() {
+                // The job lands behind an existing chain: extend the
+                // chain length and tighten the running head's cached
+                // successor bound in O(1) — the exact constraint the
+                // full queue walk would derive for this successor.
+                self.chain_len_ms[ci] += runtime_ms;
+                if self.jobs[head].phase == Phase::Running {
+                    let gone_by = deadline.saturating_since(
+                        SimTime::ZERO + SimDuration::from_millis(self.chain_len_ms[ci]),
+                    );
+                    let limit = SimTime::ZERO + gone_by;
+                    if limit < self.jobs[head].chain_limit {
+                        self.jobs[head].chain_limit = limit;
+                    }
+                }
+            } else {
+                // Queue transition empty -> busy.
+                self.busy_queues += 1;
+                if track_idle {
+                    self.idle_unprofiled.remove(&c.0);
+                }
+            }
+            self.queues[ci].push_back(idx);
         }
         self.jobs[idx].chips = chips;
+        self.phase_ns.placement_ns += t0.elapsed().as_nanos() as u64;
     }
 
     /// Starts every waiting job that has reached the head of all its
     /// queues, beginning from the given candidates.
     fn try_start(&mut self, candidates: &[usize], now: SimTime, ctx: &mut Ctx<'_, Ev>) {
+        let t0 = Instant::now();
         for &idx in candidates {
             if self.jobs[idx].phase != Phase::Waiting {
                 continue;
@@ -720,136 +912,148 @@ impl Sim {
             }
             // The chip set is frozen now, so the per-level power row is
             // too (until an in-situ upgrade rewrites the plan).
-            let row: Vec<f64> = self
+            let row: Vec<i64> = self
                 .fleet
                 .dvfs
                 .levels()
-                .map(|l| self.job_power(&self.jobs[idx], l))
+                .map(|l| watts_to_microwatts(self.job_power(&self.jobs[idx], l)))
                 .collect();
+            // Seed the cached successor deadline bound with one walk over
+            // the job's queues (jobs already waiting behind it); every
+            // later arrival tightens it in O(1) from `place_job`.
+            let chain_limit = self.chain_limit_replay(idx);
+            // The job starts at full speed: fold its frozen row into the
+            // fleet demand aggregates.
+            for (l, &uw) in row.iter().enumerate() {
+                self.demand_uw_at_level[l] += uw;
+            }
+            let top = self.fleet.dvfs.max_level();
+            self.running_demand_uw += row[top.0 as usize];
             let js = &mut self.jobs[idx];
             js.phase = Phase::Running;
-            js.level = self.fleet.dvfs.max_level();
+            js.level = top;
             js.started_at = now;
             js.last_progress = now;
-            js.power_at = row;
+            js.power_uw_at = row;
+            js.chain_limit = chain_limit;
             self.running.push(idx);
             self.schedule_completion(idx, now, ctx);
         }
+        self.phase_ns.placement_ns += t0.elapsed().as_nanos() as u64;
     }
 
     /// Runs the supply/demand matcher over the running jobs and applies
     /// the level changes (advancing progress and rescheduling completions).
     fn rebalance(&mut self, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
+        let t0 = Instant::now();
         let budget = if self.supply.has_wind() {
             self.supply.wind_power_at(now)
         } else {
             f64::INFINITY
         };
+        let budget_uw = watts_to_microwatts(budget);
         match self.dvfs_mode {
-            DvfsMode::GlobalLevel => self.rebalance_global(budget, now, ctx),
-            DvfsMode::PerJobGreedy => self.rebalance_greedy(budget, now, ctx),
+            DvfsMode::GlobalLevel => self.rebalance_global(budget_uw, now, ctx),
+            DvfsMode::PerJobGreedy => self.rebalance_greedy(budget_uw, now, ctx),
         }
+        self.phase_ns.rebalance_ns += t0.elapsed().as_nanos() as u64;
         self.refresh_demand(now);
     }
 
     /// The paper's matcher: lower one fleet-wide level at a time while
     /// demand exceeds the renewable budget, stopping when any task (running
     /// or queued behind one) would face a deadline violation.
-    fn rebalance_global(&mut self, budget: f64, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
+    ///
+    /// The budget-only descent target comes first — each probe is an O(1)
+    /// read of the per-level demand aggregate — and the deadline-floor
+    /// pass runs only if that target is below the top level. The final
+    /// level is `max(budget target, tightest floor)`, exactly what the old
+    /// step-by-step descent with a per-step floor check produced, but the
+    /// floor scan can stop as soon as some job's floor reaches the top.
+    fn rebalance_global(&mut self, budget_uw: i64, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
         let top = self.fleet.dvfs.max_level();
-        // Demand at any level is a sum over the cached per-job rows in
-        // `running` order — the same addends in the same order as
-        // recomputing through `job_power`, so runs stay bit-identical.
-        let demand_at = |level: FreqLevel| -> f64 {
-            self.running
-                .iter()
-                .map(|&i| self.jobs[i].power_at[level.0 as usize])
-                .sum()
-        };
-        let demand_top: f64 = demand_at(top);
-        let mut level = top;
-        if demand_top > budget && top > self.fleet.dvfs.min_level() {
-            // Descending: each job's deadline-feasibility floor is level-
-            // independent, so compute it once — re-deriving it per
-            // candidate level (as the descent used to) only re-walked
-            // queues for identical answers.
-            let floors: Vec<FreqLevel> = self
-                .running
-                .iter()
-                .map(|&i| self.min_feasible_level(i, now))
-                .collect();
-            while demand_at(level) > budget && level > self.fleet.dvfs.min_level() {
-                let next = level.down();
-                if floors.iter().any(|&floor| next < floor) {
-                    break; // "stop lowering when some tasks face violation"
+        let bottom = self.fleet.dvfs.min_level();
+        let mut want = top;
+        while self.demand_at_level_uw(want) > budget_uw && want > bottom {
+            want = want.down();
+        }
+        let mut level = want;
+        if want < top {
+            // "Stop lowering when some tasks face violation": clamp the
+            // descent at the tightest deadline floor. Floors are level-
+            // independent, so one pass over the running set suffices, and
+            // a floor at the top ends the scan early (no change possible).
+            for k in 0..self.running.len() {
+                let floor = self.min_feasible_level(self.running[k], now);
+                if floor > level {
+                    level = floor;
+                    if level == top {
+                        break;
+                    }
                 }
-                level = next;
             }
         }
-        let to_change: Vec<usize> = self
-            .running
-            .iter()
-            .copied()
-            .filter(|&i| self.jobs[i].level != level)
-            .collect();
+        let mut to_change = std::mem::take(&mut self.level_scratch);
+        to_change.clear();
+        to_change.extend(
+            self.running
+                .iter()
+                .copied()
+                .filter(|&i| self.jobs[i].level != level),
+        );
         if !to_change.is_empty() {
             // Completions moved: every queued start projected behind them
             // is stale. Rebuilt by replay on the next placement.
             self.avail_dirty = true;
         }
-        for idx in to_change {
+        for &idx in &to_change {
             self.advance_progress(idx, now);
+            let old = self.jobs[idx].level;
+            self.running_demand_uw += self.jobs[idx].power_uw_at[level.0 as usize]
+                - self.jobs[idx].power_uw_at[old.0 as usize];
             self.jobs[idx].level = level;
             self.schedule_completion(idx, now, ctx);
         }
+        to_change.clear();
+        self.level_scratch = to_change;
     }
 
-    /// Ablation matcher: per-job greedy budget fitting.
-    fn rebalance_greedy(&mut self, budget: f64, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
+    /// Ablation matcher: per-job greedy budget fitting. Candidates borrow
+    /// the frozen per-job rows — no per-candidate row clones.
+    fn rebalance_greedy(&mut self, budget_uw: i64, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
         let top = self.fleet.dvfs.max_level();
-        let mut cands: Vec<DvfsCandidate<usize>> = self
-            .running
-            .iter()
-            .map(|&i| {
-                let js = &self.jobs[i];
-                DvfsCandidate {
+        let outcome = {
+            let mut cands: Vec<DvfsCandidate<'_, usize>> = self
+                .running
+                .iter()
+                .map(|&i| DvfsCandidate {
                     key: i,
-                    level: js.level,
+                    level: self.jobs[i].level,
                     min_level: self.min_feasible_level(i, now),
-                    power_at: js.power_at.clone(),
-                }
-            })
-            .collect();
-        let outcome = match_budget(&mut cands, budget, 0.0, top);
+                    power_uw_at: &self.jobs[i].power_uw_at,
+                })
+                .collect();
+            match_budget(&mut cands, budget_uw, 0, top)
+        };
         if !outcome.changes.is_empty() {
             self.avail_dirty = true;
         }
         for (idx, new_level) in outcome.changes {
             self.advance_progress(idx, now);
+            let old = self.jobs[idx].level;
+            self.running_demand_uw += self.jobs[idx].power_uw_at[new_level.0 as usize]
+                - self.jobs[idx].power_uw_at[old.0 as usize];
             self.jobs[idx].level = new_level;
             self.schedule_completion(idx, now, ctx);
         }
     }
 
-    /// Lowest level at which the job still meets its deadline from `now` —
-    /// and leaves its direct queue successors able to meet theirs (a
-    /// one-step lookahead: slowing a running job delays everything queued
-    /// behind it, so "tasks facing violation of their deadlines" includes
-    /// the waiting ones). Returns the top level when even full speed
-    /// misses (run flat out).
-    fn min_feasible_level(&self, idx: usize, now: SimTime) -> FreqLevel {
+    /// Ground truth for [`JobState::chain_limit`]: re-walks the job's
+    /// queues. Successor k must start by (deadline_k − sum of nominal
+    /// runtimes of the chain up to and including k).
+    fn chain_limit_replay(&self, idx: usize) -> SimTime {
         let js = &self.jobs[idx];
-        // Remaining work as of now (progress may lag by up to the current
-        // event; the small overestimate is conservative).
-        let dt = now.saturating_since(js.last_progress).as_secs_f64();
-        let f_cur = self.fleet.dvfs.freq_ghz(js.level);
-        let rate_cur = speed_factor(js.job.gamma, f_cur, self.fleet.dvfs.f_max());
-        let remaining = (js.remaining_nominal_s - dt * rate_cur).max(0.0);
-        // Jobs queued behind this one need it gone early enough that the
-        // whole chain still fits: walking each queue, successor k must
-        // start by (deadline_k - sum of nominal runtimes of the chain up
-        // to and including k).
-        let mut limit = js.job.deadline;
+        let mut limit = SimTime::MAX;
         for &c in &js.chips {
             let mut chain = SimDuration::ZERO;
             for &succ in self.queues[c.0 as usize].iter().skip(1) {
@@ -859,6 +1063,38 @@ impl Sim {
                 limit = limit.min(SimTime::ZERO + must_be_gone_by);
             }
         }
+        limit
+    }
+
+    /// Lowest level at which the job still meets its deadline from `now` —
+    /// and leaves its direct queue successors able to meet theirs (a
+    /// one-step lookahead: slowing a running job delays everything queued
+    /// behind it, so "tasks facing violation of their deadlines" includes
+    /// the waiting ones). Returns the top level when even full speed
+    /// misses (run flat out).
+    ///
+    /// The successor bound is the cached `chain_limit` (maintained by
+    /// `try_start`/`place_job`), so this is O(levels) — no queue walks on
+    /// the rebalance path.
+    fn min_feasible_level(&self, idx: usize, now: SimTime) -> FreqLevel {
+        let js = &self.jobs[idx];
+        // Remaining work as of now (progress may lag by up to the current
+        // event; the small overestimate is conservative).
+        let dt = now.saturating_since(js.last_progress).as_secs_f64();
+        let f_cur = self.fleet.dvfs.freq_ghz(js.level);
+        let rate_cur = speed_factor(js.job.gamma, f_cur, self.fleet.dvfs.f_max());
+        let remaining = (js.remaining_nominal_s - dt * rate_cur).max(0.0);
+        let chain_limit = if self.force_replay_demand {
+            self.chain_limit_replay(idx)
+        } else {
+            debug_assert_eq!(
+                js.chain_limit,
+                self.chain_limit_replay(idx),
+                "cached chain limit diverged from queue walk"
+            );
+            js.chain_limit
+        };
+        let limit = js.job.deadline.min(chain_limit);
         // Keep a safety margin so millisecond rounding and gang start
         // staggering cannot tip an exactly-fitting job past its deadline.
         let slack_s = (limit.saturating_since(now).as_secs_f64() - DVFS_SAFETY_MARGIN_S).max(0.0);
@@ -877,6 +1113,11 @@ impl Sim {
 
     fn finish_job(&mut self, idx: usize, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
         self.advance_progress(idx, now);
+        // Drop the job's frozen row from the fleet demand aggregates.
+        for l in 0..self.demand_uw_at_level.len() {
+            self.demand_uw_at_level[l] -= self.jobs[idx].power_uw_at[l];
+        }
+        self.running_demand_uw -= self.jobs[idx].power_uw_at[self.jobs[idx].level.0 as usize];
         let js = &mut self.jobs[idx];
         debug_assert!(js.remaining_nominal_s < 1e-3, "completion with work left");
         js.phase = Phase::Done;
@@ -890,12 +1131,29 @@ impl Sim {
         let chips = self.jobs[idx].chips.clone();
         let mut candidates = Vec::with_capacity(chips.len());
         for &c in &chips {
-            self.usage[c.0 as usize] += busy;
-            let q = &mut self.queues[c.0 as usize];
+            let ci = c.0 as usize;
+            self.usage[ci] += busy;
+            let q = &mut self.queues[ci];
             debug_assert_eq!(q.front(), Some(&idx), "completed job was not at head");
             q.pop_front();
-            if let Some(&next) = q.front() {
+            if let Some(&next) = self.queues[ci].front() {
+                // Re-base the chain length to the new head: everything
+                // still queued stays "behind the head" except the new
+                // head itself.
+                self.chain_len_ms[ci] -= self.jobs[next].job.runtime_at_fmax.as_millis();
                 candidates.push(next);
+            } else {
+                debug_assert_eq!(
+                    self.chain_len_ms[ci], 0,
+                    "drained queue with nonzero chain length"
+                );
+                // Queue transition busy -> empty.
+                self.busy_queues -= 1;
+                if let Some(insitu) = &self.in_situ {
+                    if !insitu.profiled[ci] && !insitu.blocked[ci] {
+                        self.idle_unprofiled.insert(c.0);
+                    }
+                }
             }
         }
         self.try_start(&candidates, now, ctx);
@@ -935,10 +1193,7 @@ impl Model<Ev> for Sim {
             Ev::ProfilingCheck => {
                 self.profiling_check(now, ctx);
                 let keep_going = self.done_count < self.jobs.len()
-                    || self
-                        .in_situ
-                        .as_ref()
-                        .is_some_and(|s| s.blocked.iter().any(|&b| b));
+                    || self.in_situ.as_ref().is_some_and(|s| s.blocked_count > 0);
                 if let Some(insitu) = &self.in_situ {
                     if keep_going && self.profiled_count() < self.fleet.len() {
                         ctx.schedule(now + insitu.config.check_interval, Ev::ProfilingCheck);
@@ -954,6 +1209,25 @@ impl Model<Ev> for Sim {
     }
 }
 
+/// Wall-clock nanoseconds spent in each scheduler hot-path phase,
+/// accumulated over a whole run. Reported through [`RunStats`] so
+/// `iscope-exp bench-report` can show where event time goes. The phases
+/// do not cover the entire run (engine dispatch and completion handling
+/// outside `try_start` are uncounted), so they sum to less than `wall`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimers {
+    /// Job placement and start: surplus signal, availability refresh,
+    /// policy call, queue appends, power-row freezing.
+    pub placement_ns: u64,
+    /// Supply/demand matching: level descent or greedy matching,
+    /// deadline floors, completion rescheduling.
+    pub rebalance_ns: u64,
+    /// Demand refresh and trace sampling after each rebalance.
+    pub demand_ns: u64,
+    /// Energy-ledger integration at each event.
+    pub accounting_ns: u64,
+}
+
 /// Runtime counters of one simulation run, for the performance
 /// harness (`iscope-exp bench-report`, `BENCH_sim.json`).
 #[derive(Debug, Clone, Copy)]
@@ -964,6 +1238,8 @@ pub struct RunStats {
     pub placements: u64,
     /// Wall-clock time of the run.
     pub wall: std::time::Duration,
+    /// Where the event-handling time went, by hot-path phase.
+    pub phases: PhaseTimers,
 }
 
 impl RunStats {
@@ -1049,6 +1325,7 @@ pub fn run_simulation_instrumented(input: SimInput) -> (RunReport, RunStats) {
         events: engine.steps(),
         placements: sim.placements,
         wall: start.elapsed(),
+        phases: sim.phase_ns,
     };
     (report, stats)
 }

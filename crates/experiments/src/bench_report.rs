@@ -1,9 +1,11 @@
 //! `iscope-exp bench-report` — end-to-end scheduler performance numbers.
 //!
 //! Runs the headline benchmark (the paper's 4800-processor fleet under a
-//! day of ScanFair submissions) plus one figure-scale run (the default
-//! 240-CPU experiment cell) and writes `BENCH_sim.json` with wall-clock,
-//! events/second and ns/placement, next to the recorded baseline that was
+//! day of ScanFair submissions), one figure-scale run (the default
+//! 240-CPU experiment cell), and a DVFS-stressed run (scarce wind at a
+//! high arrival rate, so the supply-matching loop dominates), and writes
+//! `BENCH_sim.json` with wall-clock, events/second, ns/placement, and
+//! per-phase hot-path timings, next to the recorded baselines that were
 //! measured before the incremental scheduler state landed.
 //!
 //! The JSON is rendered by hand because the vendored `serde_json`
@@ -11,7 +13,7 @@
 
 use crate::common::{ExpConfig, ExpScale};
 use iscope::prelude::*;
-use iscope::RunStats;
+use iscope::{PhaseTimers, RunStats};
 use iscope_sched::Scheme;
 
 /// One benchmark measurement, normalized from [`RunStats`].
@@ -64,16 +66,36 @@ pub const BASELINE_FIGURE: Option<BenchNumbers> = Some(BenchNumbers {
     ns_per_placement: 11_775.0,
 });
 
+/// DVFS-stressed baseline, measured on the commit before the incremental
+/// demand aggregates and cached deadline floors landed (same scenario
+/// and seed as [`dvfs_stress_sim`], release build).
+pub const BASELINE_DVFS: Option<BenchNumbers> = Some(BenchNumbers {
+    wall_s: 4.308,
+    events: 40_194,
+    events_per_sec: 9_330.9,
+    placements: 20_000,
+    ns_per_placement: 215_380.0,
+});
+
 /// The full bench-report payload.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
     /// 4800-processor, day-long ScanFair run.
     pub headline: BenchNumbers,
+    /// Hot-path phase breakdown of the headline run.
+    pub headline_phases: PhaseTimers,
     /// Default experiment cell (240 CPUs), as regenerated per figure.
     pub figure_scale: BenchNumbers,
+    /// DVFS-stressed run: scarce wind × high arrival rate, so nearly
+    /// every event reruns the supply-matching loop over a deep fleet.
+    pub dvfs_stress: BenchNumbers,
+    /// Hot-path phase breakdown of the DVFS-stressed run.
+    pub dvfs_phases: PhaseTimers,
     /// One-line summary of the headline run's simulation outcome, so a
     /// perf regression that changes behaviour is visible in the report.
     pub headline_outcome: String,
+    /// Outcome summary of the DVFS-stressed run.
+    pub dvfs_outcome: String,
 }
 
 /// The headline scenario: the paper's 4800-CPU testbed under one day of
@@ -97,7 +119,32 @@ pub fn headline_sim() -> GreenDatacenterSim {
         .seed(42)
 }
 
-/// Runs both benchmark scenarios.
+/// The DVFS-stressed scenario: a 1200-CPU fleet under 4× compressed
+/// arrivals and a wind farm scaled to a quarter of the per-CPU standard
+/// supply. Wind is chronically short, so the budget matcher descends and
+/// recovers levels at almost every event while hundreds of gangs run —
+/// exactly the demand-sum / deadline-floor hot path.
+pub fn dvfs_stress_sim() -> GreenDatacenterSim {
+    let fleet = 1200usize;
+    GreenDatacenterSim::builder()
+        .fleet_size(fleet)
+        .synthetic_trace(SyntheticTrace {
+            num_jobs: 20_000,
+            max_cpus: 16,
+            ..SyntheticTrace::default()
+        })
+        .arrival_rate(4.0)
+        .scheme(Scheme::ScanFair)
+        .supply(Supply::hybrid_farm(
+            &WindFarm::default(),
+            SimDuration::from_hours(96),
+            fleet as f64 / 4800.0 * 0.25,
+            42,
+        ))
+        .seed(42)
+}
+
+/// Runs all three benchmark scenarios.
 pub fn run() -> BenchReport {
     let (report, stats) = headline_sim().build().run_instrumented();
     let cfg = ExpConfig::new(ExpScale::Default);
@@ -106,11 +153,85 @@ pub fn run() -> BenchReport {
         .supply(cfg.wind_supply(1.0))
         .build()
         .run_instrumented();
+    let (dvfs_report, dvfs_stats) = dvfs_stress_sim().build().run_instrumented();
     BenchReport {
         headline: stats.into(),
+        headline_phases: stats.phases,
         figure_scale: fig_stats.into(),
+        dvfs_stress: dvfs_stats.into(),
+        dvfs_phases: dvfs_stats.phases,
         headline_outcome: report.summary(),
+        dvfs_outcome: dvfs_report.summary(),
     }
+}
+
+/// `iscope-exp bench-smoke` — a fast CI gate over the DVFS-stressed
+/// path: runs a scaled-down version of [`dvfs_stress_sim`] twice, once
+/// on the incremental aggregates and once with `force_replay_demand` +
+/// `force_replay_avail` (the ground-truth replay paths), and panics
+/// unless the two reports are bit-identical. Prints the phase timings so
+/// CI logs show where event time goes.
+pub fn smoke() {
+    let fleet = 300usize;
+    let mk = || {
+        GreenDatacenterSim::builder()
+            .fleet_size(fleet)
+            .synthetic_trace(SyntheticTrace {
+                num_jobs: 2_000,
+                max_cpus: 16,
+                ..SyntheticTrace::default()
+            })
+            .arrival_rate(4.0)
+            .scheme(Scheme::ScanFair)
+            .supply(Supply::hybrid_farm(
+                &WindFarm::default(),
+                SimDuration::from_hours(96),
+                fleet as f64 / 4800.0 * 0.25,
+                42,
+            ))
+            .seed(42)
+    };
+    let (fast, stats) = mk().build().run_instrumented();
+    let (replay, _) = mk()
+        .force_replay_demand(true)
+        .force_replay_avail(true)
+        .build()
+        .run_instrumented();
+    assert_eq!(
+        fast.ledger, replay.ledger,
+        "bench-smoke: incremental run's energy ledger diverged from replay"
+    );
+    assert_eq!(
+        fast.makespan, replay.makespan,
+        "bench-smoke: makespan diverged"
+    );
+    assert_eq!(
+        fast.deadline_misses, replay.deadline_misses,
+        "bench-smoke: deadline misses diverged"
+    );
+    assert_eq!(
+        fast.usage_hours, replay.usage_hours,
+        "bench-smoke: usage diverged"
+    );
+    println!("bench-smoke outcome: {}", fast.summary());
+    println!(
+        "bench-smoke wall_s {:.3}  events {}  events/s {:.1}",
+        stats.wall.as_secs_f64(),
+        stats.events,
+        stats.events_per_sec(),
+    );
+    println!("bench-smoke phases: {}", phases_line(&stats.phases));
+    println!("bench-smoke OK: incremental == replay (bit-identical)");
+}
+
+fn phases_line(p: &PhaseTimers) -> String {
+    format!(
+        "placement {:.3}s  rebalance {:.3}s  demand {:.3}s  accounting {:.3}s",
+        p.placement_ns as f64 / 1e9,
+        p.rebalance_ns as f64 / 1e9,
+        p.demand_ns as f64 / 1e9,
+        p.accounting_ns as f64 / 1e9,
+    )
 }
 
 fn numbers_json(n: &BenchNumbers, indent: &str) -> String {
@@ -126,23 +247,49 @@ fn numbers_json(n: &BenchNumbers, indent: &str) -> String {
     )
 }
 
+fn phases_json(p: &PhaseTimers, indent: &str) -> String {
+    format!(
+        "{{\n{i}  \"placement_ns\": {},\n{i}  \"rebalance_ns\": {},\n\
+         {i}  \"demand_ns\": {},\n{i}  \"accounting_ns\": {}\n{i}}}",
+        p.placement_ns,
+        p.rebalance_ns,
+        p.demand_ns,
+        p.accounting_ns,
+        i = indent,
+    )
+}
+
 impl BenchReport {
-    /// Renders the report (current numbers plus the recorded baseline)
+    /// Renders the report (current numbers plus the recorded baselines)
     /// as the `BENCH_sim.json` document.
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(
             "  \"id\": \"bench_sim\",\n  \"scenario\": {\n    \"headline\": \"4800 procs, \
              20000 jobs over 24 h (max 512-wide), ScanFair, hybrid wind x1.0, seed 42\",\n    \
-             \"figure_scale\": \"240 procs, 1000 jobs, ScanFair, hybrid wind x1.0, seed 42\"\n  },\n",
+             \"figure_scale\": \"240 procs, 1000 jobs, ScanFair, hybrid wind x1.0, seed 42\",\n    \
+             \"dvfs_stress\": \"1200 procs, 20000 jobs at 4x arrival rate (max 16-wide), \
+             ScanFair, hybrid wind x0.0625 (scarce), seed 42\"\n  },\n",
         );
         out.push_str(&format!(
             "  \"headline\": {},\n",
             numbers_json(&self.headline, "  ")
         ));
         out.push_str(&format!(
+            "  \"headline_phases\": {},\n",
+            phases_json(&self.headline_phases, "  ")
+        ));
+        out.push_str(&format!(
             "  \"figure_scale\": {},\n",
             numbers_json(&self.figure_scale, "  ")
+        ));
+        out.push_str(&format!(
+            "  \"dvfs_stress\": {},\n",
+            numbers_json(&self.dvfs_stress, "  ")
+        ));
+        out.push_str(&format!(
+            "  \"dvfs_stress_phases\": {},\n",
+            phases_json(&self.dvfs_phases, "  ")
         ));
         match (BASELINE_HEADLINE, BASELINE_FIGURE) {
             (Some(bh), Some(bf)) => {
@@ -161,9 +308,23 @@ impl BenchReport {
             }
             _ => out.push_str("  \"baseline_headline\": null,\n"),
         }
+        if let Some(bd) = BASELINE_DVFS {
+            out.push_str(&format!(
+                "  \"baseline_dvfs_stress\": {},\n",
+                numbers_json(&bd, "  ")
+            ));
+            out.push_str(&format!(
+                "  \"dvfs_stress_speedup_wall\": {:.2},\n",
+                bd.wall_s / self.dvfs_stress.wall_s
+            ));
+        }
         out.push_str(&format!(
-            "  \"headline_outcome\": \"{}\"\n}}\n",
+            "  \"headline_outcome\": \"{}\",\n",
             self.headline_outcome.trim().replace('"', "'")
+        ));
+        out.push_str(&format!(
+            "  \"dvfs_stress_outcome\": \"{}\"\n}}\n",
+            self.dvfs_outcome.trim().replace('"', "'")
         ));
         out
     }

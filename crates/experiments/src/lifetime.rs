@@ -98,6 +98,7 @@ fn one_variant(cfg: &ExpConfig, rescan: bool) -> Vec<Round> {
             in_situ: None,
             surplus_signal: iscope::SurplusSignal::Instantaneous,
             force_replay_avail: false,
+            force_replay_demand: false,
         });
         // Advance the calendar: each chip wears by its busy hours scaled
         // to the stride, at its plan voltage.

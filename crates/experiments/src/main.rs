@@ -13,7 +13,7 @@ use iscope_experiments::{
 
 const USAGE: &str = "usage: iscope-exp <experiment> [--fast|--paper]\n\
 experiments: table1 table2 fig4 fig5 fig6 fig7 fig8 fig9 fig10 overhead \
-insitu ablations sensitivity lifetime workload bench-report all (default: all)\n\
+insitu ablations sensitivity lifetime workload bench-report bench-smoke all (default: all)\n\
 scales: default = 240 CPUs (1/20 of the paper); --fast = bench cell; \
 --paper = the full 4800-CPU testbed";
 
@@ -158,10 +158,21 @@ fn main() {
             "figure-scale  wall {:>8.2} s  {:>12.0} events/s  {:>10.0} ns/placement",
             b.figure_scale.wall_s, b.figure_scale.events_per_sec, b.figure_scale.ns_per_placement
         );
+        println!("dvfs-stress   {}", b.dvfs_outcome);
+        println!(
+            "dvfs-stress   wall {:>8.2} s  {:>12.0} events/s  {:>10.0} ns/placement",
+            b.dvfs_stress.wall_s, b.dvfs_stress.events_per_sec, b.dvfs_stress.ns_per_placement
+        );
         match b.write() {
             Ok(p) => println!("[wrote {}]", p.display()),
             Err(e) => eprintln!("[failed to write BENCH_sim.json: {e}]"),
         }
+        ran += 1;
+    }
+    if which == "bench-smoke" {
+        // CI gate: a scaled-down DVFS-stressed run, incremental vs
+        // ground-truth replay, asserting bit-identical reports.
+        bench_report::smoke();
         ran += 1;
     }
     if ran == 0 {

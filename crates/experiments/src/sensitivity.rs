@@ -137,6 +137,7 @@ fn run_with_bins(cfg: &ExpConfig, bins: usize) -> iscope::RunReport {
         in_situ: None,
         surplus_signal: iscope::SurplusSignal::Instantaneous,
         force_replay_avail: false,
+        force_replay_demand: false,
     })
 }
 

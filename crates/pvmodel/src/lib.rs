@@ -40,7 +40,9 @@ pub use cooling::CoolingModel;
 pub use exectime::{exec_time_secs, speed_factor, CpuBoundness};
 pub use freq::{DvfsConfig, FreqLevel};
 pub use params::VariationParams;
-pub use plan::{OperatingPlan, SCAN_GUARDBAND_V};
+pub use plan::{
+    microwatts_to_watts, watts_to_microwatts, OperatingPlan, MICROWATTS_PER_WATT, SCAN_GUARDBAND_V,
+};
 pub use population::Fleet;
 pub use power::PowerModel;
 pub use thermal::{ThermalModel, ThermalOperatingPoint};

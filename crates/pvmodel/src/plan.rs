@@ -26,6 +26,29 @@ use serde::{Deserialize, Serialize};
 /// as the operating voltage.
 pub const SCAN_GUARDBAND_V: f64 = 0.01;
 
+/// Fixed-point power scale: one watt in integer microwatts.
+///
+/// Demand aggregates that must stay bit-identical whether they are
+/// maintained incrementally or re-summed from scratch use integer µW:
+/// integer addition is exactly order-independent, while float addition is
+/// not associative. µW resolution keeps quantization (±0.5 µW per row) six
+/// orders of magnitude below a single chip's draw while leaving headroom
+/// for petawatt-scale sums in an `i64`.
+pub const MICROWATTS_PER_WATT: f64 = 1e6;
+
+/// Converts watts to fixed-point integer microwatts (nearest). Infinite
+/// inputs saturate (`f64::INFINITY` → `i64::MAX`), which lets an unlimited
+/// power budget flow through integer comparisons unchanged.
+pub fn watts_to_microwatts(w: f64) -> i64 {
+    (w * MICROWATTS_PER_WATT).round() as i64
+}
+
+/// Converts fixed-point integer microwatts back to watts — the ledger /
+/// sampler boundary where floats re-enter.
+pub fn microwatts_to_watts(uw: i64) -> f64 {
+    uw as f64 / MICROWATTS_PER_WATT
+}
+
 /// Per-chip applied voltages and scheduler-visible power estimates.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OperatingPlan {
@@ -304,6 +327,18 @@ mod tests {
             &VariationParams::default(),
             23,
         )
+    }
+
+    #[test]
+    fn microwatt_conversions_round_trip_and_saturate() {
+        assert_eq!(watts_to_microwatts(0.0), 0);
+        assert_eq!(watts_to_microwatts(130.0), 130_000_000);
+        assert_eq!(watts_to_microwatts(1e-6), 1);
+        assert_eq!(watts_to_microwatts(f64::INFINITY), i64::MAX);
+        assert_eq!(microwatts_to_watts(130_000_000), 130.0);
+        // Sub-µW quantization stays sub-µW after a round trip.
+        let w = 92.123_456_789;
+        assert!((microwatts_to_watts(watts_to_microwatts(w)) - w).abs() < 1e-6);
     }
 
     #[test]

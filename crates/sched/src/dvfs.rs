@@ -11,12 +11,20 @@
 //! each running job's facility power at every level and the lowest level
 //! its deadline tolerates, and this module greedily moves levels to fit
 //! the budget (or restore full speed when the budget recovers).
+//!
+//! All powers are fixed-point integer microwatts
+//! ([`iscope_pvmodel::watts_to_microwatts`]): the simulator freezes each
+//! job's per-level row once at start, and integer arithmetic keeps every
+//! sum exactly order-independent, so incrementally maintained demand
+//! aggregates match a from-scratch replay bit for bit. The candidate rows
+//! are borrowed straight from the simulator's frozen per-job state — a
+//! matching pass allocates nothing per candidate.
 
 use iscope_pvmodel::FreqLevel;
 
 /// One running job as the budget matcher sees it.
 #[derive(Debug, Clone)]
-pub struct DvfsCandidate<K> {
+pub struct DvfsCandidate<'a, K> {
     /// Caller's key for the job.
     pub key: K,
     /// Current DVFS level.
@@ -24,55 +32,56 @@ pub struct DvfsCandidate<K> {
     /// Lowest level at which the job still meets its deadline (from the
     /// simulator's remaining-work estimate).
     pub min_level: FreqLevel,
-    /// Facility power (W) this job draws at each level index.
-    pub power_at: Vec<f64>,
+    /// Facility power (integer µW) this job draws at each level index,
+    /// borrowed from the caller's frozen per-job row.
+    pub power_uw_at: &'a [i64],
 }
 
-impl<K> DvfsCandidate<K> {
-    fn power(&self) -> f64 {
-        self.power_at[self.level.0 as usize]
+impl<K> DvfsCandidate<'_, K> {
+    fn power_uw(&self) -> i64 {
+        self.power_uw_at[self.level.0 as usize]
     }
 }
 
 /// Result of a matching pass.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MatchOutcome<K> {
     /// `(key, new_level)` for every job whose level changed.
     pub changes: Vec<(K, FreqLevel)>,
-    /// Total demand (W) after the pass, including the base load.
-    pub demand_w: f64,
+    /// Total demand (integer µW) after the pass, including the base load.
+    pub demand_uw: i64,
 }
 
-/// Greedy budget matching. `base_w` is non-job demand (e.g. profiling
-/// energy) that cannot be scaled. `budget_w` is the renewable budget
-/// (`f64::INFINITY` for utility-only operation). `top` is the fleet's
-/// maximum level.
+/// Greedy budget matching. `base_uw` is non-job demand (e.g. profiling
+/// energy) that cannot be scaled. `budget_uw` is the renewable budget in
+/// integer µW (`i64::MAX` — the saturation of `f64::INFINITY` — for
+/// utility-only operation). `top` is the fleet's maximum level.
 pub fn match_budget<K: Copy + PartialEq>(
-    cands: &mut [DvfsCandidate<K>],
-    budget_w: f64,
-    base_w: f64,
+    cands: &mut [DvfsCandidate<'_, K>],
+    budget_uw: i64,
+    base_uw: i64,
     top: FreqLevel,
 ) -> MatchOutcome<K> {
-    let mut demand: f64 = base_w + cands.iter().map(|c| c.power()).sum::<f64>();
+    let mut demand: i64 = base_uw + cands.iter().map(|c| c.power_uw()).sum::<i64>();
     let mut changes: Vec<(K, FreqLevel)> = Vec::new();
-    if demand > budget_w {
+    if demand > budget_uw {
         // Scale down: repeatedly take the single step with the largest
         // power saving among jobs with deadline room.
         loop {
-            if demand <= budget_w {
+            if demand <= budget_uw {
                 break;
             }
-            let mut best: Option<(usize, f64)> = None;
+            let mut best: Option<(usize, i64)> = None;
             for (i, c) in cands.iter().enumerate() {
                 if c.level > c.min_level {
-                    let save = c.power() - c.power_at[c.level.down().0 as usize];
+                    let save = c.power_uw() - c.power_uw_at[c.level.down().0 as usize];
                     if best.is_none_or(|(_, s)| save > s) {
                         best = Some((i, save));
                     }
                 }
             }
             let Some((i, save)) = best else { break };
-            if save <= 0.0 {
+            if save <= 0 {
                 break; // downscaling no longer reduces power
             }
             cands[i].level = cands[i].level.down();
@@ -83,18 +92,18 @@ pub fn match_budget<K: Copy + PartialEq>(
         // Scale up toward full speed while the budget holds: cheapest
         // steps first so the most jobs recover.
         loop {
-            let mut best: Option<(usize, f64)> = None;
+            let mut best: Option<(usize, i64)> = None;
             for (i, c) in cands.iter().enumerate() {
                 if c.level < top {
-                    let cost = c.power_at[c.level.up().0 as usize] - c.power();
+                    let cost = c.power_uw_at[c.level.up().0 as usize] - c.power_uw();
                     if best.is_none_or(|(_, s)| cost < s) {
                         best = Some((i, cost));
                     }
                 }
             }
             let Some((i, cost)) = best else { break };
-            if demand + cost > budget_w {
-                break;
+            if demand > budget_uw.saturating_sub(cost) {
+                break; // saturation keeps an i64::MAX budget overflow-free
             }
             cands[i].level = cands[i].level.up();
             demand += cost;
@@ -103,7 +112,7 @@ pub fn match_budget<K: Copy + PartialEq>(
     }
     MatchOutcome {
         changes,
-        demand_w: demand,
+        demand_uw: demand,
     }
 }
 
@@ -119,44 +128,70 @@ fn record_change<K: Copy + PartialEq>(changes: &mut Vec<(K, FreqLevel)>, key: K,
 #[cfg(test)]
 mod tests {
     use super::*;
+    use iscope_pvmodel::watts_to_microwatts;
 
     const TOP: FreqLevel = FreqLevel(4);
 
     /// Power vector resembling the real model: rises with level.
-    fn powers(scale: f64) -> Vec<f64> {
-        vec![
-            60.0 * scale,
-            75.0 * scale,
-            92.0 * scale,
-            110.0 * scale,
-            130.0 * scale,
-        ]
+    fn powers(scale: f64) -> Vec<i64> {
+        [60.0, 75.0, 92.0, 110.0, 130.0]
+            .iter()
+            .map(|w| watts_to_microwatts(w * scale))
+            .collect()
     }
 
-    fn cand(key: u32, level: u8, min_level: u8, scale: f64) -> DvfsCandidate<u32> {
-        DvfsCandidate {
-            key,
-            level: FreqLevel(level),
-            min_level: FreqLevel(min_level),
-            power_at: powers(scale),
+    fn uw(w: f64) -> i64 {
+        watts_to_microwatts(w)
+    }
+
+    struct Cands {
+        rows: Vec<Vec<i64>>,
+        specs: Vec<(u32, u8, u8)>,
+    }
+
+    impl Cands {
+        fn new(specs: &[(u32, u8, u8, f64)]) -> Cands {
+            Cands {
+                rows: specs.iter().map(|&(_, _, _, s)| powers(s)).collect(),
+                specs: specs.iter().map(|&(k, l, m, _)| (k, l, m)).collect(),
+            }
+        }
+
+        fn borrow(&self) -> Vec<DvfsCandidate<'_, u32>> {
+            self.specs
+                .iter()
+                .zip(&self.rows)
+                .map(|(&(key, level, min_level), row)| DvfsCandidate {
+                    key,
+                    level: FreqLevel(level),
+                    min_level: FreqLevel(min_level),
+                    power_uw_at: row,
+                })
+                .collect()
         }
     }
 
     #[test]
     fn infinite_budget_restores_full_speed() {
-        let mut cs = vec![cand(0, 1, 0, 1.0), cand(1, 3, 0, 1.0)];
-        let out = match_budget(&mut cs, f64::INFINITY, 0.0, TOP);
+        let store = Cands::new(&[(0, 1, 0, 1.0), (1, 3, 0, 1.0)]);
+        let mut cs = store.borrow();
+        let out = match_budget(&mut cs, i64::MAX, 0, TOP);
         assert!(cs.iter().all(|c| c.level == TOP));
         assert_eq!(out.changes.len(), 2);
-        assert!((out.demand_w - 260.0).abs() < 1e-9);
+        assert_eq!(out.demand_uw, uw(260.0));
     }
 
     #[test]
     fn scarcity_downscales_until_budget_fits() {
-        let mut cs = vec![cand(0, 4, 0, 1.0), cand(1, 4, 0, 1.0)];
+        let store = Cands::new(&[(0, 4, 0, 1.0), (1, 4, 0, 1.0)]);
+        let mut cs = store.borrow();
         // At f_max: 260 W. Budget 160 W: both must drop.
-        let out = match_budget(&mut cs, 160.0, 0.0, TOP);
-        assert!(out.demand_w <= 160.0, "demand {} over budget", out.demand_w);
+        let out = match_budget(&mut cs, uw(160.0), 0, TOP);
+        assert!(
+            out.demand_uw <= uw(160.0),
+            "demand {} over budget",
+            out.demand_uw
+        );
         assert!(cs.iter().all(|c| c.level >= c.min_level));
     }
 
@@ -164,19 +199,21 @@ mod tests {
     fn deadlines_floor_the_downscaling() {
         // Both jobs pinned at level 3: budget unreachable, matcher stops
         // at the floor and the residual goes to utility.
-        let mut cs = vec![cand(0, 4, 3, 1.0), cand(1, 4, 3, 1.0)];
-        let out = match_budget(&mut cs, 100.0, 0.0, TOP);
+        let store = Cands::new(&[(0, 4, 3, 1.0), (1, 4, 3, 1.0)]);
+        let mut cs = store.borrow();
+        let out = match_budget(&mut cs, uw(100.0), 0, TOP);
         assert!(cs.iter().all(|c| c.level == FreqLevel(3)));
-        assert!((out.demand_w - 220.0).abs() < 1e-9, "residual demand kept");
+        assert_eq!(out.demand_uw, uw(220.0), "residual demand kept");
     }
 
     #[test]
     fn greedy_prefers_biggest_saver() {
         // Job 1 is 3x the power of job 0: one step of job 1 saves more.
-        let mut cs = vec![cand(0, 4, 0, 1.0), cand(1, 4, 0, 3.0)];
+        let store = Cands::new(&[(0, 4, 0, 1.0), (1, 4, 0, 3.0)]);
+        let mut cs = store.borrow();
         // Budget just below current demand: single step suffices.
         let demand_now = 130.0 + 390.0;
-        let out = match_budget(&mut cs, demand_now - 10.0, 0.0, TOP);
+        let out = match_budget(&mut cs, uw(demand_now - 10.0), 0, TOP);
         assert_eq!(out.changes.len(), 1);
         assert_eq!(out.changes[0].0, 1, "the big job stepped down");
         assert_eq!(cs[1].level, FreqLevel(3));
@@ -185,37 +222,40 @@ mod tests {
 
     #[test]
     fn upscale_stops_at_budget_edge() {
-        let mut cs = vec![cand(0, 0, 0, 1.0), cand(1, 0, 0, 1.0)];
+        let store = Cands::new(&[(0, 0, 0, 1.0), (1, 0, 0, 1.0)]);
+        let mut cs = store.borrow();
         // Demand at level 0: 120 W. Budget 160 W: one step (+15) twice is
         // 150; next step (+17) would hit 167 > 160.
-        let out = match_budget(&mut cs, 160.0, 0.0, TOP);
-        assert!(out.demand_w <= 160.0);
+        let out = match_budget(&mut cs, uw(160.0), 0, TOP);
+        assert!(out.demand_uw <= uw(160.0));
         let total: u8 = cs.iter().map(|c| c.level.0).sum();
         assert_eq!(total, 2, "exactly two cheap steps fit");
     }
 
     #[test]
     fn base_load_reduces_headroom() {
-        let mut with_base = vec![cand(0, 0, 0, 1.0)];
-        let out_base = match_budget(&mut with_base, 160.0, 80.0, TOP);
-        let mut free = vec![cand(0, 0, 0, 1.0)];
-        let out_free = match_budget(&mut free, 160.0, 0.0, TOP);
+        let store = Cands::new(&[(0, 0, 0, 1.0)]);
+        let mut with_base = store.borrow();
+        let out_base = match_budget(&mut with_base, uw(160.0), uw(80.0), TOP);
+        let mut free = store.borrow();
+        let out_free = match_budget(&mut free, uw(160.0), 0, TOP);
         assert!(with_base[0].level < free[0].level);
-        assert!(out_base.demand_w <= 160.0 && out_free.demand_w <= 160.0);
+        assert!(out_base.demand_uw <= uw(160.0) && out_free.demand_uw <= uw(160.0));
     }
 
     #[test]
     fn empty_candidates_is_base_only() {
-        let mut cs: Vec<DvfsCandidate<u32>> = vec![];
-        let out = match_budget(&mut cs, 100.0, 42.0, TOP);
-        assert_eq!(out.demand_w, 42.0);
+        let mut cs: Vec<DvfsCandidate<'_, u32>> = vec![];
+        let out = match_budget(&mut cs, uw(100.0), uw(42.0), TOP);
+        assert_eq!(out.demand_uw, uw(42.0));
         assert!(out.changes.is_empty());
     }
 
     #[test]
     fn changes_report_final_levels_once_per_job() {
-        let mut cs = vec![cand(0, 4, 0, 1.0)];
-        let out = match_budget(&mut cs, 61.0, 0.0, TOP);
+        let store = Cands::new(&[(0, 4, 0, 1.0)]);
+        let mut cs = store.borrow();
+        let out = match_budget(&mut cs, uw(61.0), 0, TOP);
         // Dropped several levels; the report holds one entry with the final.
         assert_eq!(out.changes.len(), 1);
         assert_eq!(out.changes[0], (0, cs[0].level));
@@ -224,12 +264,24 @@ mod tests {
 
     #[test]
     fn matching_is_idempotent_at_fixpoint() {
-        let mut cs = vec![cand(0, 4, 0, 1.0), cand(1, 4, 1, 2.0)];
-        match_budget(&mut cs, 250.0, 0.0, TOP);
+        let store = Cands::new(&[(0, 4, 0, 1.0), (1, 4, 1, 2.0)]);
+        let mut cs = store.borrow();
+        match_budget(&mut cs, uw(250.0), 0, TOP);
         let levels: Vec<u8> = cs.iter().map(|c| c.level.0).collect();
-        let out2 = match_budget(&mut cs, 250.0, 0.0, TOP);
+        let out2 = match_budget(&mut cs, uw(250.0), 0, TOP);
         let levels2: Vec<u8> = cs.iter().map(|c| c.level.0).collect();
         assert_eq!(levels, levels2, "second pass changed nothing");
         assert!(out2.changes.is_empty());
+    }
+
+    #[test]
+    fn saturated_budget_never_overflows_on_upscale() {
+        // i64::MAX budget (the f64::INFINITY saturation) must behave as
+        // "unlimited" even though budget + cost would overflow naively.
+        let store = Cands::new(&[(0, 0, 0, 50.0), (1, 2, 0, 50.0)]);
+        let mut cs = store.borrow();
+        let out = match_budget(&mut cs, i64::MAX, 0, TOP);
+        assert!(cs.iter().all(|c| c.level == TOP));
+        assert!(out.demand_uw > 0);
     }
 }

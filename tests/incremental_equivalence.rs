@@ -77,6 +77,73 @@ fn incremental_equals_replay_across_modes() {
     }
 }
 
+/// The demand-side mirror of the matrix above: every scheme × supply ×
+/// DVFS-mode × in-situ combination must also run bit-identically with
+/// `force_replay_demand(true)` (re-summing frozen integer-µW rows and
+/// re-walking queues for chain limits on every probe) — alone and
+/// stacked with `force_replay_avail`. Both paths use fixed-point
+/// integer microwatts, so even summation order cannot leak through.
+#[test]
+fn incremental_demand_equals_replay_across_modes() {
+    for scheme in [Scheme::BinRan, Scheme::ScanEffi, Scheme::ScanFair] {
+        for wind in [false, true] {
+            for mode in [DvfsMode::GlobalLevel, DvfsMode::PerJobGreedy] {
+                for in_situ in [false, true] {
+                    let fast = builder(scheme, wind, mode, in_situ, 11).build().run();
+                    let replay = builder(scheme, wind, mode, in_situ, 11)
+                        .force_replay_demand(true)
+                        .build()
+                        .run();
+                    let both = builder(scheme, wind, mode, in_situ, 11)
+                        .force_replay_demand(true)
+                        .force_replay_avail(true)
+                        .build()
+                        .run();
+                    let what = format!("{scheme} wind={wind} {mode:?} in_situ={in_situ}");
+                    assert_identical(&fast, &replay, &what);
+                    assert_identical(&fast, &both, &format!("{what} (+replay_avail)"));
+                }
+            }
+        }
+    }
+}
+
+/// The bench-report's DVFS-stressed regime at test scale: wind scaled to
+/// a quarter of the per-CPU standard and arrivals compressed 4×, so the
+/// budget matcher descends and recovers levels at almost every event.
+/// That regime is where the incremental demand aggregates and cached
+/// chain limits actually carry the load, in both DVFS modes.
+#[test]
+fn scarce_wind_high_rate_stays_equivalent() {
+    for mode in [DvfsMode::GlobalLevel, DvfsMode::PerJobGreedy] {
+        let mk = |replay: bool| {
+            GreenDatacenterSim::builder()
+                .fleet_size(FLEET)
+                .synthetic_jobs(96)
+                .arrival_rate(4.0)
+                .scheme(Scheme::ScanFair)
+                .dvfs_mode(mode)
+                .supply(Supply::hybrid_farm(
+                    &WindFarm::default(),
+                    SimDuration::from_hours(96),
+                    FLEET as f64 / 4800.0 * 0.25,
+                    7,
+                ))
+                .force_replay_demand(replay)
+                .seed(7)
+                .build()
+                .run()
+        };
+        let fast = mk(false);
+        let replay = mk(true);
+        assert_identical(&fast, &replay, &format!("scarce wind 4x rate {mode:?}"));
+        assert!(
+            fast.deadline_misses > 0,
+            "{mode:?}: scenario not stressed enough to exercise the floors"
+        );
+    }
+}
+
 #[derive(Debug, Clone)]
 struct RawSpec {
     submit_s: u64,
