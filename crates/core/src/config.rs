@@ -2,7 +2,8 @@
 
 use crate::report::RunReport;
 use crate::simulation::{
-    run_simulation, DeferralConfig, DvfsMode, InSituConfig, SimInput, SurplusSignal,
+    run_simulation, DeferralConfig, DvfsMode, FaultInjectionConfig, InSituConfig, SimInput,
+    SurplusSignal,
 };
 use iscope_dcsim::SimDuration;
 use iscope_energy::Supply;
@@ -40,6 +41,7 @@ pub struct GreenDatacenterSim {
     dvfs_mode: DvfsMode,
     deferral: Option<DeferralConfig>,
     in_situ: Option<InSituConfig>,
+    fault_injection: Option<FaultInjectionConfig>,
     surplus_signal: SurplusSignal,
     per_core_domains: bool,
     force_replay_avail: bool,
@@ -69,6 +71,7 @@ impl GreenDatacenterSim {
             dvfs_mode: DvfsMode::default(),
             deferral: None,
             in_situ: None,
+            fault_injection: None,
             surplus_signal: SurplusSignal::default(),
             per_core_domains: false,
             force_replay_avail: false,
@@ -217,6 +220,16 @@ impl GreenDatacenterSim {
         self
     }
 
+    /// Enables runtime fault injection (the closed staleness loop):
+    /// running jobs age their chips, drifted Min Vdd raises timing
+    /// failures, failed gangs retry with backoff, and an optional
+    /// re-profiling policy refreshes the plan. Off by default; fault-free
+    /// runs are bit-identical with or without this code compiled in.
+    pub fn fault_injection(mut self, cfg: FaultInjectionConfig) -> Self {
+        self.fault_injection = Some(cfg);
+        self
+    }
+
     /// Assembles the fleet, operating plan, and workload.
     pub fn build(self) -> SimRun {
         let fleet = Fleet::generate(
@@ -251,12 +264,24 @@ impl GreenDatacenterSim {
         };
         // A job can never be wider than the fleet; clamp (and note that the
         // paper's datacenter at 4800 CPUs also exceeds its trace's widest
-        // job after scaling). With in-situ profiling the clamp tightens to
-        // the guaranteed in-service fraction, so a gang job can always be
-        // placed even while a profiling domain is isolated.
-        let max = match &self.in_situ {
-            Some(cfg) => ((fleet.len() as f64) * cfg.min_available_fraction).floor() as u32,
-            None => fleet.len() as u32,
+        // job after scaling). Mechanisms that take chips out of service
+        // tighten the clamp to their guaranteed in-service fraction, so a
+        // gang job can always be placed even while chips are isolated for
+        // (re-)profiling or quarantined after failures.
+        let mut in_service_fraction: f64 = 1.0;
+        if let Some(cfg) = &self.in_situ {
+            in_service_fraction = in_service_fraction.min(cfg.min_available_fraction);
+        }
+        if let Some(cfg) = &self.fault_injection {
+            in_service_fraction = in_service_fraction.min(1.0 - cfg.max_suspect_fraction);
+            if let Some(r) = &cfg.reprofile {
+                in_service_fraction = in_service_fraction.min(r.min_available_fraction);
+            }
+        }
+        let max = if in_service_fraction < 1.0 {
+            ((fleet.len() as f64) * in_service_fraction).floor() as u32
+        } else {
+            fleet.len() as u32
         }
         .max(1);
         let clamped: Vec<Job> = workload
@@ -282,6 +307,7 @@ impl GreenDatacenterSim {
                 dvfs_mode: self.dvfs_mode,
                 deferral: self.deferral,
                 in_situ: self.in_situ,
+                fault_injection: self.fault_injection,
                 surplus_signal: self.surplus_signal,
                 force_replay_avail: self.force_replay_avail,
                 force_replay_demand: self.force_replay_demand,

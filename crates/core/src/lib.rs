@@ -39,10 +39,10 @@ pub mod report;
 pub mod simulation;
 
 pub use config::{GreenDatacenterSim, SimRun};
-pub use report::{ProfilingStats, RunReport};
+pub use report::{FaultStats, ProfilingStats, RunReport};
 pub use simulation::{
-    run_simulation, run_simulation_instrumented, DeferralConfig, DvfsMode, InSituConfig,
-    PhaseTimers, RunStats, SimInput, SurplusSignal,
+    run_simulation, run_simulation_instrumented, DeferralConfig, DvfsMode, FaultInjectionConfig,
+    InSituConfig, PhaseTimers, ReprofileConfig, RunStats, SimInput, SurplusSignal,
 };
 
 /// One-stop imports for examples and downstream users.

@@ -28,6 +28,9 @@ pub struct RunReport {
     /// In-situ profiling statistics, when opportunistic scanning ran
     /// inside the simulation.
     pub profiling: Option<ProfilingStats>,
+    /// Runtime fault-injection statistics, when the timing-failure model
+    /// was enabled.
+    pub faults: Option<FaultStats>,
 }
 
 /// What the in-situ scanner accomplished during a run.
@@ -42,6 +45,31 @@ pub struct ProfilingStats {
     pub profiling_energy_kwh: f64,
     /// Stability tests executed.
     pub tests_run: u64,
+}
+
+/// What runtime fault injection did to a run (the staleness loop's
+/// cost side: failed work, recovery churn, and re-scan overhead).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Timing failures raised (a job may fail more than once).
+    pub timing_failures: u64,
+    /// Retries scheduled after failures.
+    pub retries: u64,
+    /// Jobs abandoned after exhausting their retry budget (each also
+    /// counts as a deadline miss).
+    pub failed_jobs: usize,
+    /// Chips still marked suspect at the end of the run.
+    pub suspect_chips: usize,
+    /// Chips re-scanned by the periodic re-profiling loop.
+    pub chips_rescanned: u64,
+    /// Energy burned by failed attempts, kWh (already in the ledger;
+    /// broken out here as the waste).
+    pub wasted_kwh: f64,
+    /// Summed per-chip downtime spent in re-scans, hours.
+    pub rescan_downtime_hours: f64,
+    /// Energy drawn by chips under re-scan, kWh (in the ledger; broken
+    /// out as the re-profiling overhead).
+    pub rescan_energy_kwh: f64,
 }
 
 impl RunReport {
@@ -136,6 +164,7 @@ mod tests {
             usage_hours: vec![1.0, 2.0, 3.0],
             power_series: vec![],
             profiling: None,
+            faults: None,
         }
     }
 

@@ -19,11 +19,11 @@ use crate::report::RunReport;
 use iscope_dcsim::{Ctx, Engine, Model, Sampler, SimDuration, SimRng, SimTime, StopReason};
 use iscope_energy::{EnergyLedger, Supply};
 use iscope_pvmodel::{
-    microwatts_to_watts, speed_factor, watts_to_microwatts, ChipId, CoolingModel, Fleet, FreqLevel,
-    OperatingPlan,
+    microwatts_to_watts, speed_factor, watts_to_microwatts, ChipId, CoolingModel, FailureModel,
+    Fleet, FreqLevel, OperatingPlan,
 };
-use iscope_scanner::{ProfilingRecords, Scanner, ScannerConfig, VoltageGrid};
-use iscope_sched::{match_budget, DvfsCandidate, Placement, ProcView};
+use iscope_scanner::{ProfilingRecords, ReprofilePolicy, Scanner, ScannerConfig, VoltageGrid};
+use iscope_sched::{match_budget, DvfsCandidate, Placement, ProcView, RetryPolicy};
 use iscope_workload::{Job, Workload};
 use std::collections::{BTreeSet, VecDeque};
 use std::time::Instant;
@@ -61,6 +61,13 @@ pub struct SimInput {
     /// operation (§III.C / Fig. 3), upgrading chips to their measured
     /// operating points as their scans complete.
     pub in_situ: Option<InSituConfig>,
+    /// Optional runtime fault injection: running jobs age their chips
+    /// (accelerated), drifted Min Vdd raises `TimingFailure` events, and
+    /// failed gangs are requeued under a bounded-retry policy — the
+    /// §III.C staleness loop closed inside the simulator. `None` (the
+    /// default everywhere) leaves every code path bit-identical to a
+    /// fault-free build.
+    pub fault_injection: Option<FaultInjectionConfig>,
     /// How ScanFair decides whether wind is in surplus at placement time.
     pub surplus_signal: SurplusSignal,
     /// Testing knob: always derive chip availability by replaying the
@@ -111,6 +118,66 @@ impl Default for InSituConfig {
         InSituConfig {
             scanner: ScannerConfig::default(),
             utilization_threshold: 0.3,
+            check_interval: SimDuration::from_mins(10),
+            min_available_fraction: 0.6,
+        }
+    }
+}
+
+/// Configuration of runtime fault injection and recovery (the closed
+/// staleness loop).
+#[derive(Debug, Clone)]
+pub struct FaultInjectionConfig {
+    /// The timing-failure model (aging law, time acceleration, jitter).
+    pub model: FailureModel,
+    /// How failed gangs are requeued.
+    pub retry: RetryPolicy,
+    /// Cap on the fraction of the fleet that may sit out of service as
+    /// suspect at once; beyond it, failing chips stay in rotation (and
+    /// keep failing) until re-profiling clears the backlog.
+    pub max_suspect_fraction: f64,
+    /// Optional periodic re-profiling; without it, suspect chips stay
+    /// out of service forever and stale plans are never refreshed.
+    pub reprofile: Option<ReprofileConfig>,
+}
+
+impl Default for FaultInjectionConfig {
+    fn default() -> Self {
+        FaultInjectionConfig {
+            model: FailureModel::default(),
+            retry: RetryPolicy::default(),
+            max_suspect_fraction: 0.25,
+            reprofile: None,
+        }
+    }
+}
+
+/// Configuration of the periodic re-profiling loop: chips whose
+/// accumulated voltage-stress hours pass the policy's cadence (or that
+/// are marked suspect) are drained, re-scanned by SBFT, and return to
+/// service with a refreshed plan entry — competing for fleet capacity
+/// exactly like in-situ profiling does.
+#[derive(Debug, Clone)]
+pub struct ReprofileConfig {
+    /// When a chip becomes due for a re-scan.
+    pub policy: ReprofilePolicy,
+    /// Scanner settings for the re-scans (test kind, grid, domain size).
+    pub scanner: ScannerConfig,
+    /// How often the master checks for due chips.
+    pub check_interval: SimDuration,
+    /// Never drain chips if doing so would leave fewer than this fraction
+    /// of the fleet in service.
+    pub min_available_fraction: f64,
+}
+
+impl Default for ReprofileConfig {
+    fn default() -> Self {
+        ReprofileConfig {
+            policy: ReprofilePolicy::Adaptive { fraction: 0.5 },
+            scanner: ScannerConfig {
+                test_kind: iscope_scanner::TestKind::Sbft,
+                ..ScannerConfig::default()
+            },
             check_interval: SimDuration::from_mins(10),
             min_available_fraction: 0.6,
         }
@@ -168,6 +235,25 @@ enum Ev {
     ProfilingDone {
         chip: u32,
     },
+    /// A running gang's worst chip crossed its drifted Min Vdd: the
+    /// attempt dies mid-flight. `attempt` guards against stale events
+    /// after the job was already killed and restarted.
+    TimingFailure {
+        job: usize,
+        attempt: u32,
+        chip: u32,
+    },
+    /// A failed job's backoff expired: place it again.
+    Retry {
+        job: usize,
+    },
+    /// Periodic re-profiling check: drain due chips and start re-scans.
+    ReprofileCheck,
+    /// A re-scan finished; the chip rejoins service with a refreshed plan
+    /// entry and a reset stress clock.
+    ReprofileDone {
+        chip: u32,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -211,6 +297,13 @@ struct JobState {
     /// O(1) per placement that lands behind this job — `min_feasible_level`
     /// never re-walks queues on the rebalance path.
     chain_limit: SimTime,
+    /// Times this job has entered `Running` (the attempt counter under
+    /// fault injection; stays 1 in fault-free runs).
+    starts: u32,
+    /// Energy (J) drawn by the current attempt so far, settled at each
+    /// progress advance. Charged to the waste ledger when the attempt
+    /// fails. Only maintained under fault injection.
+    attempt_energy_j: f64,
 }
 
 struct Sim {
@@ -235,6 +328,11 @@ struct Sim {
     deferral: Option<DeferralConfig>,
     deferred: Vec<usize>,
     in_situ: Option<InSituState>,
+    faults: Option<FaultState>,
+    /// Scratch for the merged blocked view (in-situ isolation plus the
+    /// fault machinery's drained/scanning/suspect sets) handed to the
+    /// placement policy when fault injection is active.
+    fault_blocked_scratch: Vec<bool>,
     surplus_signal: SurplusSignal,
     /// Placement decisions taken (one per job, counting deferred jobs
     /// once, when finally placed). Reported through [`RunStats`].
@@ -309,6 +407,55 @@ struct InSituState {
     profiling_energy_note_j: f64,
 }
 
+/// Runtime state of fault injection, recovery, and periodic re-profiling
+/// (the closed staleness loop).
+struct FaultState {
+    config: FaultInjectionConfig,
+    /// Jitter stream for the failure predicate; independent of every
+    /// other stream, so enabling faults never perturbs placement or
+    /// scanner randomness.
+    rng: SimRng,
+    /// Measurement-noise stream for the re-scans.
+    scan_rng: SimRng,
+    /// Re-scan machinery (present only with a re-profiling config).
+    scanner: Option<Scanner>,
+    grid: Option<VoltageGrid>,
+    /// Stress hours a chip may accumulate before it is due for a re-scan
+    /// (resolved once from the policy against the *initial* plan;
+    /// `INFINITY` without re-profiling).
+    stress_interval_hours: f64,
+    /// Accumulated (accelerated) voltage-stress hours per chip since its
+    /// last scan.
+    stress_hours: Vec<f64>,
+    /// Chips quarantined after a failure, awaiting a re-scan.
+    suspect: Vec<bool>,
+    /// Chips due for a re-scan: no new work is placed on them while
+    /// their queued work drains.
+    draining: Vec<bool>,
+    /// Chips currently under re-scan (out of service).
+    scanning: Vec<bool>,
+    /// Min Vdd measured at scan start, applied when the scan completes.
+    /// (The chip is isolated and idle for the whole scan, so no wear can
+    /// accrue in between — start and end measurements coincide.)
+    pending_vmin: Vec<Option<Vec<f64>>>,
+    /// Chips that must stay in service: the widest gang in the workload,
+    /// or the re-profiling config's availability floor if larger.
+    min_in_service: usize,
+    /// Facility power drawn by chips under re-scan.
+    reprofile_power_w: f64,
+    /// Accumulated re-scan energy (J) — part of demand but reported
+    /// separately as the overhead.
+    reprofile_energy_j: f64,
+    timing_failures: u64,
+    retries: u64,
+    failed_jobs: usize,
+    /// Energy (J) burned by failed attempts.
+    wasted_j: f64,
+    chips_rescanned: u64,
+    /// Summed per-chip downtime spent in re-scans.
+    rescan_downtime: SimDuration,
+}
+
 impl Sim {
     fn new(input: SimInput) -> (Sim, Workload) {
         let n = input.fleet.len();
@@ -336,6 +483,8 @@ impl Sim {
                 sched_end: SimTime::ZERO,
                 power_uw_at: Vec::new(),
                 chain_limit: SimTime::MAX,
+                starts: 0,
+                attempt_energy_j: 0.0,
             })
             .collect();
         let num_levels = input.fleet.dvfs.num_levels();
@@ -346,6 +495,59 @@ impl Sim {
         } else {
             BTreeSet::new()
         };
+        let fault_cfg = input.fault_injection;
+        let faults = fault_cfg.map(|config| {
+            config.model.validate();
+            config.retry.validate();
+            assert!(
+                (0.0..=1.0).contains(&config.max_suspect_fraction),
+                "suspect fraction must be in [0, 1]"
+            );
+            let reprofile = config.reprofile.as_ref();
+            if let Some(r) = reprofile {
+                r.policy.validate();
+            }
+            let stress_interval_hours = reprofile.map_or(f64::INFINITY, |r| {
+                r.policy
+                    .stress_interval_hours(&input.fleet, &input.plan, &config.model.aging)
+            });
+            let (scanner, grid) = match reprofile {
+                Some(r) => (
+                    Some(Scanner::new(r.scanner.clone())),
+                    Some(VoltageGrid::from_dvfs(
+                        &input.fleet.dvfs,
+                        r.scanner.grid_points,
+                        r.scanner.grid_depth,
+                    )),
+                ),
+                None => (None, None),
+            };
+            let min_in_service = (input.workload.max_cpus() as usize).max(
+                reprofile.map_or(0, |r| (n as f64 * r.min_available_fraction).ceil() as usize),
+            );
+            FaultState {
+                rng: SimRng::derive(input.seed, "fault-injection"),
+                scan_rng: SimRng::derive(input.seed, "re-profiling"),
+                scanner,
+                grid,
+                stress_interval_hours,
+                stress_hours: vec![0.0; n],
+                suspect: vec![false; n],
+                draining: vec![false; n],
+                scanning: vec![false; n],
+                pending_vmin: vec![None; n],
+                min_in_service,
+                reprofile_power_w: 0.0,
+                reprofile_energy_j: 0.0,
+                timing_failures: 0,
+                retries: 0,
+                failed_jobs: 0,
+                wasted_j: 0.0,
+                chips_rescanned: 0,
+                rescan_downtime: SimDuration::ZERO,
+                config,
+            }
+        });
         let sim = Sim {
             rng: SimRng::derive(input.seed, "simulation"),
             jobs,
@@ -377,6 +579,8 @@ impl Sim {
             idle_unprofiled,
             level_scratch: Vec::new(),
             phase_ns: PhaseTimers::default(),
+            faults,
+            fault_blocked_scratch: Vec::with_capacity(n),
             in_situ: input.in_situ.map(|config| {
                 let grid = VoltageGrid::from_dvfs(
                     &input.fleet.dvfs,
@@ -427,6 +631,9 @@ impl Sim {
             self.ledger.draw(self.current_demand_w, wind, dt);
             if let Some(insitu) = &mut self.in_situ {
                 insitu.profiling_energy_note_j += insitu.profiling_power_w * dt;
+            }
+            if let Some(faults) = &mut self.faults {
+                faults.reprofile_energy_j += faults.reprofile_power_w * dt;
             }
         }
         self.last_account = now;
@@ -499,6 +706,9 @@ impl Sim {
         if let Some(insitu) = &self.in_situ {
             demand += insitu.profiling_power_w;
         }
+        if let Some(faults) = &self.faults {
+            demand += faults.reprofile_power_w;
+        }
         self.current_demand_w = demand;
         let wind = self.supply.wind_power_at(now);
         if let Some(s) = self.samplers.as_mut() {
@@ -512,6 +722,7 @@ impl Sim {
 
     /// Advances a running job's remaining work to `now`.
     fn advance_progress(&mut self, idx: usize, now: SimTime) {
+        let faults_on = self.faults.is_some();
         let js = &mut self.jobs[idx];
         if js.phase != Phase::Running {
             return;
@@ -521,6 +732,13 @@ impl Sim {
             let f = self.fleet.dvfs.freq_ghz(js.level);
             let rate = speed_factor(js.job.gamma, f, self.fleet.dvfs.f_max());
             js.remaining_nominal_s = (js.remaining_nominal_s - dt * rate).max(0.0);
+            if faults_on {
+                // Settle the attempt's energy at the level it actually ran
+                // (callers advance before mutating the level), so a failed
+                // attempt knows exactly what it burned.
+                js.attempt_energy_j +=
+                    dt * microwatts_to_watts(js.power_uw_at[js.level.0 as usize]);
+            }
         }
         js.last_progress = now;
     }
@@ -555,6 +773,9 @@ impl Sim {
             "busy-queue counter diverged from the queues"
         );
         let busy = self.busy_queues;
+        // Count every out-of-service chip (in-situ isolation plus the
+        // fault machinery); reduces to `blocked_count` without faults.
+        let out = self.out_of_service_count();
         let Some(insitu) = &mut self.in_situ else {
             return;
         };
@@ -562,7 +783,7 @@ impl Sim {
         if utilization >= insitu.config.utilization_threshold {
             return; // stage 1: only profile at low utilization
         }
-        let available_now = n - insitu.blocked_count;
+        let available_now = n - out;
         let min_available = (n as f64 * insitu.config.min_available_fraction).ceil() as usize;
         let mut may_take = available_now.saturating_sub(min_available);
         may_take = may_take.min(insitu.scanner.config().domain_size);
@@ -588,6 +809,13 @@ impl Sim {
             .idle_unprofiled
             .iter()
             .copied()
+            .filter(|&c| {
+                // The pool tracks idle/unprofiled/unblocked only; the fault
+                // machinery's out-of-service chips are filtered here.
+                !self.faults.as_ref().is_some_and(|f| {
+                    f.scanning[c as usize] || f.draining[c as usize] || f.suspect[c as usize]
+                })
+            })
             .take(may_take)
             .collect();
         for c in candidates {
@@ -617,7 +845,7 @@ impl Sim {
     /// A chip's scan completed: return it to service at its measured
     /// operating point (the plan upgrade that makes `Scan*` scheduling
     /// possible chip by chip).
-    fn profiling_done(&mut self, chip_idx: u32, _now: SimTime) {
+    fn profiling_done(&mut self, chip_idx: u32, now: SimTime) {
         let Some(insitu) = &mut self.in_situ else {
             return;
         };
@@ -665,13 +893,23 @@ impl Sim {
             })
             .collect();
         self.plan.update_chip(chip_id, voltages, est);
-        // The plan changed under the running jobs: refresh every cached
-        // power row and rebuild the demand aggregates from the new rows.
-        // Rows for jobs not touching this chip come out bit-identical
-        // (same inputs), so refreshing all is safe and this event is rare
-        // (once per chip per run).
+        self.refreeze_running_rows(now);
+    }
+
+    /// The plan changed under the running jobs: refresh every cached
+    /// power row and rebuild the demand aggregates from the new rows.
+    /// Rows for jobs not touching the upgraded chip come out bit-identical
+    /// (same inputs), so refreshing all is safe and plan upgrades are rare
+    /// (once per chip per scan). Under fault injection, each job's progress
+    /// — and hence its attempt energy — is settled at the old row first;
+    /// fault-free runs skip that to keep their float segmentation (and
+    /// bit-identity with pre-fault builds) untouched.
+    fn refreeze_running_rows(&mut self, now: SimTime) {
         for k in 0..self.running.len() {
             let idx = self.running[k];
+            if self.faults.is_some() {
+                self.advance_progress(idx, now);
+            }
             let row: Vec<i64> = self
                 .fleet
                 .dvfs
@@ -681,6 +919,30 @@ impl Sim {
             self.jobs[idx].power_uw_at = row;
         }
         self.rebuild_demand_aggregates();
+    }
+
+    /// Whether chip `i` is out of service for placement: isolated by the
+    /// in-situ scanner, or held out by the fault machinery (draining
+    /// toward a re-scan, under re-scan, or quarantined as suspect).
+    fn chip_out_of_service(&self, i: usize) -> bool {
+        self.in_situ.as_ref().is_some_and(|s| s.blocked[i])
+            || self
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.scanning[i] || f.draining[i] || f.suspect[i])
+    }
+
+    /// Number of out-of-service chips (union of both mechanisms). O(1)
+    /// when at most the in-situ scanner is active; O(n) under fault
+    /// injection, where the sets can overlap.
+    fn out_of_service_count(&self) -> usize {
+        match (&self.in_situ, &self.faults) {
+            (None, None) => 0,
+            (Some(s), None) => s.blocked_count,
+            _ => (0..self.fleet.len())
+                .filter(|&i| self.chip_out_of_service(i))
+                .count(),
+        }
     }
 
     /// Chips the in-situ scanner has upgraded so far.
@@ -804,9 +1066,11 @@ impl Sim {
     /// Whether `self.avail` can be maintained incrementally. Deferral
     /// releases jobs out of arrival order, which breaks the replay's
     /// one-pass assumption the cross-check relies on, so deferral runs
-    /// always replay (as they always have).
+    /// always replay (as they always have). Fault injection both kills
+    /// running jobs mid-attempt and re-places retries out of arrival
+    /// order, so it always replays too.
     fn avail_incremental(&self) -> bool {
-        self.deferral.is_none() && !self.force_replay_avail
+        self.deferral.is_none() && self.faults.is_none() && !self.force_replay_avail
     }
 
     /// Refreshes the per-chip availability projection into
@@ -839,6 +1103,19 @@ impl Sim {
         self.placements += 1;
         let surplus = self.wind_surplus(now, idx);
         self.refresh_avail(now);
+        if let Some(faults) = &self.faults {
+            // Merge the in-situ and fault out-of-service sets into one
+            // blocked view for the placement policy.
+            let insitu_blocked = self.in_situ.as_ref().map(|s| &s.blocked);
+            self.fault_blocked_scratch.clear();
+            self.fault_blocked_scratch
+                .extend((0..self.fleet.len()).map(|i| {
+                    insitu_blocked.is_some_and(|b| b[i])
+                        || faults.scanning[i]
+                        || faults.draining[i]
+                        || faults.suspect[i]
+                }));
+        }
         let decision = {
             let view = ProcView {
                 now,
@@ -846,7 +1123,11 @@ impl Sim {
                 usage: &self.usage,
                 plan: &self.plan,
                 dvfs: &self.fleet.dvfs,
-                blocked: self.in_situ.as_ref().map_or(&[], |s| &s.blocked),
+                blocked: if self.faults.is_some() {
+                    &self.fault_blocked_scratch
+                } else {
+                    self.in_situ.as_ref().map_or(&[], |s| &s.blocked)
+                },
                 scratch: &self.place_scratch,
             };
             self.placement
@@ -936,10 +1217,309 @@ impl Sim {
             js.last_progress = now;
             js.power_uw_at = row;
             js.chain_limit = chain_limit;
+            js.starts += 1;
+            js.attempt_energy_j = 0.0;
             self.running.push(idx);
             self.schedule_completion(idx, now, ctx);
+            self.maybe_inject_failure(idx, now, ctx);
         }
         self.phase_ns.placement_ns += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// Ages a chip for `busy` hours of operation at its planned top-level
+    /// voltage (time-accelerated by the failure model) and accrues the
+    /// stress hours that drive the re-profiling cadence. No-op without
+    /// fault injection, so fault-free runs never mutate the silicon.
+    fn apply_wear(&mut self, ci: usize, busy: SimDuration) {
+        let Some(faults) = &mut self.faults else {
+            return;
+        };
+        let top = self.fleet.dvfs.max_level();
+        let v = self.plan.applied_voltage(ChipId(ci as u32), top);
+        let v_ref = self.fleet.dvfs.v_ref();
+        let stress =
+            faults
+                .config
+                .model
+                .wear(&mut self.fleet.chips[ci], busy.as_hours_f64(), v, v_ref);
+        faults.stress_hours[ci] += stress;
+    }
+
+    /// Decides at start time whether this attempt survives: the gang's
+    /// worst chip (smallest end-of-attempt margin after the drift this
+    /// attempt will add) is tested against a jitter draw. Exactly one
+    /// draw is consumed per start regardless of outcome, so the failure
+    /// sequence is a pure function of the seed. DVFS can only stretch an
+    /// attempt (jobs start at the top level), so a failure scheduled
+    /// inside the original attempt window always lands while the job is
+    /// still running; the handler re-checks phase and attempt anyway.
+    fn maybe_inject_failure(&mut self, idx: usize, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
+        let Some(faults) = &mut self.faults else {
+            return;
+        };
+        let js = &self.jobs[idx];
+        let attempt = js.sched_end.saturating_since(now);
+        let attempt_hours = attempt.as_hours_f64();
+        let top = self.fleet.dvfs.max_level();
+        let v_ref = self.fleet.dvfs.v_ref();
+        let mut worst: Option<(u32, f64, f64)> = None; // (chip, margin, drift)
+        let mut worst_end = f64::INFINITY;
+        for &c in &js.chips {
+            let chip = &self.fleet.chips[c.0 as usize];
+            let margin = faults
+                .config
+                .model
+                .worst_margin_v(&self.fleet, &self.plan, chip);
+            let v = self.plan.applied_voltage(c, top);
+            let drift = faults.config.model.attempt_drift_v(attempt_hours, v, v_ref);
+            let end_margin = margin - drift;
+            if end_margin < worst_end {
+                worst_end = end_margin;
+                worst = Some((c.0, margin, drift));
+            }
+        }
+        let jitter = faults.rng.normal(0.0, faults.config.model.jitter_v_sd);
+        let Some((chip, margin, drift)) = worst else {
+            return;
+        };
+        if faults.config.model.attempt_fails(margin, drift, jitter) {
+            let frac = faults.config.model.failure_fraction(margin, drift, jitter);
+            let at = now + attempt.mul_f64(frac);
+            ctx.schedule(
+                at,
+                Ev::TimingFailure {
+                    job: idx,
+                    attempt: js.starts,
+                    chip,
+                },
+            );
+        }
+    }
+
+    /// A running gang hit a timing failure: kill the attempt, charge the
+    /// lost work to the waste ledger, age (and, capacity permitting,
+    /// quarantine) the chips, and requeue the job under the bounded-retry
+    /// policy. Mirrors `finish_job`'s bookkeeping for an attempt that did
+    /// not finish.
+    fn fail_job(&mut self, idx: usize, failed_chip: u32, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
+        self.advance_progress(idx, now); // settles the attempt's energy
+        for l in 0..self.demand_uw_at_level.len() {
+            self.demand_uw_at_level[l] -= self.jobs[idx].power_uw_at[l];
+        }
+        self.running_demand_uw -= self.jobs[idx].power_uw_at[self.jobs[idx].level.0 as usize];
+        self.running.retain(|&i| i != idx);
+        let busy = now.saturating_since(self.jobs[idx].started_at);
+        let chips = std::mem::take(&mut self.jobs[idx].chips);
+        let mut candidates = Vec::with_capacity(chips.len());
+        for &c in &chips {
+            let ci = c.0 as usize;
+            self.usage[ci] += busy;
+            self.apply_wear(ci, busy);
+            let q = &mut self.queues[ci];
+            debug_assert_eq!(q.front(), Some(&idx), "failed job was not at head");
+            q.pop_front();
+            if let Some(&next) = self.queues[ci].front() {
+                self.chain_len_ms[ci] -= self.jobs[next].job.runtime_at_fmax.as_millis();
+                candidates.push(next);
+            } else {
+                debug_assert_eq!(
+                    self.chain_len_ms[ci], 0,
+                    "drained queue with nonzero chain length"
+                );
+                self.busy_queues -= 1;
+                if let Some(insitu) = &self.in_situ {
+                    if !insitu.profiled[ci] && !insitu.blocked[ci] {
+                        self.idle_unprofiled.insert(c.0);
+                    }
+                }
+            }
+        }
+        let n = self.fleet.len();
+        let out = self.out_of_service_count();
+        let js = &mut self.jobs[idx];
+        js.gen += 1; // invalidates the live Completion event
+        js.phase = Phase::Waiting;
+        js.remaining_nominal_s = js.job.runtime_at_fmax.as_secs_f64(); // work is lost
+        js.chain_limit = SimTime::MAX;
+        let wasted = std::mem::replace(&mut js.attempt_energy_j, 0.0);
+        let failures = js.starts;
+        let ci = failed_chip as usize;
+        let faults = self
+            .faults
+            .as_mut()
+            .expect("fail_job without fault injection");
+        faults.timing_failures += 1;
+        faults.wasted_j += wasted;
+        // Quarantine the failed chip if the availability floor and the
+        // suspect cap allow; otherwise it stays in rotation (and may keep
+        // failing) until re-profiling clears the backlog.
+        if !faults.suspect[ci] {
+            let suspects = faults.suspect.iter().filter(|&&s| s).count();
+            let cap = (n as f64 * faults.config.max_suspect_fraction).floor() as usize;
+            let already_out = faults.scanning[ci]
+                || faults.draining[ci]
+                || self.in_situ.as_ref().is_some_and(|s| s.blocked[ci]);
+            if suspects < cap && (already_out || n - out > faults.min_in_service) {
+                faults.suspect[ci] = true;
+            }
+        }
+        let retry_ok = faults.config.retry.may_retry(failures);
+        if retry_ok {
+            faults.retries += 1;
+            let delay = faults.config.retry.backoff(failures);
+            ctx.schedule(now + delay, Ev::Retry { job: idx });
+        } else {
+            faults.failed_jobs += 1;
+            self.jobs[idx].phase = Phase::Done;
+            self.deadline_misses += 1; // an abandoned job can never finish in time
+            self.done_count += 1;
+            self.makespan = self.makespan.max(now);
+        }
+        self.try_start(&candidates, now, ctx);
+    }
+
+    /// The periodic re-profiling loop (§III.C closed inside the run):
+    /// chips whose accumulated stress passed the cadence — or that were
+    /// quarantined after a failure — are drained, then re-scanned by SBFT
+    /// once idle, competing for fleet capacity exactly like in-situ
+    /// profiling does.
+    fn reprofile_check(&mut self, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
+        if self.done_count >= self.jobs.len() {
+            return;
+        }
+        let n = self.fleet.len();
+        let mut out = self.out_of_service_count();
+        let Some(faults) = &mut self.faults else {
+            return;
+        };
+        let Some(reprofile) = &faults.config.reprofile else {
+            return;
+        };
+        // Pass 1: mark due chips as draining (no new work lands on them;
+        // queued work finishes first), respecting the availability floor.
+        // Already-out chips (suspect, or isolated in-situ) drain for free.
+        for i in 0..n {
+            if faults.scanning[i] || faults.draining[i] {
+                continue;
+            }
+            let due = faults.suspect[i] || faults.stress_hours[i] >= faults.stress_interval_hours;
+            if !due {
+                continue;
+            }
+            let already_out =
+                faults.suspect[i] || self.in_situ.as_ref().is_some_and(|s| s.blocked[i]);
+            if already_out {
+                faults.draining[i] = true;
+            } else if n - out > faults.min_in_service {
+                faults.draining[i] = true;
+                out += 1;
+            }
+        }
+        // Pass 2: start scans on drained chips whose queues have emptied,
+        // up to the scanner's domain size in flight at once.
+        let scanning_now = faults.scanning.iter().filter(|&&s| s).count();
+        let mut may_take = reprofile.scanner.domain_size.saturating_sub(scanning_now);
+        let top = self.fleet.dvfs.max_level();
+        let pm = self.fleet.power_model();
+        let cores = self.fleet.chips.first().map_or(0, |c| c.cores.len());
+        for i in 0..n {
+            if may_take == 0 {
+                break;
+            }
+            if !faults.draining[i]
+                || !self.queues[i].is_empty()
+                || self.in_situ.as_ref().is_some_and(|s| s.blocked[i])
+            {
+                continue;
+            }
+            let chip = &self.fleet.chips[i];
+            let grid = faults
+                .grid
+                .as_ref()
+                .expect("re-profiling without a grid")
+                .clone();
+            let mut records = ProfilingRecords::new(grid, n, cores);
+            let duration = faults
+                .scanner
+                .as_ref()
+                .expect("re-profiling without a scanner")
+                .profile_chip(chip, &mut records, &mut faults.scan_rng);
+            // The chip is isolated and idle for the whole scan, so the
+            // measurement taken now equals the one at scan end: no wear
+            // can accrue in between.
+            let chip_id = ChipId(i as u32);
+            let measured: Vec<f64> = self
+                .fleet
+                .dvfs
+                .levels()
+                .map(|l| {
+                    records
+                        .measured_vmin_chip(chip_id, l)
+                        .unwrap_or_else(|| self.fleet.dvfs.v_nom(l))
+                })
+                .collect();
+            faults.pending_vmin[i] = Some(measured);
+            faults.draining[i] = false;
+            faults.scanning[i] = true;
+            faults.chips_rescanned += 1;
+            faults.rescan_downtime += duration;
+            // A chip under re-scan runs its stress workload at nominal
+            // voltage and full clock, like the in-situ scanner's targets.
+            faults.reprofile_power_w += self.cooling.facility_power(pm.chip_power(
+                chip,
+                &self.fleet.dvfs,
+                top,
+                self.fleet.dvfs.v_nom(top),
+            ));
+            ctx.schedule(now + duration, Ev::ReprofileDone { chip: i as u32 });
+            may_take -= 1;
+        }
+    }
+
+    /// A re-scan finished: the chip rejoins service with a plan entry
+    /// rebuilt from the fresh measurement, cleared quarantine, and a
+    /// reset stress clock.
+    fn reprofile_done(&mut self, chip_idx: u32, now: SimTime) {
+        let ci = chip_idx as usize;
+        let top = self.fleet.dvfs.max_level();
+        let pm = self.fleet.power_model();
+        let chip = &self.fleet.chips[ci];
+        let scan_power = self.cooling.facility_power(pm.chip_power(
+            chip,
+            &self.fleet.dvfs,
+            top,
+            self.fleet.dvfs.v_nom(top),
+        ));
+        let faults = self
+            .faults
+            .as_mut()
+            .expect("re-profile completion without fault injection");
+        faults.scanning[ci] = false;
+        faults.suspect[ci] = false;
+        faults.stress_hours[ci] = 0.0;
+        faults.reprofile_power_w = (faults.reprofile_power_w - scan_power).max(0.0);
+        let measured = faults.pending_vmin[ci]
+            .take()
+            .expect("re-scan finished without a measurement");
+        let voltages: Vec<f64> = measured
+            .iter()
+            .map(|&v| v + iscope_pvmodel::SCAN_GUARDBAND_V)
+            .collect();
+        let est: Vec<f64> = self
+            .fleet
+            .dvfs
+            .levels()
+            .map(|l| {
+                pm.power(
+                    chip.alpha,
+                    chip.beta,
+                    self.fleet.dvfs.freq_ghz(l),
+                    voltages[l.0 as usize],
+                )
+            })
+            .collect();
+        self.plan.update_chip(ChipId(chip_idx), voltages, est);
+        self.refreeze_running_rows(now);
     }
 
     /// Runs the supply/demand matcher over the running jobs and applies
@@ -1133,6 +1713,7 @@ impl Sim {
         for &c in &chips {
             let ci = c.0 as usize;
             self.usage[ci] += busy;
+            self.apply_wear(ci, busy);
             let q = &mut self.queues[ci];
             debug_assert_eq!(q.front(), Some(&idx), "completed job was not at head");
             q.pop_front();
@@ -1203,6 +1784,36 @@ impl Model<Ev> for Sim {
             }
             Ev::ProfilingDone { chip } => {
                 self.profiling_done(chip, now);
+                self.rebalance(now, ctx);
+            }
+            Ev::TimingFailure { job, attempt, chip } => {
+                if self.jobs[job].phase == Phase::Running && self.jobs[job].starts == attempt {
+                    self.fail_job(job, chip, now, ctx);
+                }
+                self.rebalance(now, ctx);
+            }
+            Ev::Retry { job } => {
+                // Retries bypass deferral: a failed job has already burned
+                // schedule slack, so it goes straight back into placement.
+                if self.jobs[job].phase == Phase::Waiting && self.jobs[job].chips.is_empty() {
+                    self.place_job(job, now);
+                    self.try_start(&[job], now, ctx);
+                }
+                self.rebalance(now, ctx);
+            }
+            Ev::ReprofileCheck => {
+                self.reprofile_check(now, ctx);
+                if self.done_count < self.jobs.len() {
+                    if let Some(faults) = &self.faults {
+                        if let Some(r) = &faults.config.reprofile {
+                            ctx.schedule(now + r.check_interval, Ev::ReprofileCheck);
+                        }
+                    }
+                }
+                self.rebalance(now, ctx);
+            }
+            Ev::ReprofileDone { chip } => {
+                self.reprofile_done(chip, now);
                 self.rebalance(now, ctx);
             }
         }
@@ -1285,6 +1896,11 @@ pub fn run_simulation_instrumented(input: SimInput) -> (RunReport, RunStats) {
             Ev::ProfilingCheck,
         );
     }
+    if let Some(faults) = &sim.faults {
+        if let Some(r) = &faults.config.reprofile {
+            engine.prime(SimTime::ZERO + r.check_interval, Ev::ReprofileCheck);
+        }
+    }
     let stop = engine.run(&mut sim);
     assert_eq!(
         stop,
@@ -1310,6 +1926,16 @@ pub fn run_simulation_instrumented(input: SimInput) -> (RunReport, RunStats) {
         profiling_energy_kwh: s.profiling_energy_note_j / 3.6e6,
         tests_run: s.records.tests_run(),
     });
+    let faults = sim.faults.as_ref().map(|f| crate::report::FaultStats {
+        timing_failures: f.timing_failures,
+        retries: f.retries,
+        failed_jobs: f.failed_jobs,
+        suspect_chips: f.suspect.iter().filter(|&&s| s).count(),
+        chips_rescanned: f.chips_rescanned,
+        wasted_kwh: f.wasted_j / 3.6e6,
+        rescan_downtime_hours: f.rescan_downtime.as_hours_f64(),
+        rescan_energy_kwh: f.reprofile_energy_j / 3.6e6,
+    });
     let report = RunReport {
         scheme,
         ledger: sim.ledger,
@@ -1320,6 +1946,7 @@ pub fn run_simulation_instrumented(input: SimInput) -> (RunReport, RunStats) {
         usage_hours: sim.usage.iter().map(|u| u.as_hours_f64()).collect(),
         power_series,
         profiling,
+        faults,
     };
     let stats = RunStats {
         events: engine.steps(),

@@ -13,7 +13,8 @@ use iscope_experiments::{
 
 const USAGE: &str = "usage: iscope-exp <experiment> [--fast|--paper]\n\
 experiments: table1 table2 fig4 fig5 fig6 fig7 fig8 fig9 fig10 overhead \
-insitu ablations sensitivity lifetime workload bench-report bench-smoke all (default: all)\n\
+insitu ablations sensitivity lifetime workload bench-report bench-smoke \
+fault-smoke all (default: all)\n\
 scales: default = 240 CPUs (1/20 of the paper); --fast = bench cell; \
 --paper = the full 4800-CPU testbed";
 
@@ -173,6 +174,13 @@ fn main() {
         // CI gate: a scaled-down DVFS-stressed run, incremental vs
         // ground-truth replay, asserting bit-identical reports.
         bench_report::smoke();
+        ran += 1;
+    }
+    if which == "fault-smoke" {
+        // CI gate: fault injection fails jobs under a frozen plan, a
+        // tight re-profiling cadence prevents every failure, and both
+        // reproduce bit-identically (not part of "all").
+        lifetime::fault_smoke();
         ran += 1;
     }
     if ran == 0 {

@@ -135,6 +135,7 @@ fn run_with_bins(cfg: &ExpConfig, bins: usize) -> iscope::RunReport {
         dvfs_mode: iscope::DvfsMode::GlobalLevel,
         deferral: None,
         in_situ: None,
+        fault_injection: None,
         surplus_signal: iscope::SurplusSignal::Instantaneous,
         force_replay_avail: false,
         force_replay_demand: false,

@@ -26,6 +26,7 @@ pub mod binning;
 pub mod chip;
 pub mod cooling;
 pub mod exectime;
+pub mod failure;
 pub mod freq;
 pub mod params;
 pub mod plan;
@@ -38,6 +39,7 @@ pub use binning::{Bin, BinId, Binning, OpteronBin, OPTERON_6300_BINS};
 pub use chip::{Chip, ChipId, Core, CoreId};
 pub use cooling::CoolingModel;
 pub use exectime::{exec_time_secs, speed_factor, CpuBoundness};
+pub use failure::FailureModel;
 pub use freq::{DvfsConfig, FreqLevel};
 pub use params::VariationParams;
 pub use plan::{

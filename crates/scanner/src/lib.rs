@@ -33,4 +33,6 @@ pub use overhead::{OverheadModel, ProfilingCost};
 pub use protocol::{ScanReport, Scanner, ScannerConfig};
 pub use records::{ProfilingRecords, VoltageGrid};
 pub use sbft::{TestKind, TestOutcome, TestProgram};
-pub use staleness::{analyse_staleness, safe_reprofile_interval_hours, StalenessReport};
+pub use staleness::{
+    analyse_staleness, safe_reprofile_interval_hours, ReprofilePolicy, StalenessReport,
+};

@@ -87,6 +87,57 @@ pub fn safe_reprofile_interval_hours(
     }
 }
 
+/// When the simulator re-runs SBFT on a live fleet (the closed staleness
+/// loop): either on a fixed stress-hour cadence, or adaptively as a
+/// fraction of [`safe_reprofile_interval_hours`] computed from the
+/// initial plan.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub enum ReprofilePolicy {
+    /// Re-scan a chip once it has accumulated this many stress hours.
+    Fixed {
+        /// Stress-hour cadence between scans of the same chip.
+        stress_hours: f64,
+    },
+    /// Re-scan at `fraction` of the plan's guaranteed-safe interval.
+    /// Fractions at or below 1.0 mean no chip can drift past its
+    /// guardband between scans; above 1.0 deliberately gambles.
+    Adaptive {
+        /// Multiplier on the safe interval (e.g. 0.5 = twice as often).
+        fraction: f64,
+    },
+}
+
+impl ReprofilePolicy {
+    /// Panics if the policy is out of domain.
+    pub fn validate(&self) {
+        match *self {
+            ReprofilePolicy::Fixed { stress_hours } => {
+                assert!(stress_hours > 0.0, "cadence must be positive")
+            }
+            ReprofilePolicy::Adaptive { fraction } => {
+                assert!(fraction > 0.0, "fraction must be positive")
+            }
+        }
+    }
+
+    /// Stress hours a chip may accumulate before it is due for a re-scan.
+    /// Infinite policies (e.g. `Fixed { stress_hours: INFINITY }`) never
+    /// trigger.
+    pub fn stress_interval_hours(
+        &self,
+        fleet: &Fleet,
+        plan: &OperatingPlan,
+        aging: &AgingModel,
+    ) -> f64 {
+        match *self {
+            ReprofilePolicy::Fixed { stress_hours } => stress_hours,
+            ReprofilePolicy::Adaptive { fraction } => {
+                fraction * safe_reprofile_interval_hours(fleet, plan, aging)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,5 +216,23 @@ mod tests {
             ..AgingModel::default()
         };
         assert!(safe_reprofile_interval_hours(&fleet, &plan, &frozen).is_infinite());
+    }
+
+    #[test]
+    fn reprofile_policy_resolves_cadence() {
+        let (fleet, plan) = setup();
+        let aging = AgingModel::default();
+        let safe = safe_reprofile_interval_hours(&fleet, &plan, &aging);
+        let fixed = ReprofilePolicy::Fixed { stress_hours: 42.0 };
+        fixed.validate();
+        assert_eq!(fixed.stress_interval_hours(&fleet, &plan, &aging), 42.0);
+        let adaptive = ReprofilePolicy::Adaptive { fraction: 0.5 };
+        adaptive.validate();
+        let interval = adaptive.stress_interval_hours(&fleet, &plan, &aging);
+        assert!((interval - 0.5 * safe).abs() < 1e-9);
+        // An adaptive cadence at or below the safe interval can never let a
+        // chip drift past its guardband between scans.
+        let r = analyse_staleness(&fleet, &plan, &aging, interval);
+        assert_eq!(r.unsafe_chips, 0);
     }
 }

@@ -2,9 +2,12 @@
 //! shapes, measurements stay safe and the early-stop logic stays sound.
 
 use iscope_dcsim::SimRng;
-use iscope_pvmodel::{Chip, ChipId, CoreId, DvfsConfig, Fleet, FreqLevel, VariationParams};
+use iscope_pvmodel::{
+    AgingModel, Chip, ChipId, CoreId, DvfsConfig, Fleet, FreqLevel, OperatingPlan, VariationParams,
+};
 use iscope_scanner::{
-    ProfilingRecords, Scanner, ScannerConfig, TestKind, TestOutcome, VoltageGrid,
+    analyse_staleness, safe_reprofile_interval_hours, ProfilingRecords, Scanner, ScannerConfig,
+    TestKind, TestOutcome, VoltageGrid,
 };
 use proptest::prelude::*;
 
@@ -106,6 +109,29 @@ proptest! {
             }
             None => prop_assert_eq!(measured, None),
         }
+    }
+
+    /// The safe re-profiling interval really is safe: for any fleet, any
+    /// scanned plan, and any (positive-drift) aging law, a profile aged
+    /// strictly less than `safe_reprofile_interval_hours` reports zero
+    /// unsafe chips and a positive worst margin.
+    #[test]
+    fn aging_within_the_safe_interval_is_always_safe(
+        seed in any::<u64>(),
+        chips in 2usize..12,
+        drift_v_per_kh in 0.0005f64..0.02,
+        voltage_exponent in 1.0f64..6.0,
+        frac in 0.01f64..0.99,
+    ) {
+        let f = fleet(chips, seed);
+        let scan = Scanner::new(ScannerConfig::default()).profile_fleet(&f, seed);
+        let plan = OperatingPlan::from_scanned(&f, &scan.measured_vmin);
+        let aging = AgingModel { drift_v_per_kh, voltage_exponent };
+        let safe = safe_reprofile_interval_hours(&f, &plan, &aging);
+        prop_assert!(safe.is_finite() && safe > 0.0);
+        let r = analyse_staleness(&f, &plan, &aging, frac * safe);
+        prop_assert_eq!(r.unsafe_chips, 0, "aged {:.1} of {:.1} safe hours: {:?}", frac * safe, safe, r);
+        prop_assert!(r.worst_margin_v > 0.0);
     }
 
     /// profile_chip leaves every core complete for any chip the default

@@ -9,11 +9,14 @@
 //!   strategy × scheduling rule) and their operating-plan construction.
 //! * [`dvfs`] — greedy supply/demand budget matching: scale down while
 //!   deadlines allow, restore when the renewable budget recovers.
+//! * [`recovery`] — bounded-retry policy for gangs killed by runtime
+//!   timing failures.
 
 #![warn(missing_docs)]
 
 pub mod dvfs;
 pub mod placement;
+pub mod recovery;
 pub mod scheme;
 pub mod view;
 
@@ -21,5 +24,6 @@ pub use dvfs::{match_budget, DvfsCandidate, MatchOutcome};
 pub use placement::{
     EfficiencyPlacement, FairPlacement, Placement, PlacementDecision, RandomPlacement,
 };
+pub use recovery::RetryPolicy;
 pub use scheme::{Profiling, Scheme};
 pub use view::{PlaceScratch, ProcView, ScratchBufs};

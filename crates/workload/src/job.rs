@@ -96,6 +96,13 @@ impl Workload {
         self.jobs.iter().map(|j| j.core_seconds()).sum()
     }
 
+    /// Time of the first submission (t = 0 if empty). Real PWA traces
+    /// rarely start at the origin, so span computations must use this
+    /// rather than assuming submit times begin at zero.
+    pub fn first_submit(&self) -> SimTime {
+        self.jobs.first().map(|j| j.submit).unwrap_or(SimTime::ZERO)
+    }
+
     /// Time of the last submission (t = 0 if empty).
     pub fn last_submit(&self) -> SimTime {
         self.jobs.last().map(|j| j.submit).unwrap_or(SimTime::ZERO)

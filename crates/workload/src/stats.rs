@@ -76,7 +76,10 @@ impl WorkloadStats {
             size_histogram,
             mean_deadline_factor,
             hu_fraction: w.hu_fraction(),
-            span_hours: w.last_submit().as_hours_f64(),
+            span_hours: w
+                .last_submit()
+                .saturating_since(w.first_submit())
+                .as_hours_f64(),
         })
     }
 
@@ -142,6 +145,27 @@ mod tests {
     #[test]
     fn empty_workload_has_no_stats() {
         assert!(WorkloadStats::from_workload(&Workload::new(vec![])).is_none());
+    }
+
+    #[test]
+    fn span_is_relative_to_the_first_submission() {
+        use crate::job::{Job, JobId, Urgency};
+        use iscope_dcsim::{SimDuration, SimTime};
+        use iscope_pvmodel::CpuBoundness;
+        // A PWA-style trace whose origin is far from t = 0: the span must
+        // be last - first, not last - 0.
+        let job = |id: u32, submit_h: u64| Job {
+            id: JobId(id),
+            submit: SimTime::ZERO + SimDuration::from_hours(submit_h),
+            cpus: 4,
+            runtime_at_fmax: SimDuration::from_secs(600),
+            gamma: CpuBoundness::new(0.9),
+            deadline: SimTime::ZERO + SimDuration::from_hours(submit_h + 2),
+            urgency: Urgency::Low,
+        };
+        let w = Workload::new(vec![job(0, 1000), job(1, 1003)]);
+        let s = WorkloadStats::from_workload(&w).unwrap();
+        assert!((s.span_hours - 3.0).abs() < 1e-9, "span {}", s.span_hours);
     }
 
     #[test]

@@ -55,10 +55,12 @@ impl SwfRecord {
     }
 
     /// Formats the record as a full 18-field SWF line (fields this struct
-    /// does not model are emitted as `-1`).
+    /// does not model are emitted as `-1`). Times use `{}` (shortest
+    /// round-trip float formatting), so fractional seconds survive a
+    /// parse → write → parse cycle instead of being rounded away.
     pub fn to_line(&self) -> String {
         format!(
-            "{} {:.0} {:.0} {:.0} {} -1 -1 {} {:.0} -1 {} -1 -1 -1 -1 -1 -1 -1",
+            "{} {} {} {} {} -1 -1 {} {} -1 {} -1 -1 -1 -1 -1 -1 -1",
             self.job_number,
             self.submit_s,
             self.wait_s,
@@ -115,8 +117,15 @@ pub fn parse_swf(text: &str) -> Result<Vec<SwfRecord>, SwfError> {
                 message: format!("field {}: {e}", i + 1),
             })
         };
+        let job_number = g(0)?;
+        if job_number < 0 {
+            return Err(SwfError {
+                line: idx + 1,
+                message: format!("field 1: negative job number {job_number}"),
+            });
+        }
         out.push(SwfRecord {
-            job_number: g(0)? as u64,
+            job_number: job_number as u64,
             submit_s: f(1)?,
             wait_s: f(2)?,
             run_s: f(3)?,
@@ -186,6 +195,27 @@ mod tests {
         let text = write_swf(&recs, "LLNL Thunder");
         let again = parse_swf(&text).unwrap();
         assert_eq!(recs, again);
+    }
+
+    #[test]
+    fn fractional_times_round_trip() {
+        let line = "7 10.5 0.25 59.125 8 -1 -1 8 600.75 -1 1";
+        let recs = parse_swf(line).unwrap();
+        assert_eq!(recs[0].submit_s, 10.5);
+        assert_eq!(recs[0].run_s, 59.125);
+        let text = write_swf(&recs, "frac");
+        let again = parse_swf(&text).unwrap();
+        assert_eq!(recs, again, "parse -> write -> parse is a fixed point");
+        // And a second cycle stays put (true fixed point, not just equal).
+        assert_eq!(write_swf(&again, "frac"), text);
+    }
+
+    #[test]
+    fn rejects_negative_job_numbers() {
+        let bad = "-3 0 0 60 4 -1 -1 4 100 -1 1";
+        let err = parse_swf(bad).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("negative job number"), "{err}");
     }
 
     #[test]

@@ -33,7 +33,6 @@ proptest! {
                 run_s: run as f64,
                 allocated_procs: procs,
                 requested_procs: procs,
-                // SWF stores whole seconds; the writer prints {:.0}.
                 requested_s: (run as f64 * 1.5).round(),
                 status,
             })
@@ -41,6 +40,45 @@ proptest! {
         let text = write_swf(&records, "proptest");
         let back = parse_swf(&text).unwrap();
         prop_assert_eq!(back, records);
+    }
+
+    /// Fractional submit/wait/run times survive write → parse exactly: the
+    /// writer emits the shortest round-trip representation, so parse →
+    /// write is a fixed point even for sub-second timestamps.
+    #[test]
+    fn swf_fractional_times_round_trip(
+        rows in proptest::collection::vec(
+            (1u64..1_000_000, 0.0f64..1e7, 0.0f64..1e5, 0.0f64..1e6, 1i64..4096),
+            1..60,
+        ),
+    ) {
+        let records: Vec<SwfRecord> = rows
+            .iter()
+            .map(|&(num, submit, wait, run, procs)| SwfRecord {
+                job_number: num,
+                submit_s: submit,
+                wait_s: wait,
+                run_s: run,
+                allocated_procs: procs,
+                requested_procs: procs,
+                requested_s: run * 1.5,
+                status: 1,
+            })
+            .collect();
+        let text = write_swf(&records, "proptest");
+        let back = parse_swf(&text).unwrap();
+        prop_assert_eq!(&back, &records);
+        prop_assert_eq!(write_swf(&back, "proptest"), text);
+    }
+
+    /// Negative job numbers are a parse error (not a silent wrap to a huge
+    /// unsigned id), and the error names the offending line.
+    #[test]
+    fn swf_negative_job_numbers_are_rejected(num in i64::MIN..0) {
+        let line = format!("{num} 0 0 60 4 -1 -1 4 100 -1 1");
+        let err = parse_swf(&line).unwrap_err();
+        prop_assert_eq!(err.line, 1);
+        prop_assert!(err.message.contains("negative job number"), "{}", err);
     }
 
     /// Shaping preserves sizes and runtimes, never puts a deadline before

@@ -1,0 +1,138 @@
+//! Runtime fault injection and recovery: the closed staleness loop.
+//!
+//! Covers the hard guarantees: fault-free configs stay bit-identical
+//! (including a zero-drift enabled model), the same seed reproduces the
+//! same failure sequence, bounded retries abandon jobs into the deadline
+//! ledger, and a tight re-profiling cadence drives failures to zero.
+
+use iscope::prelude::*;
+use iscope::{FaultInjectionConfig, ReprofileConfig};
+use iscope_dcsim::SimDuration;
+use iscope_pvmodel::{AgingModel, FailureModel};
+use iscope_scanner::ReprofilePolicy;
+use iscope_sched::RetryPolicy;
+use iscope_workload::SyntheticTrace;
+
+/// Small but non-trivial scenario: 16 chips, 60 gang jobs no wider than
+/// half the fleet, so quarantine and re-scan isolation never starve
+/// placement. Runtimes are capped at 15 minutes so no *single* attempt
+/// can drift a freshly scanned chip past its guardband — the regime where
+/// re-profiling cadence (not attempt length) decides safety.
+fn base() -> GreenDatacenterSim {
+    GreenDatacenterSim::builder()
+        .fleet_size(16)
+        .scheme(Scheme::ScanFair)
+        .synthetic_trace(SyntheticTrace {
+            num_jobs: 60,
+            max_cpus: 8,
+            runtime_clamp_s: (300.0, 900.0),
+            ..SyntheticTrace::default()
+        })
+        .seed(11)
+}
+
+/// A failure model aggressive enough to matter inside a short run: time
+/// acceleration scales each busy hour into thousands of stress hours, and
+/// a tightened jitter keeps the failure predicate sharp.
+fn faulty(accel: f64, reprofile: Option<ReprofileConfig>) -> FaultInjectionConfig {
+    FaultInjectionConfig {
+        model: FailureModel {
+            time_acceleration: accel,
+            jitter_v_sd: 0.0002,
+            ..FailureModel::default()
+        },
+        reprofile,
+        ..FaultInjectionConfig::default()
+    }
+}
+
+#[test]
+fn disabled_runs_report_no_fault_stats() {
+    let r = base().build().run();
+    assert!(r.faults.is_none());
+}
+
+#[test]
+fn zero_drift_fault_injection_is_bit_identical_to_fault_free() {
+    let plain = base().build().run();
+    let zero = FaultInjectionConfig {
+        model: FailureModel {
+            aging: AgingModel {
+                drift_v_per_kh: 0.0,
+                ..AgingModel::default()
+            },
+            ..FailureModel::default()
+        },
+        ..FaultInjectionConfig::default()
+    };
+    let r = base().fault_injection(zero).build().run();
+    let f = r.faults.expect("fault stats present when enabled");
+    assert_eq!(f.timing_failures, 0);
+    assert_eq!(f.retries, 0);
+    assert_eq!(f.failed_jobs, 0);
+    assert_eq!(f.wasted_kwh, 0.0);
+    // With no drift there is nothing to fail and nothing to wear: the
+    // run must match the fault-free baseline bit for bit.
+    assert_eq!(r.ledger, plain.ledger);
+    assert_eq!(r.makespan, plain.makespan);
+    assert_eq!(r.usage_hours, plain.usage_hours);
+    assert_eq!(r.deadline_misses, plain.deadline_misses);
+}
+
+#[test]
+fn stale_plans_fail_jobs_and_the_sequence_is_reproducible() {
+    let a = base().fault_injection(faulty(4000.0, None)).build().run();
+    let fa = a.faults.expect("fault stats present");
+    assert!(fa.timing_failures > 0, "no failures injected: {fa:?}");
+    assert!(fa.retries > 0, "failures never retried: {fa:?}");
+    assert!(fa.wasted_kwh > 0.0, "failed attempts burned no energy");
+    // Same seed, same configuration: the whole failure sequence — and
+    // everything downstream of it — must reproduce exactly.
+    let b = base().fault_injection(faulty(4000.0, None)).build().run();
+    assert_eq!(fa, b.faults.unwrap());
+    assert_eq!(a.ledger, b.ledger);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.usage_hours, b.usage_hours);
+}
+
+#[test]
+fn exhausted_retries_abandon_the_job_into_the_deadline_ledger() {
+    let mut cfg = faulty(200_000.0, None);
+    cfg.retry = RetryPolicy {
+        max_retries: 0,
+        ..RetryPolicy::default()
+    };
+    let r = base().fault_injection(cfg).build().run();
+    let f = r.faults.expect("fault stats present");
+    assert!(f.timing_failures > 0);
+    assert_eq!(f.retries, 0, "max_retries = 0 must never retry");
+    assert!(f.failed_jobs > 0, "abandoned jobs expected: {f:?}");
+    assert!(
+        r.deadline_misses >= f.failed_jobs,
+        "every abandoned job counts as a deadline miss"
+    );
+}
+
+#[test]
+fn tight_reprofiling_cadence_drives_failures_to_zero() {
+    let frozen = base().fault_injection(faulty(4000.0, None)).build().run();
+    let frozen_faults = frozen.faults.unwrap();
+    assert!(frozen_faults.timing_failures > 0, "{frozen_faults:?}");
+    let reprofile = ReprofileConfig {
+        policy: ReprofilePolicy::Adaptive { fraction: 0.1 },
+        check_interval: SimDuration::from_mins(10),
+        ..ReprofileConfig::default()
+    };
+    let r = base()
+        .fault_injection(faulty(4000.0, Some(reprofile)))
+        .build()
+        .run();
+    let f = r.faults.expect("fault stats present");
+    assert!(f.chips_rescanned > 0, "cadence never triggered: {f:?}");
+    assert!(f.rescan_downtime_hours > 0.0);
+    assert!(f.rescan_energy_kwh > 0.0);
+    assert_eq!(
+        f.timing_failures, 0,
+        "a cadence well under the safe interval must prevent failures: {f:?}"
+    );
+}
