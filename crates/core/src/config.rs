@@ -2,9 +2,10 @@
 
 use crate::report::RunReport;
 use crate::simulation::{
-    run_simulation, DeferralConfig, DvfsMode, FaultInjectionConfig, InSituConfig, SimInput,
-    SurplusSignal,
+    run_simulation, AuditConfig, DeferralConfig, DvfsMode, FaultInjectionConfig, InSituConfig,
+    SimInput, SurplusSignal,
 };
+use crate::telemetry::TelemetryConfig;
 use iscope_dcsim::SimDuration;
 use iscope_energy::Supply;
 use iscope_pvmodel::{CoolingModel, DvfsConfig, Fleet, VariationParams};
@@ -46,6 +47,8 @@ pub struct GreenDatacenterSim {
     per_core_domains: bool,
     force_replay_avail: bool,
     force_replay_demand: bool,
+    audit: Option<AuditConfig>,
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl GreenDatacenterSim {
@@ -76,6 +79,8 @@ impl GreenDatacenterSim {
             per_core_domains: false,
             force_replay_avail: false,
             force_replay_demand: false,
+            audit: None,
+            telemetry: None,
         }
     }
 
@@ -220,6 +225,26 @@ impl GreenDatacenterSim {
         self
     }
 
+    /// Enables the run-wide invariant auditor (DESIGN.md §4): an
+    /// independent shadow of the energy books that cross-checks the
+    /// ledger, the incremental demand aggregates, per-chip busy time, and
+    /// the deadline count. Observational only — runs are bit-identical
+    /// with auditing on or off; a strict config panics on any breach.
+    pub fn audit(mut self, cfg: AuditConfig) -> Self {
+        self.audit = Some(cfg);
+        self
+    }
+
+    /// Enables fixed-cadence telemetry recording: one
+    /// [`crate::telemetry::TelemetryRecord`] per interval on the report
+    /// (supply, demand, utility draw, queue depth, per-level DVFS
+    /// occupancy, quarantined chips). Passive sample-and-hold — enabling
+    /// it never perturbs the simulation.
+    pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.telemetry = Some(cfg);
+        self
+    }
+
     /// Enables runtime fault injection (the closed staleness loop):
     /// running jobs age their chips, drifted Min Vdd raises timing
     /// failures, failed gangs retry with backoff, and an optional
@@ -311,6 +336,8 @@ impl GreenDatacenterSim {
                 surplus_signal: self.surplus_signal,
                 force_replay_avail: self.force_replay_avail,
                 force_replay_demand: self.force_replay_demand,
+                audit: self.audit,
+                telemetry: self.telemetry,
             },
         }
     }

@@ -37,13 +37,16 @@ pub mod config;
 pub mod experiments;
 pub mod report;
 pub mod simulation;
+pub mod telemetry;
 
 pub use config::{GreenDatacenterSim, SimRun};
-pub use report::{FaultStats, ProfilingStats, RunReport};
+pub use report::{AuditReport, FaultStats, ProfilingStats, RunReport};
 pub use simulation::{
-    run_simulation, run_simulation_instrumented, DeferralConfig, DvfsMode, FaultInjectionConfig,
-    InSituConfig, PhaseTimers, ReprofileConfig, RunStats, SimInput, SurplusSignal,
+    run_simulation, run_simulation_instrumented, AuditConfig, DeferralConfig, DvfsMode,
+    FaultInjectionConfig, InSituConfig, PhaseTimers, ReprofileConfig, RunStats, SimInput,
+    SurplusSignal,
 };
+pub use telemetry::{TelemetryConfig, TelemetryRecord};
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {

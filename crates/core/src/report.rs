@@ -31,6 +31,45 @@ pub struct RunReport {
     /// Runtime fault-injection statistics, when the timing-failure model
     /// was enabled.
     pub faults: Option<FaultStats>,
+    /// What the invariant auditor found, when auditing was enabled.
+    pub audit: Option<AuditReport>,
+    /// Fixed-cadence telemetry samples, when telemetry recording was
+    /// enabled (see [`crate::telemetry`] for the JSONL codec).
+    pub telemetry: Option<Vec<crate::telemetry::TelemetryRecord>>,
+}
+
+/// What the run-wide invariant auditor measured and concluded (DESIGN.md
+/// §4). Built only when [`crate::simulation::AuditConfig`] was set; a
+/// strict audit panics before this report is ever observable, so a report
+/// with violations implies `strict: false`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AuditReport {
+    /// Energy intervals independently integrated.
+    pub intervals: u64,
+    /// Demand-snapshot cross-checks performed (one per demand refresh).
+    pub demand_checks: u64,
+    /// The auditor's independently integrated wind energy (J).
+    pub audit_wind_j: f64,
+    /// The auditor's independently integrated utility energy (J).
+    pub audit_utility_j: f64,
+    /// `|audit total − ledger total| / max(1, ledger total)`.
+    pub energy_rel_residual: f64,
+    /// Whether every chip's integrated busy time matched the per-attempt
+    /// usage sums exactly (integer milliseconds).
+    pub busy_time_ok: bool,
+    /// Whether the independent deadline recount matched the ledger.
+    pub deadline_ok: bool,
+    /// Breaches beyond the recorded-detail cap.
+    pub suppressed_violations: u64,
+    /// Recorded invariant breaches (empty on a clean run).
+    pub violations: Vec<String>,
+}
+
+impl AuditReport {
+    /// Whether the run passed every invariant check.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty() && self.suppressed_violations == 0
+    }
 }
 
 /// What the in-situ scanner accomplished during a run.
@@ -165,6 +204,8 @@ mod tests {
             power_series: vec![],
             profiling: None,
             faults: None,
+            audit: None,
+            telemetry: None,
         }
     }
 

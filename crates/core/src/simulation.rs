@@ -15,8 +15,11 @@
 //! events, wind is piecewise-constant between `WindSample`s, so the
 //! ledger's wind/utility split is event-by-event exact.
 
-use crate::report::RunReport;
-use iscope_dcsim::{Ctx, Engine, Model, Sampler, SimDuration, SimRng, SimTime, StopReason};
+use crate::report::{AuditReport, RunReport};
+use crate::telemetry::{self, TelemetryConfig};
+use iscope_dcsim::{
+    Ctx, Engine, Model, RowSampler, Sampler, SimDuration, SimRng, SimTime, StopReason,
+};
 use iscope_energy::{EnergyLedger, Supply};
 use iscope_pvmodel::{
     microwatts_to_watts, speed_factor, watts_to_microwatts, ChipId, CoolingModel, FailureModel,
@@ -82,6 +85,39 @@ pub struct SimInput {
     /// integer microwatts, so runs must be bit-identical either way; the
     /// equivalence suite flips this to prove it.
     pub force_replay_demand: bool,
+    /// Optional run-wide invariant auditor (DESIGN.md §4): independently
+    /// re-integrates energy against wall-clock event intervals and
+    /// cross-checks the ledger, the incremental demand aggregates,
+    /// per-chip busy time, and the deadline ledger. Purely observational —
+    /// `None` (the default) leaves every code path bit-identical.
+    pub audit: Option<AuditConfig>,
+    /// Optional fixed-cadence telemetry recording
+    /// ([`crate::telemetry`]). Passive sample-and-hold — enabling it
+    /// never perturbs event order, RNG streams, or the ledger.
+    pub telemetry: Option<TelemetryConfig>,
+}
+
+/// Switches the run-wide invariant auditor on.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditConfig {
+    /// Relative tolerance for the floating-point cross-checks (the
+    /// demand snapshot per event and the energy residual at the end).
+    /// Integer checks (µW aggregates, busy milliseconds, deadline
+    /// counts) are always exact.
+    pub tolerance: f64,
+    /// Panic at the end of the run if any invariant was breached
+    /// (default). With `false`, breaches are only reported through
+    /// [`AuditReport::violations`].
+    pub strict: bool,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            tolerance: 1e-9,
+            strict: true,
+        }
+    }
 }
 
 /// ScanFair's wind-surplus detector.
@@ -382,8 +418,75 @@ struct Sim {
     /// Scratch buffer for the level changes a rebalance applies, reused
     /// across invocations like `PlaceScratch`'s candidate buffers.
     level_scratch: Vec<usize>,
+    /// Jobs submitted (or requeued for retry) but not yet running: the
+    /// telemetry queue-depth signal. Integer-only bookkeeping at the
+    /// three phase-transition points, so maintaining it unconditionally
+    /// cannot perturb floats, RNG streams, or event order.
+    queued_jobs: u64,
+    /// Run-wide invariant auditor, when enabled.
+    audit: Option<AuditState>,
+    /// Fixed-cadence telemetry recorder, when enabled.
+    telemetry: Option<TelemetryState>,
     /// Wall-clock nanoseconds spent per hot-path phase.
     phase_ns: PhaseTimers,
+}
+
+/// Runtime state of the invariant auditor: an independent shadow of the
+/// energy books. `demand_w` is the auditor's own demand snapshot —
+/// recomputed from the plan and fleet at every demand refresh, never read
+/// from the incremental aggregates it cross-checks — and the energy
+/// integrals accumulate `demand_w` against the same event intervals the
+/// ledger sees.
+struct AuditState {
+    config: AuditConfig,
+    /// The auditor's demand snapshot (W) for the interval now opening.
+    demand_w: f64,
+    /// Independently integrated wind energy (J).
+    wind_j: f64,
+    /// Independently integrated utility energy (J).
+    utility_j: f64,
+    /// Independently integrated per-chip busy time (ms): each accounting
+    /// interval adds its length to every chip of every running job.
+    /// Integer milliseconds, so the end-of-run comparison against the
+    /// per-attempt `usage` sums is exact.
+    busy_ms: Vec<u64>,
+    /// Independent deadline recount (completion instant vs the job's own
+    /// deadline; abandoned jobs count once).
+    deadline_misses: usize,
+    /// Energy intervals integrated.
+    intervals: u64,
+    /// Demand-snapshot cross-checks performed.
+    demand_checks: u64,
+    /// Scratch for the per-level recomputation.
+    by_level_scratch: Vec<i64>,
+    /// Recorded invariant breaches (detail capped; see `suppressed`).
+    violations: Vec<String>,
+    /// Breaches beyond the detail cap.
+    suppressed: u64,
+}
+
+/// Cap on recorded violation detail strings; further breaches only bump
+/// the suppressed counter so a badly broken run cannot balloon memory.
+const MAX_VIOLATION_DETAILS: usize = 16;
+
+impl AuditState {
+    fn violation(&mut self, msg: String) {
+        if self.violations.len() < MAX_VIOLATION_DETAILS {
+            self.violations.push(msg);
+        } else {
+            self.suppressed += 1;
+        }
+    }
+}
+
+/// Runtime state of the telemetry recorder: one multi-channel
+/// sample-and-hold sampler plus a reusable row buffer. Channel layout
+/// (see [`crate::telemetry`]): supply W, demand W, utility W, queue
+/// depth, one channel per DVFS level (running jobs at that level),
+/// quarantined-chip count.
+struct TelemetryState {
+    sampler: RowSampler,
+    row_scratch: Vec<f64>,
 }
 
 struct InSituState {
@@ -578,6 +681,36 @@ impl Sim {
             busy_queues: 0,
             idle_unprofiled,
             level_scratch: Vec::new(),
+            queued_jobs: 0,
+            audit: input.audit.map(|config| {
+                assert!(config.tolerance > 0.0, "audit tolerance must be positive");
+                AuditState {
+                    config,
+                    demand_w: 0.0,
+                    wind_j: 0.0,
+                    utility_j: 0.0,
+                    busy_ms: vec![0; n],
+                    deadline_misses: 0,
+                    intervals: 0,
+                    demand_checks: 0,
+                    by_level_scratch: vec![0; num_levels],
+                    violations: Vec::new(),
+                    suppressed: 0,
+                }
+            }),
+            telemetry: input.telemetry.map(|config| {
+                let channels = telemetry::CHANNELS_BEFORE_LEVELS + num_levels + 1;
+                let mut sampler = RowSampler::new(config.interval, channels, 0.0);
+                // Seed the t = 0 row: wind budget is live from the start,
+                // everything else is zero until the first event.
+                let mut row = vec![0.0; channels];
+                row[0] = input.supply.wind_power_at(SimTime::ZERO);
+                sampler.record(SimTime::ZERO, &row);
+                TelemetryState {
+                    sampler,
+                    row_scratch: row,
+                }
+            }),
             phase_ns: PhaseTimers::default(),
             faults,
             fault_blocked_scratch: Vec::with_capacity(n),
@@ -625,7 +758,8 @@ impl Sim {
     /// draw between wind and utility.
     fn account(&mut self, now: SimTime) {
         let t0 = Instant::now();
-        let dt = now.saturating_since(self.last_account).as_secs_f64();
+        let interval = now.saturating_since(self.last_account);
+        let dt = interval.as_secs_f64();
         if dt > 0.0 {
             let wind = self.supply.wind_power_at(self.last_account);
             self.ledger.draw(self.current_demand_w, wind, dt);
@@ -634,6 +768,27 @@ impl Sim {
             }
             if let Some(faults) = &mut self.faults {
                 faults.reprofile_energy_j += faults.reprofile_power_w * dt;
+            }
+            if let Some(mut audit) = self.audit.take() {
+                // Shadow integration over the same interval, but at the
+                // auditor's own demand snapshot (recomputed from the plan
+                // at the previous demand refresh, never read from the
+                // engine's aggregates).
+                let covered = audit.demand_w.min(wind);
+                audit.wind_j += covered * dt;
+                audit.utility_j += (audit.demand_w - covered) * dt;
+                audit.intervals += 1;
+                // Busy-time shadow: every chip of every running job was
+                // busy for this whole interval (start/finish/fail are
+                // events, so attempt boundaries coincide with interval
+                // boundaries and integer milliseconds sum exactly).
+                let dt_ms = interval.as_millis();
+                for &i in &self.running {
+                    for &c in &self.jobs[i].chips {
+                        audit.busy_ms[c.0 as usize] += dt_ms;
+                    }
+                }
+                self.audit = Some(audit);
             }
         }
         self.last_account = now;
@@ -717,7 +872,116 @@ impl Sim {
             s[2].record(now, (demand - wind).max(0.0));
             s[3].record(now, demand.min(wind));
         }
+        if self.audit.is_some() {
+            self.audit_refresh_snapshot(demand);
+        }
+        if self.telemetry.is_some() {
+            self.record_telemetry(now, demand, wind);
+        }
         self.phase_ns.demand_ns += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// Recomputes the auditor's demand snapshot from the plan and fleet —
+    /// per-job facility power from `job_power` (not the frozen rows),
+    /// per-level sums from scratch (not the incremental aggregates) — and
+    /// cross-checks the engine's state against it: the fixed-point
+    /// aggregates exactly, the float demand within tolerance. The new
+    /// snapshot becomes the power the shadow books integrate until the
+    /// next refresh.
+    fn audit_refresh_snapshot(&mut self, engine_demand_w: f64) {
+        let Some(mut audit) = self.audit.take() else {
+            return;
+        };
+        audit.by_level_scratch.fill(0);
+        let mut running_uw: i64 = 0;
+        for &i in &self.running {
+            let js = &self.jobs[i];
+            for l in self.fleet.dvfs.levels() {
+                let uw = watts_to_microwatts(self.job_power(js, l));
+                audit.by_level_scratch[l.0 as usize] += uw;
+                if l == js.level {
+                    running_uw += uw;
+                }
+            }
+        }
+        for l in self.fleet.dvfs.levels() {
+            let li = l.0 as usize;
+            if audit.by_level_scratch[li] != self.demand_uw_at_level[li] {
+                audit.violation(format!(
+                    "demand_uw_at_level[{li}] = {} but independent recomputation gives {}",
+                    self.demand_uw_at_level[li], audit.by_level_scratch[li]
+                ));
+            }
+        }
+        if running_uw != self.running_demand_uw {
+            audit.violation(format!(
+                "running_demand_uw = {} but independent recomputation gives {running_uw}",
+                self.running_demand_uw
+            ));
+        }
+        // Overhead draw recomputed from the out-of-service sets, not the
+        // incrementally add/subtracted running totals.
+        let mut overhead_w = 0.0;
+        let top = self.fleet.dvfs.max_level();
+        let pm = self.fleet.power_model();
+        if let Some(insitu) = &self.in_situ {
+            for (ci, _) in insitu.blocked.iter().enumerate().filter(|(_, &b)| b) {
+                overhead_w += self.cooling.facility_power(pm.chip_power(
+                    &self.fleet.chips[ci],
+                    &self.fleet.dvfs,
+                    top,
+                    self.fleet.dvfs.v_nom(top),
+                ));
+            }
+        }
+        if let Some(faults) = &self.faults {
+            for (ci, _) in faults.scanning.iter().enumerate().filter(|(_, &s)| s) {
+                overhead_w += self.cooling.facility_power(pm.chip_power(
+                    &self.fleet.chips[ci],
+                    &self.fleet.dvfs,
+                    top,
+                    self.fleet.dvfs.v_nom(top),
+                ));
+            }
+        }
+        let audit_demand = microwatts_to_watts(running_uw) + overhead_w;
+        let rel = (audit_demand - engine_demand_w).abs() / engine_demand_w.abs().max(1.0);
+        if rel > audit.config.tolerance {
+            audit.violation(format!(
+                "demand snapshot diverged: engine {engine_demand_w} W, audit {audit_demand} W \
+                 (rel {rel:e})"
+            ));
+        }
+        audit.demand_w = audit_demand;
+        audit.demand_checks += 1;
+        self.audit = Some(audit);
+    }
+
+    /// Feeds the telemetry recorder the signal values active from `now`:
+    /// supply, demand, utility draw, queue depth, per-level occupancy of
+    /// the running set, and the quarantined-chip count. Pure
+    /// sample-and-hold — nothing here schedules events or touches
+    /// simulation state.
+    fn record_telemetry(&mut self, now: SimTime, demand: f64, wind: f64) {
+        let Some(mut tel) = self.telemetry.take() else {
+            return;
+        };
+        let levels = self.fleet.dvfs.num_levels();
+        let row = &mut tel.row_scratch;
+        row.fill(0.0);
+        row[0] = wind;
+        row[1] = demand;
+        row[2] = (demand - wind).max(0.0);
+        row[3] = self.queued_jobs as f64;
+        for &i in &self.running {
+            row[telemetry::CHANNELS_BEFORE_LEVELS + self.jobs[i].level.0 as usize] += 1.0;
+        }
+        row[telemetry::CHANNELS_BEFORE_LEVELS + levels] = self
+            .faults
+            .as_ref()
+            .map_or(0.0, |f| f.suspect.iter().filter(|&&s| s).count() as f64);
+        tel.sampler.record(now, row);
+        self.telemetry = Some(tel);
     }
 
     /// Advances a running job's remaining work to `now`.
@@ -1219,6 +1483,7 @@ impl Sim {
             js.chain_limit = chain_limit;
             js.starts += 1;
             js.attempt_energy_j = 0.0;
+            self.queued_jobs -= 1;
             self.running.push(idx);
             self.schedule_completion(idx, now, ctx);
             self.maybe_inject_failure(idx, now, ctx);
@@ -1366,6 +1631,7 @@ impl Sim {
         let retry_ok = faults.config.retry.may_retry(failures);
         if retry_ok {
             faults.retries += 1;
+            self.queued_jobs += 1; // back to waiting until the retry fires
             let delay = faults.config.retry.backoff(failures);
             ctx.schedule(now + delay, Ev::Retry { job: idx });
         } else {
@@ -1374,6 +1640,10 @@ impl Sim {
             self.deadline_misses += 1; // an abandoned job can never finish in time
             self.done_count += 1;
             self.makespan = self.makespan.max(now);
+            if let Some(audit) = &mut self.audit {
+                // Independent recount: abandonment is a miss by definition.
+                audit.deadline_misses += 1;
+            }
         }
         self.try_start(&candidates, now, ctx);
     }
@@ -1705,6 +1975,13 @@ impl Sim {
         if now > js.job.deadline {
             self.deadline_misses += 1;
         }
+        if let Some(audit) = &mut self.audit {
+            // Independent recount against the job's own deadline, kept on
+            // a separate counter from the ledger increment above.
+            if now > self.jobs[idx].job.deadline {
+                audit.deadline_misses += 1;
+            }
+        }
         self.done_count += 1;
         self.makespan = self.makespan.max(now);
         self.running.retain(|&i| i != idx);
@@ -1747,6 +2024,7 @@ impl Model<Ev> for Sim {
         self.account(now);
         match event {
             Ev::Arrival(idx) => {
+                self.queued_jobs += 1;
                 if self.should_defer(idx, now) {
                     self.deferred.push(idx);
                 } else {
@@ -1920,6 +2198,79 @@ pub fn run_simulation_instrumented(input: SimInput) -> (RunReport, RunStats) {
         .take()
         .map(|s| s.into_iter().map(|smp| smp.finish(end)).collect())
         .unwrap_or_default();
+    let num_levels = sim.fleet.dvfs.num_levels();
+    let telemetry_records = sim.telemetry.take().map(|t| {
+        t.sampler
+            .finish(end)
+            .into_iter()
+            .map(|(at, row)| telemetry::record_from_row(at, &row, num_levels))
+            .collect::<Vec<_>>()
+    });
+    let audit = sim.audit.take().map(|mut a| {
+        // Final cross-checks against the closed books.
+        let ledger_total = sim.ledger.wind_j + sim.ledger.utility_j;
+        let audit_total = a.wind_j + a.utility_j;
+        let scale = ledger_total.abs().max(1.0);
+        let energy_rel_residual = (audit_total - ledger_total).abs() / scale;
+        if energy_rel_residual > a.config.tolerance {
+            a.violation(format!(
+                "energy total diverged: ledger {ledger_total} J, audit {audit_total} J \
+                 (rel {energy_rel_residual:e})"
+            ));
+        }
+        let wind_rel = (a.wind_j - sim.ledger.wind_j).abs() / scale;
+        if wind_rel > a.config.tolerance {
+            a.violation(format!(
+                "wind split diverged: ledger {} J, audit {} J (rel {wind_rel:e})",
+                sim.ledger.wind_j, a.wind_j
+            ));
+        }
+        let utility_rel = (a.utility_j - sim.ledger.utility_j).abs() / scale;
+        if utility_rel > a.config.tolerance {
+            a.violation(format!(
+                "utility split diverged: ledger {} J, audit {} J (rel {utility_rel:e})",
+                sim.ledger.utility_j, a.utility_j
+            ));
+        }
+        let mut busy_time_ok = true;
+        let busy_ms = std::mem::take(&mut a.busy_ms);
+        for (c, (&audit_ms, used)) in busy_ms.iter().zip(&sim.usage).enumerate() {
+            if audit_ms != used.as_millis() {
+                busy_time_ok = false;
+                a.violation(format!(
+                    "chip {c} busy time diverged: usage {} ms, audit {audit_ms} ms",
+                    used.as_millis()
+                ));
+            }
+        }
+        let deadline_ok = a.deadline_misses == sim.deadline_misses;
+        if !deadline_ok {
+            a.violation(format!(
+                "deadline ledger diverged: {} recorded, {} recounted",
+                sim.deadline_misses, a.deadline_misses
+            ));
+        }
+        let report = AuditReport {
+            intervals: a.intervals,
+            demand_checks: a.demand_checks,
+            audit_wind_j: a.wind_j,
+            audit_utility_j: a.utility_j,
+            energy_rel_residual,
+            busy_time_ok,
+            deadline_ok,
+            suppressed_violations: a.suppressed,
+            violations: a.violations,
+        };
+        if a.config.strict && !report.clean() {
+            panic!(
+                "audit found {} invariant breach(es) ({} suppressed):\n{}",
+                report.violations.len(),
+                report.suppressed_violations,
+                report.violations.join("\n")
+            );
+        }
+        report
+    });
     let profiling = sim.in_situ.as_ref().map(|s| crate::report::ProfilingStats {
         chips_profiled: s.profiled.iter().filter(|&&p| p).count(),
         fleet_size: s.profiled.len(),
@@ -1947,6 +2298,8 @@ pub fn run_simulation_instrumented(input: SimInput) -> (RunReport, RunStats) {
         power_series,
         profiling,
         faults,
+        audit,
+        telemetry: telemetry_records,
     };
     let stats = RunStats {
         events: engine.steps(),

@@ -29,4 +29,4 @@ pub use event::{EventHandle, EventQueue};
 pub use rng::SimRng;
 pub use stats::{Histogram, Running, TimeWeighted};
 pub use time::{SimDuration, SimTime};
-pub use trace::{Sampler, TimeSeries};
+pub use trace::{RowSampler, Sampler, TimeSeries};

@@ -78,9 +78,13 @@ impl Running {
         self.max
     }
 
-    /// Coefficient of variation (std/mean), 0 when the mean is 0.
+    /// Coefficient of variation (std / |mean|), 0 when the mean is 0.
+    ///
+    /// The magnitude of the mean is used so a series with a negative mean
+    /// (e.g. a surplus/deficit signal) still reports a non-negative
+    /// dispersion ratio.
     pub fn cv(&self) -> f64 {
-        let m = self.mean();
+        let m = self.mean().abs();
         if m == 0.0 {
             0.0
         } else {
@@ -89,6 +93,19 @@ impl Running {
     }
 
     /// Merges another accumulator (parallel-reduction support).
+    ///
+    /// Uses Chan et al.'s pairwise combination: the merged accumulator is
+    /// exactly equivalent (up to floating-point rounding) to having pushed
+    /// both observation streams into one accumulator, in any order — merge
+    /// is commutative and associative in that sense, so partial `Running`s
+    /// from shards can be reduced in any tree shape. `self` is left as the
+    /// combined accumulator; `other` is not consumed and can be reused.
+    ///
+    /// Note [`TimeWeighted`] deliberately has no merge: it integrates one
+    /// piecewise-constant signal against a single non-decreasing clock, and
+    /// two accumulators over overlapping time ranges have no well-defined
+    /// combination (their `current` values would conflict). Shard by signal,
+    /// not by time, and sum the `integral()`s if a total is needed.
     pub fn merge(&mut self, other: &Running) {
         if other.count == 0 {
             return;
@@ -347,6 +364,18 @@ mod tests {
         b.push(5.0);
         empty.merge(&b);
         assert_eq!(empty.mean(), 5.0);
+    }
+
+    #[test]
+    fn cv_is_nonnegative_for_negative_mean_series() {
+        let mut r = Running::new();
+        for x in [-2.0, -4.0, -4.0, -4.0, -5.0, -5.0, -7.0, -9.0] {
+            r.push(x);
+        }
+        assert!((r.mean() + 5.0).abs() < 1e-12);
+        // std = 2, |mean| = 5: cv must be +0.4, not -0.4.
+        assert!((r.cv() - 0.4).abs() < 1e-12);
+        assert!(r.cv() >= 0.0);
     }
 
     #[test]

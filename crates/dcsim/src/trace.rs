@@ -122,6 +122,69 @@ impl Sampler {
     }
 }
 
+/// Samples several piecewise-constant signals at one shared fixed interval.
+///
+/// The multi-channel counterpart of [`Sampler`]: every tick emits one row
+/// holding the value of every channel at that instant, so the channels stay
+/// aligned without running (and synchronizing) one sampler per signal. Like
+/// [`Sampler`], it is purely passive sample-and-hold — it schedules no
+/// events and never perturbs the simulation it observes.
+#[derive(Debug, Clone)]
+pub struct RowSampler {
+    interval: SimDuration,
+    next_tick: SimTime,
+    current: Vec<f64>,
+    rows: Vec<(SimTime, Vec<f64>)>,
+}
+
+impl RowSampler {
+    /// Creates a sampler with `channels` signals, all starting at
+    /// `initial`, emitting one row per `interval` from t = 0.
+    pub fn new(interval: SimDuration, channels: usize, initial: f64) -> Self {
+        assert!(!interval.is_zero(), "sampling interval must be positive");
+        assert!(channels > 0, "row sampler needs at least one channel");
+        RowSampler {
+            interval,
+            next_tick: SimTime::ZERO,
+            current: vec![initial; channels],
+            rows: Vec::new(),
+        }
+    }
+
+    /// Records that the channels take `values` from instant `at` onward.
+    ///
+    /// `values` must carry one entry per channel; instants must be
+    /// non-decreasing. A change exactly on a tick is visible at that tick
+    /// (same convention as [`Sampler::record`]).
+    pub fn record(&mut self, at: SimTime, values: &[f64]) {
+        assert_eq!(values.len(), self.current.len(), "channel count mismatch");
+        self.emit_until(at);
+        self.current.copy_from_slice(values);
+    }
+
+    fn emit_until(&mut self, at: SimTime) {
+        while self.next_tick < at {
+            self.rows.push((self.next_tick, self.current.clone()));
+            self.next_tick += self.interval;
+        }
+    }
+
+    /// Finalizes the series, emitting ticks up to `end` inclusive, and
+    /// returns the `(tick instant, channel values)` rows.
+    pub fn finish(mut self, end: SimTime) -> Vec<(SimTime, Vec<f64>)> {
+        while self.next_tick <= end {
+            self.rows.push((self.next_tick, self.current.clone()));
+            self.next_tick += self.interval;
+        }
+        self.rows
+    }
+
+    /// Values currently held.
+    pub fn current(&self) -> &[f64] {
+        &self.current
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +244,28 @@ mod tests {
 
     fn s_finish(s: &mut Sampler) -> TimeSeries {
         s.clone().finish(secs(2))
+    }
+
+    #[test]
+    fn row_sampler_keeps_channels_aligned() {
+        let mut rs = RowSampler::new(SimDuration::from_secs(10), 2, 0.0);
+        rs.record(secs(5), &[100.0, 1.0]);
+        rs.record(secs(25), &[50.0, 2.0]);
+        let rows = rs.finish(secs(30));
+        assert_eq!(rows.len(), 4); // ticks at 0, 10, 20, 30
+        assert_eq!(rows[0], (secs(0), vec![0.0, 0.0]));
+        assert_eq!(rows[1], (secs(10), vec![100.0, 1.0]));
+        assert_eq!(rows[2], (secs(20), vec![100.0, 1.0]));
+        assert_eq!(rows[3], (secs(30), vec![50.0, 2.0]));
+    }
+
+    #[test]
+    fn row_sampler_change_on_tick_is_visible() {
+        let mut rs = RowSampler::new(SimDuration::from_secs(10), 1, 1.0);
+        rs.record(secs(10), &[2.0]);
+        let rows = rs.finish(secs(20));
+        let vals: Vec<f64> = rows.into_iter().map(|(_, r)| r[0]).collect();
+        assert_eq!(vals, vec![1.0, 2.0, 2.0]);
     }
 
     #[test]

@@ -76,18 +76,29 @@ impl BatteryState {
     /// battery actually supplied toward a deficit during the interval.
     pub fn step(&mut self, surplus_w: f64, dt_s: f64) -> f64 {
         debug_assert!(dt_s >= 0.0);
-        if surplus_w >= 0.0 {
+        if dt_s == 0.0 {
+            // A zero-length interval can neither move nor deliver energy.
+            // (Dividing stored_j by a clamped dt here used to report up to
+            // ~1e9x the stored energy as instantaneous deliverable power.)
+            return 0.0;
+        }
+        let supplied = if surplus_w >= 0.0 {
             let charge_w = surplus_w.min(self.battery.max_charge_w);
             let stored = charge_w * dt_s * self.battery.round_trip_efficiency;
             self.stored_j = (self.stored_j + stored).min(self.battery.capacity_j);
             0.0
         } else {
             let want_w = (-surplus_w).min(self.battery.max_discharge_w);
-            let available_w = self.stored_j / dt_s.max(1e-9);
+            let available_w = self.stored_j / dt_s;
             let give_w = want_w.min(available_w);
             self.stored_j = (self.stored_j - give_w * dt_s).max(0.0);
             give_w
-        }
+        };
+        debug_assert!(
+            self.stored_j >= 0.0 && self.stored_j <= self.battery.capacity_j,
+            "battery state of charge out of bounds"
+        );
+        supplied
     }
 }
 
@@ -104,10 +115,20 @@ pub fn smooth_against_demand(wind: &PowerTrace, demand_w: f64, battery: Battery)
         .map(|&w| {
             let surplus = w - demand_w;
             if surplus >= 0.0 {
-                // The absorbed surplus is no longer available to the load.
-                let absorbed = surplus.min(state.battery.max_charge_w);
+                // Only the surplus the battery *actually stored* is no
+                // longer available to the load. Dividing the stored delta
+                // by the round-trip efficiency recovers the pre-efficiency
+                // draw, so conversion losses are charged to the supply;
+                // a full battery stores nothing and the trace is untouched.
+                let before_j = state.stored_j;
                 state.step(surplus, dt);
-                w - absorbed
+                let eff = state.battery.round_trip_efficiency;
+                let absorbed_w = if dt > 0.0 {
+                    (state.stored_j - before_j) / (dt * eff)
+                } else {
+                    0.0
+                };
+                w - absorbed_w
             } else {
                 let supplied = state.step(surplus, dt);
                 w + supplied
@@ -182,6 +203,58 @@ mod tests {
         assert!(smoothed.watts[3] > 0.0);
         // Conservation: smoothing cannot create energy.
         assert!(smoothed.total_energy_j() <= wind.total_energy_j() + 1.0);
+    }
+
+    #[test]
+    fn zero_length_interval_moves_no_energy() {
+        let mut s = BatteryState::empty(batt(1.0, 5.0));
+        s.stored_j = s.battery.capacity_j;
+        // A zero-length deficit interval can deliver no power (this used to
+        // report stored_j / 1e-9 watts).
+        assert_eq!(s.step(-20_000.0, 0.0), 0.0);
+        assert_eq!(s.stored_j, s.battery.capacity_j);
+        // Nor can a zero-length surplus interval charge.
+        s.stored_j = 0.0;
+        assert_eq!(s.step(20_000.0, 0.0), 0.0);
+        assert_eq!(s.stored_j, 0.0);
+    }
+
+    #[test]
+    fn full_battery_leaves_supply_untouched() {
+        // 0.5 kWh battery against 30 kW wind / 10 kW demand: the 20 kW
+        // surplus (x0.85) fills it during the first 10-minute sample, after
+        // which smoothing must pass the wind through unchanged rather than
+        // keep deducting max_charge_w worth of surplus (the old leak).
+        let wind = PowerTrace::new(SimDuration::from_mins(10), vec![30_000.0; 6]);
+        let out = smooth_against_demand(&wind, 10_000.0, batt(0.5, 20.0));
+        assert_eq!(out.watts[5], 30_000.0, "full battery must not absorb");
+        assert_eq!(out.watts[4], 30_000.0);
+        // The first sample is reduced by the pre-efficiency draw that
+        // filled the battery: capacity / efficiency spread over 600 s.
+        let draw_w = (0.5 * 3.6e6 / 0.85) / 600.0;
+        assert!((out.watts[0] - (30_000.0 - draw_w)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn smoothing_conserves_energy_through_charge() {
+        // All-surplus trace (every sample above the 10 kW demand): every
+        // interval is a charge interval, so input energy minus output
+        // energy must equal the stored energy plus conversion losses,
+        // i.e. stored_j / efficiency — here exactly capacity / efficiency
+        // because the battery fills mid-run (and, per the leak fix, stops
+        // deducting from the supply once full).
+        let wind = PowerTrace::new(
+            SimDuration::from_mins(10),
+            vec![30_000.0, 25_000.0, 12_000.0, 30_000.0, 11_000.0, 30_000.0],
+        );
+        let battery = batt(2.0, 15.0);
+        let out = smooth_against_demand(&wind, 10_000.0, battery);
+        let leaked_j = wind.total_energy_j() - out.total_energy_j();
+        let expected_j = battery.capacity_j / battery.round_trip_efficiency;
+        assert!(
+            (leaked_j - expected_j).abs() < 1e-6,
+            "supply must only lose what charging actually drew: lost {leaked_j} J, expected {expected_j} J"
+        );
     }
 
     #[test]

@@ -40,6 +40,10 @@ pub struct ExpConfig {
     pub seed: u64,
     /// Wind-trace duration.
     pub wind_span: SimDuration,
+    /// Run every simulation under the strict energy-conservation auditor
+    /// (`iscope-exp --audit`). Audited runs are bit-identical to bare
+    /// ones but panic if any run-wide invariant is breached.
+    pub audit: bool,
 }
 
 impl ExpConfig {
@@ -61,12 +65,13 @@ impl ExpConfig {
             wind_scale: fleet_size as f64 / 4800.0,
             seed: 42,
             wind_span: SimDuration::from_hours(168),
+            audit: false,
         }
     }
 
     /// A builder pre-set with this config's fleet/workload and scheme.
     pub fn sim(&self, scheme: Scheme) -> GreenDatacenterSim {
-        GreenDatacenterSim::builder()
+        let b = GreenDatacenterSim::builder()
             .fleet_size(self.fleet_size)
             .synthetic_trace(SyntheticTrace {
                 num_jobs: self.jobs,
@@ -74,7 +79,12 @@ impl ExpConfig {
                 ..SyntheticTrace::default()
             })
             .scheme(scheme)
-            .seed(self.seed)
+            .seed(self.seed);
+        if self.audit {
+            b.audit(iscope::AuditConfig::default())
+        } else {
+            b
+        }
     }
 
     /// The wind supply at a given SWP factor (1.0 = standard wind power).
@@ -136,6 +146,19 @@ pub fn write_json<T: Serialize>(id: &str, value: &T) -> std::io::Result<std::pat
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{id}.json"));
     std::fs::write(&path, serde_json::to_string_pretty(value)?)?;
+    Ok(path)
+}
+
+/// Writes a run's telemetry time series as `results/{id}.jsonl` (one
+/// record per line, schema in EXPERIMENTS.md).
+pub fn write_telemetry(
+    id: &str,
+    records: &[iscope::TelemetryRecord],
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{id}.jsonl"));
+    std::fs::write(&path, iscope::telemetry::render_jsonl(records))?;
     Ok(path)
 }
 

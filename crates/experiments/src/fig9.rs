@@ -7,6 +7,7 @@
 
 use crate::common::{ExpConfig, ExpTable};
 use iscope::experiments::sweep;
+use iscope::{TelemetryConfig, TelemetryRecord};
 use iscope_sched::Scheme;
 use serde::Serialize;
 
@@ -18,6 +19,10 @@ pub const SWP_POINTS: [f64; 5] = [1.0, 1.2, 1.4, 1.6, 1.8];
 pub struct Fig9 {
     /// Utilization-time variance (h²) per scheme per SWP factor.
     pub variance: ExpTable,
+    /// Fixed-cadence run telemetry for the ScanFair @ 1.0·SWP cell
+    /// (supply/demand/utility watts, queue depth, DVFS occupancy) —
+    /// written alongside the table as `results/fig9_telemetry.jsonl`.
+    pub telemetry: Vec<TelemetryRecord>,
 }
 
 /// Runs the SWP sweep.
@@ -26,10 +31,25 @@ pub fn run(cfg: &ExpConfig) -> Fig9 {
         .iter()
         .flat_map(|&s| SWP_POINTS.iter().map(move |&w| (s, w)))
         .collect();
-    let reports = sweep(&cells, |&(scheme, swp)| {
-        cfg.sim(scheme).supply(cfg.wind_supply(swp)).build().run()
+    // Telemetry is observational (bit-identical runs), so every cell can
+    // record it; only the headline ScanFair cell's series is kept.
+    let mut reports = sweep(&cells, |&(scheme, swp)| {
+        cfg.sim(scheme)
+            .supply(cfg.wind_supply(swp))
+            .telemetry(TelemetryConfig::default())
+            .build()
+            .run()
     });
+    let fair = Scheme::ALL
+        .iter()
+        .position(|s| matches!(s, Scheme::ScanFair))
+        .expect("ScanFair in Scheme::ALL");
+    let telemetry = reports[fair * SWP_POINTS.len()]
+        .telemetry
+        .take()
+        .expect("telemetry was enabled for every cell");
     Fig9 {
+        telemetry,
         variance: ExpTable {
             id: "fig9".into(),
             title: "variance of processor utilization time (h^2) vs SWP".into(),
@@ -47,6 +67,39 @@ pub fn run(cfg: &ExpConfig) -> Fig9 {
                 })
                 .collect(),
         },
+    }
+}
+
+impl Fig9 {
+    /// One-line digest of the recorded telemetry (sample count, peak
+    /// demand, wind-covered sample fraction, mean queue depth).
+    pub fn telemetry_summary(&self) -> String {
+        let n = self.telemetry.len();
+        if n == 0 {
+            return "telemetry: no samples".into();
+        }
+        let peak_kw = self
+            .telemetry
+            .iter()
+            .map(|r| r.demand_w)
+            .fold(0.0f64, f64::max)
+            / 1e3;
+        let covered = self
+            .telemetry
+            .iter()
+            .filter(|r| r.utility_w <= 1e-9)
+            .count();
+        let mean_queue = self
+            .telemetry
+            .iter()
+            .map(|r| r.queue_depth as f64)
+            .sum::<f64>()
+            / n as f64;
+        format!(
+            "telemetry (ScanFair @ 1.0*SWP): {n} samples, peak demand {peak_kw:.1} kW, \
+             {:.0}% wind-covered, mean queue {mean_queue:.1}",
+            100.0 * covered as f64 / n as f64
+        )
     }
 }
 
@@ -78,6 +131,22 @@ mod tests {
             effi > 2.0 * ran,
             "Effi variance {effi:.2} should dwarf Ran {ran:.2}"
         );
+    }
+
+    #[test]
+    fn telemetry_rides_along_and_round_trips() {
+        let fig = run(&ExpConfig::new(ExpScale::Fast));
+        assert!(!fig.telemetry.is_empty(), "telemetry series missing");
+        for r in &fig.telemetry {
+            assert!(
+                (r.utility_w - (r.demand_w - r.supply_w).max(0.0)).abs() < 1e-9,
+                "utility must be clamped demand minus supply"
+            );
+        }
+        assert!(fig.telemetry_summary().contains("samples"));
+        let text = iscope::telemetry::render_jsonl(&fig.telemetry);
+        let back = iscope::telemetry::parse_jsonl(&text).expect("JSONL round-trip");
+        assert_eq!(back, fig.telemetry);
     }
 
     #[test]

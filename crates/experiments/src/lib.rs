@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod audit;
 pub mod bench_report;
 pub mod common;
 pub mod fig10;

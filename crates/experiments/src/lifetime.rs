@@ -153,6 +153,8 @@ fn one_variant(cfg: &ExpConfig, rescan: bool) -> Vec<Round> {
             surplus_signal: iscope::SurplusSignal::Instantaneous,
             force_replay_avail: false,
             force_replay_demand: false,
+            audit: cfg.audit.then(iscope::AuditConfig::default),
+            telemetry: None,
         });
         // Advance the calendar: each chip wears by its busy hours scaled
         // to the stride, at its plan voltage.

@@ -5,18 +5,20 @@
 //! experiments: table1 table2 fig4 fig5 fig6 fig7 fig8 fig9 fig10 overhead insitu ablations sensitivity lifetime workload all
 //! ```
 
-use iscope_experiments::common::{write_json, ExpConfig, ExpScale};
+use iscope_experiments::common::{write_json, write_telemetry, ExpConfig, ExpScale};
 use iscope_experiments::{
-    ablations, bench_report, fig10, fig4, fig5, fig6, fig7, fig8, fig9, insitu, lifetime,
+    ablations, audit, bench_report, fig10, fig4, fig5, fig6, fig7, fig8, fig9, insitu, lifetime,
     sensitivity, tables,
 };
 
-const USAGE: &str = "usage: iscope-exp <experiment> [--fast|--paper]\n\
+const USAGE: &str = "usage: iscope-exp <experiment> [--fast|--paper] [--audit]\n\
 experiments: table1 table2 fig4 fig5 fig6 fig7 fig8 fig9 fig10 overhead \
 insitu ablations sensitivity lifetime workload bench-report bench-smoke \
-fault-smoke all (default: all)\n\
+fault-smoke audit-smoke all (default: all)\n\
 scales: default = 240 CPUs (1/20 of the paper); --fast = bench cell; \
---paper = the full 4800-CPU testbed";
+--paper = the full 4800-CPU testbed\n\
+--audit: run every simulation under the strict energy-conservation \
+auditor (bit-identical results, panics on any invariant breach)";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,7 +28,7 @@ fn main() {
     }
     if let Some(bad) = args
         .iter()
-        .find(|a| a.starts_with('-') && *a != "--fast" && *a != "--paper")
+        .find(|a| a.starts_with('-') && *a != "--fast" && *a != "--paper" && *a != "--audit")
     {
         eprintln!("unknown flag '{bad}'\n{USAGE}");
         std::process::exit(2);
@@ -47,7 +49,8 @@ fn main() {
         .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "all".to_string());
-    let cfg = ExpConfig::new(scale);
+    let mut cfg = ExpConfig::new(scale);
+    cfg.audit = args.iter().any(|a| a == "--audit");
     let all = which == "all";
     let mut ran = 0;
     let mut run_if = |name: &str, f: &mut dyn FnMut(&ExpConfig)| {
@@ -98,6 +101,8 @@ fn main() {
     run_if("fig9", &mut |c| {
         let f = fig9::run(c);
         println!("{}", f.variance.render());
+        println!("{}", f.telemetry_summary());
+        report(write_telemetry("fig9_telemetry", &f.telemetry));
         report(write_json("fig9", &f));
     });
     run_if("fig10", &mut |c| {
@@ -174,6 +179,14 @@ fn main() {
         // CI gate: a scaled-down DVFS-stressed run, incremental vs
         // ground-truth replay, asserting bit-identical reports.
         bench_report::smoke();
+        ran += 1;
+    }
+    if which == "audit-smoke" {
+        // CI gate: the strict conservation auditor closes the books on
+        // all five schemes under wind + fault injection, instrumented
+        // runs stay bit-identical to bare ones, and the telemetry JSONL
+        // codec round-trips exactly (not part of "all").
+        audit::smoke();
         ran += 1;
     }
     if which == "fault-smoke" {

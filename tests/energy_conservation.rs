@@ -1,0 +1,261 @@
+//! Energy conservation, audited end-to-end: the run-wide invariant
+//! auditor (DESIGN.md §4) re-integrates per-chip power draw against
+//! wall-clock event intervals independently of the `EnergyLedger` and the
+//! incremental demand aggregates, and every run here must close its books
+//! with a relative residual below the audit tolerance — across all five
+//! schemes, with and without wind, fault injection, and in-situ
+//! profiling. Audited runs must also be bit-identical to unaudited ones
+//! (the auditor is observational), and battery smoothing must conserve
+//! energy modulo conversion losses.
+
+use iscope::prelude::*;
+use iscope::{AuditConfig, FaultInjectionConfig, InSituConfig, ReprofileConfig, TelemetryConfig};
+use iscope_dcsim::SimDuration;
+use iscope_energy::battery::{smooth_against_demand, Battery, BatteryState};
+use iscope_sched::Scheme;
+use proptest::prelude::*;
+
+const FLEET: usize = 24;
+
+fn builder(scheme: Scheme, wind: bool, seed: u64) -> GreenDatacenterSim {
+    let mut b = GreenDatacenterSim::builder()
+        .fleet_size(FLEET)
+        .synthetic_jobs(48)
+        .scheme(scheme)
+        .seed(seed);
+    if wind {
+        b = b.supply(Supply::hybrid_farm(
+            &WindFarm::default(),
+            SimDuration::from_hours(48),
+            FLEET as f64 / 4800.0,
+            seed,
+        ));
+    }
+    b
+}
+
+fn assert_audit_clean(r: &RunReport, what: &str) {
+    let audit = r
+        .audit
+        .as_ref()
+        .unwrap_or_else(|| panic!("{what}: audited run carries no audit report"));
+    // A strict audit would already have panicked; assert the report too
+    // so a future non-strict default cannot silently weaken this suite.
+    assert!(
+        audit.violations.is_empty() && audit.suppressed_violations == 0,
+        "{what}: audit violations: {:?}",
+        audit.violations
+    );
+    assert!(
+        audit.energy_rel_residual < 1e-9,
+        "{what}: ledger residual {} too large",
+        audit.energy_rel_residual
+    );
+    assert!(audit.busy_time_ok, "{what}: busy-time mismatch");
+    assert!(audit.deadline_ok, "{what}: deadline recount mismatch");
+    assert!(audit.intervals > 0, "{what}: auditor integrated nothing");
+    // The auditor's own books must also agree with the ledger per
+    // component, not only in total.
+    let total = (r.ledger.wind_j + r.ledger.utility_j).abs().max(1.0);
+    assert!(
+        (audit.audit_wind_j - r.ledger.wind_j).abs() / total < 1e-9,
+        "{what}: wind split diverged"
+    );
+    assert!(
+        (audit.audit_utility_j - r.ledger.utility_j).abs() / total < 1e-9,
+        "{what}: utility split diverged"
+    );
+}
+
+/// All five schemes × {utility-only, wind} close their books within the
+/// audit tolerance.
+#[test]
+fn audit_passes_across_all_schemes_and_supplies() {
+    for scheme in Scheme::ALL {
+        for wind in [false, true] {
+            let r = builder(scheme, wind, 17)
+                .audit(AuditConfig::default())
+                .build()
+                .run();
+            assert_audit_clean(&r, &format!("{scheme} wind={wind}"));
+        }
+    }
+}
+
+/// Fault injection (kills, retries, quarantine, re-profiling scans) keeps
+/// the books balanced: wasted attempt energy and re-scan power are part
+/// of demand and must all be accounted for.
+#[test]
+fn audit_passes_under_fault_injection() {
+    for wind in [false, true] {
+        let cfg = FaultInjectionConfig {
+            model: iscope_pvmodel::FailureModel {
+                time_acceleration: 2000.0,
+                ..iscope_pvmodel::FailureModel::default()
+            },
+            reprofile: Some(ReprofileConfig::default()),
+            ..FaultInjectionConfig::default()
+        };
+        let r = builder(Scheme::ScanFair, wind, 23)
+            .fault_injection(cfg)
+            .audit(AuditConfig::default())
+            .build()
+            .run();
+        assert_audit_clean(&r, &format!("faults wind={wind}"));
+    }
+}
+
+/// In-situ profiling (scan power riding the demand, mid-run plan
+/// upgrades re-freezing the power rows) keeps the books balanced.
+#[test]
+fn audit_passes_under_in_situ_profiling() {
+    let r = builder(Scheme::ScanFair, true, 29)
+        .in_situ_profiling(InSituConfig::default())
+        .audit(AuditConfig::default())
+        .build()
+        .run();
+    assert_audit_clean(&r, "in-situ");
+}
+
+/// The auditor and the telemetry recorder are observational: enabling
+/// both must leave the run bit-identical to a bare run.
+#[test]
+fn audit_and_telemetry_do_not_perturb_the_run() {
+    for scheme in [Scheme::BinRan, Scheme::ScanFair] {
+        let bare = builder(scheme, true, 31).build().run();
+        let watched = builder(scheme, true, 31)
+            .audit(AuditConfig::default())
+            .telemetry(TelemetryConfig::default())
+            .build()
+            .run();
+        assert_eq!(bare.ledger, watched.ledger, "{scheme}: ledger diverged");
+        assert_eq!(
+            bare.makespan, watched.makespan,
+            "{scheme}: makespan diverged"
+        );
+        assert_eq!(
+            bare.deadline_misses, watched.deadline_misses,
+            "{scheme}: misses diverged"
+        );
+        assert_eq!(
+            bare.usage_hours, watched.usage_hours,
+            "{scheme}: usage diverged"
+        );
+        assert!(bare.audit.is_none() && bare.telemetry.is_none());
+        assert!(watched.audit.is_some() && watched.telemetry.is_some());
+    }
+}
+
+/// Telemetry records are internally consistent with the audited books:
+/// utility is always demand minus supply (clamped), and the per-level
+/// occupancy never exceeds the job count.
+#[test]
+fn telemetry_is_consistent_with_the_run() {
+    let r = builder(Scheme::ScanFair, true, 37)
+        .telemetry(TelemetryConfig::every(SimDuration::from_mins(10)))
+        .build()
+        .run();
+    let records = r.telemetry.as_ref().expect("telemetry enabled");
+    assert!(!records.is_empty());
+    for rec in records {
+        assert!(
+            (rec.utility_w - (rec.demand_w - rec.supply_w).max(0.0)).abs() < 1e-9,
+            "utility channel must equal clamped demand minus supply"
+        );
+        let running: u64 = rec.level_jobs.iter().sum();
+        assert!(running as usize + rec.queue_depth as usize <= r.jobs);
+    }
+    // The JSONL codec round-trips the real records bit-exactly.
+    let text = iscope::telemetry::render_jsonl(records);
+    let back = iscope::telemetry::parse_jsonl(&text).expect("parse back");
+    assert_eq!(&back, records);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Conservation property: for random scheme/supply/fault/seed
+    /// combinations, `ledger.wind_j + ledger.utility_j` equals the
+    /// auditor's independent integral within 1e-9 relative error.
+    #[test]
+    fn ledger_equals_independent_integral(
+        seed in 0u64..1000,
+        scheme_idx in 0usize..5,
+        wind in any::<bool>(),
+        faults in any::<bool>(),
+    ) {
+        let scheme = Scheme::ALL[scheme_idx];
+        let mut b = builder(scheme, wind, seed).audit(AuditConfig::default());
+        if faults {
+            b = b.fault_injection(FaultInjectionConfig {
+                model: iscope_pvmodel::FailureModel {
+                    time_acceleration: 1500.0,
+                    ..iscope_pvmodel::FailureModel::default()
+                },
+                ..FaultInjectionConfig::default()
+            });
+        }
+        let r = b.build().run();
+        let audit = r.audit.as_ref().expect("audited run");
+        let ledger_total = r.ledger.wind_j + r.ledger.utility_j;
+        let audit_total = audit.audit_wind_j + audit.audit_utility_j;
+        let rel = (audit_total - ledger_total).abs() / ledger_total.abs().max(1.0);
+        prop_assert!(rel < 1e-9, "residual {rel} for {scheme} wind={wind} faults={faults}");
+        prop_assert!(audit.violations.is_empty());
+    }
+
+    /// Battery smoothing conserves energy: input minus output equals the
+    /// net stored energy plus the conversion losses charged on everything
+    /// that was ever stored.
+    #[test]
+    fn battery_smoothing_conserves_energy(
+        seed in 0u64..500,
+        demand_kw in 1.0f64..40.0,
+        capacity_kwh in 0.1f64..20.0,
+        power_kw in 1.0f64..30.0,
+    ) {
+        // A deterministic pseudo-random wind trace from the seed.
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % 50_000) as f64
+        };
+        let watts: Vec<f64> = (0..24).map(|_| next()).collect();
+        let wind = PowerTrace::new(SimDuration::from_mins(10), watts);
+        let battery = Battery {
+            capacity_j: capacity_kwh * 3.6e6,
+            max_charge_w: power_kw * 1000.0,
+            max_discharge_w: power_kw * 1000.0,
+            round_trip_efficiency: 0.85,
+        };
+        let out = smooth_against_demand(&wind, demand_kw * 1000.0, battery);
+        // Replay the smoothing to split what the trace delta must be:
+        // charge intervals deduct the pre-efficiency draw, discharge
+        // intervals add the delivered power.
+        let mut state = BatteryState::empty(battery);
+        let dt = wind.interval.as_secs_f64();
+        let mut charged_pre_eff_j = 0.0;
+        let mut discharged_j = 0.0;
+        for &w in &wind.watts {
+            let surplus = w - demand_kw * 1000.0;
+            let before = state.stored_j;
+            let supplied = state.step(surplus, dt);
+            if surplus >= 0.0 {
+                charged_pre_eff_j += (state.stored_j - before) / battery.round_trip_efficiency;
+            } else {
+                discharged_j += supplied * dt;
+            }
+        }
+        let expected_delta_j = charged_pre_eff_j - discharged_j;
+        let actual_delta_j = wind.total_energy_j() - out.total_energy_j();
+        let scale = wind.total_energy_j().abs().max(1.0);
+        prop_assert!(
+            (actual_delta_j - expected_delta_j).abs() / scale < 1e-12,
+            "trace delta {actual_delta_j} J vs battery books {expected_delta_j} J"
+        );
+        // And the battery can never have created energy.
+        prop_assert!(out.total_energy_j() <= wind.total_energy_j() + 1e-6);
+    }
+}
