@@ -1,7 +1,8 @@
 //! End-to-end simulation benchmarks: whole runs through the public
-//! builder, at bench scale and with the incremental availability path
-//! toggled — the criterion-tracked counterpart of the headline numbers
-//! `iscope-exp bench-report` records in `BENCH_sim.json`.
+//! builder, at bench scale and with the incremental availability and
+//! indexed placement paths toggled — the criterion-tracked counterpart
+//! of the headline numbers `iscope-exp bench-report` records in
+//! `BENCH_sim.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use iscope::prelude::*;
@@ -57,6 +58,28 @@ fn bench_incremental_vs_replay(c: &mut Criterion) {
             black_box(
                 scaled_headline(240, 1000)
                     .force_replay_avail(true)
+                    .build()
+                    .run(),
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Indexed placement vs the linear per-arrival fleet scan, end to end,
+/// at a fleet size where the scan is a visible fraction of each event:
+/// the gap between these two is what the persistent chip indexes bought.
+fn bench_placement_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e_placement_path");
+    g.sample_size(10);
+    g.bench_function("indexed", |b| {
+        b.iter(|| black_box(scaled_headline(480, 2000).build().run()))
+    });
+    g.bench_function("linear", |b| {
+        b.iter(|| {
+            black_box(
+                scaled_headline(480, 2000)
+                    .force_linear_placement(true)
                     .build()
                     .run(),
             )
@@ -138,6 +161,7 @@ criterion_group!(
     e2e,
     bench_e2e_scaling,
     bench_incremental_vs_replay,
+    bench_placement_path,
     bench_dvfs_demand_path,
     bench_all_schemes
 );

@@ -3,10 +3,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use iscope_dcsim::{SimDuration, SimRng, SimTime};
+use iscope_pvmodel::ChipId;
 use iscope_pvmodel::{Binning, CpuBoundness, DvfsConfig, Fleet, OperatingPlan, VariationParams};
 use iscope_scanner::{Scanner, ScannerConfig};
 use iscope_sched::{
-    EfficiencyPlacement, FairPlacement, PlaceScratch, Placement, ProcView, RandomPlacement,
+    ChipIndexes, EfficiencyPlacement, FairPlacement, PlaceScratch, Placement, ProcView,
+    RandomPlacement,
 };
 use iscope_workload::{Job, JobId, Urgency};
 use std::hint::black_box;
@@ -46,28 +48,39 @@ fn bench_placement(c: &mut Criterion) {
             .map(|_| SimDuration::from_secs(rng.index(36_000) as u64))
             .collect();
         let scratch = PlaceScratch::default();
+        // The production path carries persistent indexes; bench both the
+        // indexed extraction and the linear ground truth it replaced.
+        let mut idx = ChipIndexes::new(n);
+        for (i, &u) in usage.iter().enumerate() {
+            idx.set_usage(ChipId(i as u32), u);
+        }
+        idx.rebuild_avail(&avail, |i| avail[i] > SimTime::ZERO);
         let policies: [(&str, &dyn Placement); 3] = [
             ("Ran", &RandomPlacement),
             ("Effi", &EfficiencyPlacement),
             ("Fair", &FairPlacement),
         ];
         for (name, policy) in policies {
-            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
-                let mut rng = SimRng::new(5);
-                let j = job(16);
-                b.iter(|| {
-                    let view = ProcView {
-                        now: SimTime::ZERO,
-                        avail: &avail,
-                        usage: &usage,
-                        plan: &plan,
-                        dvfs: &f.dvfs,
-                        blocked: &[],
-                        scratch: &scratch,
-                    };
-                    black_box(policy.place(&j, &view, true, &mut rng))
-                })
-            });
+            for (path, index) in [("indexed", Some(&idx)), ("linear", None)] {
+                g.bench_with_input(BenchmarkId::new(format!("{name}_{path}"), n), &n, |b, _| {
+                    let mut rng = SimRng::new(5);
+                    let j = job(16);
+                    b.iter(|| {
+                        let view = ProcView {
+                            now: SimTime::ZERO,
+                            avail: &avail,
+                            usage: &usage,
+                            plan: &plan,
+                            dvfs: &f.dvfs,
+                            blocked: &[],
+                            in_service: n,
+                            index,
+                            scratch: &scratch,
+                        };
+                        black_box(policy.place(&j, &view, true, &mut rng))
+                    })
+                });
+            }
         }
     }
     g.finish();

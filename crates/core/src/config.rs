@@ -47,6 +47,7 @@ pub struct GreenDatacenterSim {
     per_core_domains: bool,
     force_replay_avail: bool,
     force_replay_demand: bool,
+    force_linear_placement: bool,
     audit: Option<AuditConfig>,
     telemetry: Option<TelemetryConfig>,
 }
@@ -79,6 +80,7 @@ impl GreenDatacenterSim {
             per_core_domains: false,
             force_replay_avail: false,
             force_replay_demand: false,
+            force_linear_placement: false,
             audit: None,
             telemetry: None,
         }
@@ -216,6 +218,18 @@ impl GreenDatacenterSim {
         self
     }
 
+    /// Testing knob: place with the linear full-pool scans (the
+    /// pre-index hot path) instead of the persistent chip indexes. The
+    /// indexes are still maintained; this only stops the placement
+    /// policies from consuming them. Decisions — and therefore whole
+    /// runs — must be bit-identical either way; the equivalence suite
+    /// flips this to prove it. Not useful outside tests — it only makes
+    /// placements slower.
+    pub fn force_linear_placement(mut self, on: bool) -> Self {
+        self.force_linear_placement = on;
+        self
+    }
+
     /// Enables in-situ opportunistic profiling: the fleet starts on its
     /// factory-bin plan and upgrades chip by chip as the scanner completes
     /// (§III.C / Fig. 3). Pair with a `Scan*` scheme: the scheme's
@@ -336,6 +350,7 @@ impl GreenDatacenterSim {
                 surplus_signal: self.surplus_signal,
                 force_replay_avail: self.force_replay_avail,
                 force_replay_demand: self.force_replay_demand,
+                force_linear_placement: self.force_linear_placement,
                 audit: self.audit,
                 telemetry: self.telemetry,
             },

@@ -26,7 +26,7 @@ use iscope_pvmodel::{
     Fleet, FreqLevel, OperatingPlan,
 };
 use iscope_scanner::{ProfilingRecords, ReprofilePolicy, Scanner, ScannerConfig, VoltageGrid};
-use iscope_sched::{match_budget, DvfsCandidate, Placement, ProcView, RetryPolicy};
+use iscope_sched::{match_budget, ChipIndexes, DvfsCandidate, Placement, ProcView, RetryPolicy};
 use iscope_workload::{Job, Workload};
 use std::collections::{BTreeSet, VecDeque};
 use std::time::Instant;
@@ -85,6 +85,13 @@ pub struct SimInput {
     /// integer microwatts, so runs must be bit-identical either way; the
     /// equivalence suite flips this to prove it.
     pub force_replay_demand: bool,
+    /// Testing knob: place with the linear full-pool scans (the
+    /// pre-index hot path) instead of the persistent chip indexes. Index
+    /// maintenance is skipped entirely under this knob (the trees would
+    /// never be consumed), so the linear leg measures the true pre-index
+    /// cost. Decisions must be bit-identical either way; the equivalence
+    /// suite flips this to prove it.
+    pub force_linear_placement: bool,
     /// Optional run-wide invariant auditor (DESIGN.md §4): independently
     /// re-integrates energy against wall-clock event intervals and
     /// cross-checks the ledger, the incremental demand aggregates,
@@ -383,14 +390,20 @@ struct Sim {
     /// Set when a DVFS level change moved running jobs' completions, so
     /// every downstream projection in `avail` is stale.
     avail_dirty: bool,
-    /// Clamped copy of `avail` handed to the placement policy.
-    avail_scratch: Vec<SimTime>,
+    /// Persistent tournament-tree indexes over the `(usage, id)` and
+    /// clamped `(avail, id)` pool orderings (DESIGN.md §3d). Maintained
+    /// at the same transition points as `avail`/`usage` — O(log F) per
+    /// chip on place/finish — and rebuilt wholesale whenever the lazy
+    /// queue replay rewrites `avail` (the epoch-invalidation rule).
+    chip_index: ChipIndexes,
     /// Reusable candidate buffers for the placement policies.
     place_scratch: iscope_sched::PlaceScratch,
     /// Testing knob mirrored from [`SimInput::force_replay_avail`].
     force_replay_avail: bool,
     /// Testing knob mirrored from [`SimInput::force_replay_demand`].
     force_replay_demand: bool,
+    /// Testing knob mirrored from [`SimInput::force_linear_placement`].
+    force_linear_placement: bool,
     /// `demand_uw_at_level[l]`: fleet demand (integer µW) if every running
     /// job sat at level `l` — the sum of the frozen `power_uw_at` rows over
     /// the running set. Maintained incrementally on start/finish/plan
@@ -671,10 +684,11 @@ impl Sim {
             placements: 0,
             avail: vec![SimTime::ZERO; n],
             avail_dirty: false,
-            avail_scratch: Vec::with_capacity(n),
+            chip_index: ChipIndexes::new(n),
             place_scratch: iscope_sched::PlaceScratch::default(),
             force_replay_avail: input.force_replay_avail,
             force_replay_demand: input.force_replay_demand,
+            force_linear_placement: input.force_linear_placement,
             demand_uw_at_level: vec![0; num_levels],
             running_demand_uw: 0,
             chain_len_ms: vec![0; n],
@@ -1337,25 +1351,36 @@ impl Sim {
         self.deferral.is_none() && self.faults.is_none() && !self.force_replay_avail
     }
 
-    /// Refreshes the per-chip availability projection into
-    /// `self.avail_scratch`, clamped to `now` (idle chips' stored drain
-    /// times may be in the past). On the incremental path this is a copy;
-    /// a full queue replay happens only when the state is dirty.
+    /// Refreshes the per-chip availability projection. On the incremental
+    /// path this is a no-op; a full queue replay happens only when the
+    /// state is dirty (after a DVFS level change) or never incremental
+    /// (deferral, faults, forced replay). Whenever a replay rewrites
+    /// `avail` wholesale, the chip indexes keyed on it are stale for
+    /// every chip at once, so they are rebuilt here too — the epoch-
+    /// invalidation rule (DESIGN.md §3d). The placement view reads the
+    /// raw `avail` values and clamps to `now` at the comparison sites.
     fn refresh_avail(&mut self, now: SimTime) {
-        if !self.avail_incremental() {
+        let replayed = if !self.avail_incremental() {
             self.avail = self.projected_avail_replay(now);
+            true
         } else if self.avail_dirty {
             self.avail = self.projected_avail_replay(now);
             self.avail_dirty = false;
+            true
+        } else {
+            false
+        };
+        if replayed && !self.force_linear_placement {
+            let queues = &self.queues;
+            self.chip_index
+                .rebuild_avail(&self.avail, |i| !queues[i].is_empty());
         }
-        self.avail_scratch.clear();
-        self.avail_scratch
-            .extend(self.avail.iter().map(|&t| t.max(now)));
         #[cfg(debug_assertions)]
         if self.avail_incremental() {
             let replay = self.projected_avail_replay(now);
+            let clamped: Vec<SimTime> = self.avail.iter().map(|&t| t.max(now)).collect();
             debug_assert_eq!(
-                self.avail_scratch, replay,
+                clamped, replay,
                 "incremental availability diverged from queue replay"
             );
         }
@@ -1367,9 +1392,11 @@ impl Sim {
         self.placements += 1;
         let surplus = self.wind_surplus(now, idx);
         self.refresh_avail(now);
-        if let Some(faults) = &self.faults {
-            // Merge the in-situ and fault out-of-service sets into one
-            // blocked view for the placement policy.
+        // The in-service count is maintained at the block/unblock
+        // transitions (O(1) reads here); only the fault machinery, whose
+        // overlapping sets already cost a fleet scan to merge, recounts
+        // while building the merged blocked view.
+        let in_service = if let Some(faults) = &self.faults {
             let insitu_blocked = self.in_situ.as_ref().map(|s| &s.blocked);
             self.fault_blocked_scratch.clear();
             self.fault_blocked_scratch
@@ -1379,11 +1406,14 @@ impl Sim {
                         || faults.draining[i]
                         || faults.suspect[i]
                 }));
-        }
+            self.fleet.len() - self.fault_blocked_scratch.iter().filter(|&&b| b).count()
+        } else {
+            self.fleet.len() - self.in_situ.as_ref().map_or(0, |s| s.blocked_count)
+        };
         let decision = {
             let view = ProcView {
                 now,
-                avail: &self.avail_scratch,
+                avail: &self.avail,
                 usage: &self.usage,
                 plan: &self.plan,
                 dvfs: &self.fleet.dvfs,
@@ -1392,6 +1422,8 @@ impl Sim {
                 } else {
                     self.in_situ.as_ref().map_or(&[], |s| &s.blocked)
                 },
+                in_service,
+                index: (!self.force_linear_placement).then_some(&self.chip_index),
                 scratch: &self.place_scratch,
             };
             self.placement
@@ -1400,10 +1432,11 @@ impl Sim {
         let chips = decision.chips().to_vec();
         // Append the job to its chips' projections: it starts when the
         // last of them drains and holds all of them for its f_max runtime
-        // — exactly what the replay would derive.
+        // — exactly what the replay would derive. Folding from `now`
+        // clamps stale idle-chip drain times exactly like the view does.
         let start = chips
             .iter()
-            .map(|&c| self.avail_scratch[c.0 as usize])
+            .map(|&c| self.avail[c.0 as usize])
             .fold(now, SimTime::max);
         let end = start + self.jobs[idx].job.runtime_at_fmax;
         let runtime_ms = self.jobs[idx].job.runtime_at_fmax.as_millis();
@@ -1412,6 +1445,11 @@ impl Sim {
         for &c in &chips {
             let ci = c.0 as usize;
             self.avail[ci] = end;
+            // Index maintenance: the chip now drains at `end` (and is
+            // certainly busy), whatever tree it sat in before.
+            if !self.force_linear_placement {
+                self.chip_index.chip_busy(c, end);
+            }
             if let Some(&head) = self.queues[ci].front() {
                 // The job lands behind an existing chain: extend the
                 // chain length and tighten the running head's cached
@@ -1579,6 +1617,9 @@ impl Sim {
         for &c in &chips {
             let ci = c.0 as usize;
             self.usage[ci] += busy;
+            if !self.force_linear_placement {
+                self.chip_index.set_usage(c, self.usage[ci]);
+            }
             self.apply_wear(ci, busy);
             let q = &mut self.queues[ci];
             debug_assert_eq!(q.front(), Some(&idx), "failed job was not at head");
@@ -1592,6 +1633,9 @@ impl Sim {
                     "drained queue with nonzero chain length"
                 );
                 self.busy_queues -= 1;
+                if !self.force_linear_placement {
+                    self.chip_index.chip_idle(c);
+                }
                 if let Some(insitu) = &self.in_situ {
                     if !insitu.profiled[ci] && !insitu.blocked[ci] {
                         self.idle_unprofiled.insert(c.0);
@@ -1990,6 +2034,9 @@ impl Sim {
         for &c in &chips {
             let ci = c.0 as usize;
             self.usage[ci] += busy;
+            if !self.force_linear_placement {
+                self.chip_index.set_usage(c, self.usage[ci]);
+            }
             self.apply_wear(ci, busy);
             let q = &mut self.queues[ci];
             debug_assert_eq!(q.front(), Some(&idx), "completed job was not at head");
@@ -2007,6 +2054,9 @@ impl Sim {
                 );
                 // Queue transition busy -> empty.
                 self.busy_queues -= 1;
+                if !self.force_linear_placement {
+                    self.chip_index.chip_idle(c);
+                }
                 if let Some(insitu) = &self.in_situ {
                     if !insitu.profiled[ci] && !insitu.blocked[ci] {
                         self.idle_unprofiled.insert(c.0);

@@ -77,6 +77,21 @@ pub const BASELINE_DVFS: Option<BenchNumbers> = Some(BenchNumbers {
     ns_per_placement: 215_380.0,
 });
 
+/// Headline numbers measured on the commit immediately before the
+/// persistent chip indexes landed (linear per-arrival fleet scans over
+/// the incremental availability state), same scenario and seed, release
+/// build. This is the comparable series for the indexed-placement
+/// speedup: [`BASELINE_HEADLINE`] predates the incremental-state work
+/// entirely, so the per-placement win of the indexes alone is
+/// `pre_index.ns_per_placement / headline.ns_per_placement`.
+pub const BASELINE_PREINDEX_HEADLINE: Option<BenchNumbers> = Some(BenchNumbers {
+    wall_s: 1.738,
+    events: 40_291,
+    events_per_sec: 23_182.5,
+    placements: 20_000,
+    ns_per_placement: 86_909.7,
+});
+
 /// The full bench-report payload.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -91,11 +106,18 @@ pub struct BenchReport {
     pub dvfs_stress: BenchNumbers,
     /// Hot-path phase breakdown of the DVFS-stressed run.
     pub dvfs_phases: PhaseTimers,
+    /// Fleet-scale run: 50 000 processors under 200 000 jobs, feasible
+    /// only with the O(log n) placement indexes.
+    pub scale: BenchNumbers,
+    /// Hot-path phase breakdown of the fleet-scale run.
+    pub scale_phases: PhaseTimers,
     /// One-line summary of the headline run's simulation outcome, so a
     /// perf regression that changes behaviour is visible in the report.
     pub headline_outcome: String,
     /// Outcome summary of the DVFS-stressed run.
     pub dvfs_outcome: String,
+    /// Outcome summary of the fleet-scale run.
+    pub scale_outcome: String,
 }
 
 /// The headline scenario: the paper's 4800-CPU testbed under one day of
@@ -144,7 +166,31 @@ pub fn dvfs_stress_sim() -> GreenDatacenterSim {
         .seed(42)
 }
 
-/// Runs all three benchmark scenarios.
+/// The fleet-scale scenario: a 50 000-processor fleet under 200 000
+/// jobs (gangs up to 512 wide), ScanFair, wind scaled to the per-CPU
+/// standard. At this size a single linear fleet scan costs more than an
+/// entire indexed placement, so the scenario only became tractable when
+/// the persistent chip indexes landed — it exists to keep it that way.
+pub fn scale_sim() -> GreenDatacenterSim {
+    let fleet = 50_000usize;
+    GreenDatacenterSim::builder()
+        .fleet_size(fleet)
+        .synthetic_trace(SyntheticTrace {
+            num_jobs: 200_000,
+            max_cpus: 512,
+            ..SyntheticTrace::default()
+        })
+        .scheme(Scheme::ScanFair)
+        .supply(Supply::hybrid_farm(
+            &WindFarm::default(),
+            SimDuration::from_hours(48),
+            fleet as f64 / 4800.0,
+            42,
+        ))
+        .seed(42)
+}
+
+/// Runs all four benchmark scenarios.
 pub fn run() -> BenchReport {
     let (report, stats) = headline_sim().build().run_instrumented();
     let cfg = ExpConfig::new(ExpScale::Default);
@@ -154,23 +200,28 @@ pub fn run() -> BenchReport {
         .build()
         .run_instrumented();
     let (dvfs_report, dvfs_stats) = dvfs_stress_sim().build().run_instrumented();
+    let (scale_report, scale_stats) = scale_sim().build().run_instrumented();
     BenchReport {
         headline: stats.into(),
         headline_phases: stats.phases,
         figure_scale: fig_stats.into(),
         dvfs_stress: dvfs_stats.into(),
         dvfs_phases: dvfs_stats.phases,
+        scale: scale_stats.into(),
+        scale_phases: scale_stats.phases,
         headline_outcome: report.summary(),
         dvfs_outcome: dvfs_report.summary(),
+        scale_outcome: scale_report.summary(),
     }
 }
 
 /// `iscope-exp bench-smoke` — a fast CI gate over the DVFS-stressed
-/// path: runs a scaled-down version of [`dvfs_stress_sim`] twice, once
-/// on the incremental aggregates and once with `force_replay_demand` +
-/// `force_replay_avail` (the ground-truth replay paths), and panics
-/// unless the two reports are bit-identical. Prints the phase timings so
-/// CI logs show where event time goes.
+/// path: runs a scaled-down version of [`dvfs_stress_sim`] three times —
+/// the default (incremental aggregates, indexed placement), once with
+/// `force_replay_demand` + `force_replay_avail` (the ground-truth replay
+/// paths), and once with `force_linear_placement` (per-arrival fleet
+/// scans) — and panics unless all three reports are bit-identical.
+/// Prints the phase timings so CI logs show where event time goes.
 pub fn smoke() {
     let fleet = 300usize;
     let mk = || {
@@ -197,22 +248,25 @@ pub fn smoke() {
         .force_replay_avail(true)
         .build()
         .run_instrumented();
-    assert_eq!(
-        fast.ledger, replay.ledger,
-        "bench-smoke: incremental run's energy ledger diverged from replay"
-    );
-    assert_eq!(
-        fast.makespan, replay.makespan,
-        "bench-smoke: makespan diverged"
-    );
-    assert_eq!(
-        fast.deadline_misses, replay.deadline_misses,
-        "bench-smoke: deadline misses diverged"
-    );
-    assert_eq!(
-        fast.usage_hours, replay.usage_hours,
-        "bench-smoke: usage diverged"
-    );
+    let (linear, _) = mk().force_linear_placement(true).build().run_instrumented();
+    for (other, what) in [(&replay, "replay"), (&linear, "linear placement")] {
+        assert_eq!(
+            fast.ledger, other.ledger,
+            "bench-smoke: energy ledger diverged from {what}"
+        );
+        assert_eq!(
+            fast.makespan, other.makespan,
+            "bench-smoke: makespan diverged from {what}"
+        );
+        assert_eq!(
+            fast.deadline_misses, other.deadline_misses,
+            "bench-smoke: deadline misses diverged from {what}"
+        );
+        assert_eq!(
+            fast.usage_hours, other.usage_hours,
+            "bench-smoke: usage diverged from {what}"
+        );
+    }
     println!("bench-smoke outcome: {}", fast.summary());
     println!(
         "bench-smoke wall_s {:.3}  events {}  events/s {:.1}",
@@ -221,7 +275,7 @@ pub fn smoke() {
         stats.events_per_sec(),
     );
     println!("bench-smoke phases: {}", phases_line(&stats.phases));
-    println!("bench-smoke OK: incremental == replay (bit-identical)");
+    println!("bench-smoke OK: incremental == replay == linear placement (bit-identical)");
 }
 
 fn phases_line(p: &PhaseTimers) -> String {
@@ -269,7 +323,9 @@ impl BenchReport {
              20000 jobs over 24 h (max 512-wide), ScanFair, hybrid wind x1.0, seed 42\",\n    \
              \"figure_scale\": \"240 procs, 1000 jobs, ScanFair, hybrid wind x1.0, seed 42\",\n    \
              \"dvfs_stress\": \"1200 procs, 20000 jobs at 4x arrival rate (max 16-wide), \
-             ScanFair, hybrid wind x0.0625 (scarce), seed 42\"\n  },\n",
+             ScanFair, hybrid wind x0.0625 (scarce), seed 42\",\n    \
+             \"scale\": \"50000 procs, 200000 jobs (max 512-wide), ScanFair, hybrid wind \
+             x10.4 (per-CPU standard), seed 42\"\n  },\n",
         );
         out.push_str(&format!(
             "  \"headline\": {},\n",
@@ -290,6 +346,14 @@ impl BenchReport {
         out.push_str(&format!(
             "  \"dvfs_stress_phases\": {},\n",
             phases_json(&self.dvfs_phases, "  ")
+        ));
+        out.push_str(&format!(
+            "  \"scale\": {},\n",
+            numbers_json(&self.scale, "  ")
+        ));
+        out.push_str(&format!(
+            "  \"scale_phases\": {},\n",
+            phases_json(&self.scale_phases, "  ")
         ));
         match (BASELINE_HEADLINE, BASELINE_FIGURE) {
             (Some(bh), Some(bf)) => {
@@ -318,13 +382,27 @@ impl BenchReport {
                 bd.wall_s / self.dvfs_stress.wall_s
             ));
         }
+        if let Some(bp) = BASELINE_PREINDEX_HEADLINE {
+            out.push_str(&format!(
+                "  \"baseline_preindex_headline\": {},\n",
+                numbers_json(&bp, "  ")
+            ));
+            out.push_str(&format!(
+                "  \"headline_speedup_placement_vs_preindex\": {:.2},\n",
+                bp.ns_per_placement / self.headline.ns_per_placement
+            ));
+        }
         out.push_str(&format!(
             "  \"headline_outcome\": \"{}\",\n",
             self.headline_outcome.trim().replace('"', "'")
         ));
         out.push_str(&format!(
-            "  \"dvfs_stress_outcome\": \"{}\"\n}}\n",
+            "  \"dvfs_stress_outcome\": \"{}\",\n",
             self.dvfs_outcome.trim().replace('"', "'")
+        ));
+        out.push_str(&format!(
+            "  \"scale_outcome\": \"{}\"\n}}\n",
+            self.scale_outcome.trim().replace('"', "'")
         ));
         out
     }

@@ -169,6 +169,11 @@ fn main() {
             "dvfs-stress   wall {:>8.2} s  {:>12.0} events/s  {:>10.0} ns/placement",
             b.dvfs_stress.wall_s, b.dvfs_stress.events_per_sec, b.dvfs_stress.ns_per_placement
         );
+        println!("scale         {}", b.scale_outcome);
+        println!(
+            "scale         wall {:>8.2} s  {:>12.0} events/s  {:>10.0} ns/placement",
+            b.scale.wall_s, b.scale.events_per_sec, b.scale.ns_per_placement
+        );
         match b.write() {
             Ok(p) => println!("[wrote {}]", p.display()),
             Err(e) => eprintln!("[failed to write BENCH_sim.json: {e}]"),

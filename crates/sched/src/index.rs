@@ -1,0 +1,632 @@
+//! Persistent chip indexes over the pool orderings the placement
+//! policies walk, so a decision extracts its candidates without
+//! re-materializing and partially sorting a fleet-sized pool on every
+//! arrival.
+//!
+//! Three orderings matter (§IV.B), and they get different structures
+//! because their update/query mix differs by orders of magnitude:
+//!
+//! * `(usage, id)` — Fair's surplus mode walks the least-used chips.
+//!   Usage changes on every job finish (one update per gang chip, ~100×
+//!   more updates than queries), so a tree paying O(log F) per update is
+//!   the wrong shape, and tournament-tree extraction wanders the node
+//!   array in usage order — one cache miss per yielded chip. Instead the
+//!   index keeps the fleet in an **exact sorted array** of packed keys
+//!   with a dirty set: an update is a flag mark plus a list push (O(1)),
+//!   and acquiring the ordering repairs lazily with one sequential merge
+//!   pass over the array (skip stale entries, weave in the re-sorted
+//!   dirty chips). Queries then read blocks straight out of the array.
+//! * clamped `(max(avail, now), id)` — best effort takes the earliest-
+//!   available chips. `now` varies per decision, so this ordering cannot
+//!   be stored directly; it is split into a **busy** tournament tree
+//!   (chips with queued work, keyed by their raw drain time, `>= now`
+//!   whenever the index is current) and an **idle** tree (keyed by id
+//!   only — every idle chip clamps to exactly `now`), merged at query
+//!   time by adding `now` to the idle keys. Transitions only record the
+//!   new state and set a dirty bit; the trees rebuild O(F) on the next
+//!   cursor acquisition, which keeps the common no-miss path free of
+//!   per-transition tree repairs (best effort only runs on placements
+//!   that already missed their deadline).
+//! * the efficiency ranking — already a precomputed rank array on the
+//!   [`OperatingPlan`](iscope_pvmodel::OperatingPlan); the prefix walk
+//!   over it was never O(fleet) and needs no index.
+//!
+//! Keys are packed integers (`millis << 24 | id`, 40 bits of
+//! milliseconds and 24 bits of chip id — enough for 34 simulated years
+//! over 16 million chips), so one u64 comparison decides the full
+//! ordering tuple and the extracted order is bit-identical to what
+//! sorting the linear pool by the same tuple produces — determinism
+//! falls out of the packing, not of any float tolerance. The owner (the
+//! simulator) maintains the indexes at the same transition points that
+//! maintain `avail`/`usage`, and refreshes the availability pair
+//! wholesale whenever the lazy queue replay rewrites `avail` (the
+//! epoch-invalidation rule; see DESIGN.md §3d).
+
+use iscope_dcsim::{SimDuration, SimTime};
+use iscope_pvmodel::ChipId;
+use std::cell::{RefCell, RefMut};
+
+/// Bits reserved for the chip id in a packed key.
+pub(crate) const ID_BITS: u32 = 24;
+
+/// Sentinel for "chip absent from this tree".
+const NONE_KEY: u64 = u64::MAX;
+
+/// Packs an ordering tuple `(millis, id)` into one comparable integer.
+pub(crate) fn pack(ms: u64, id: u32) -> u64 {
+    debug_assert!(ms < 1 << (64 - ID_BITS), "timestamp overflows packed key");
+    debug_assert!(id < 1 << ID_BITS, "chip id overflows packed key");
+    (ms << ID_BITS) | id as u64
+}
+
+pub(crate) fn unpack_id(key: u64) -> u32 {
+    (key & ((1 << ID_BITS) - 1)) as u32
+}
+
+fn unpack_ms(key: u64) -> u64 {
+    key >> ID_BITS
+}
+
+/// An array-backed tournament (min segment) tree over chip slots. Leaf
+/// `i` holds chip `i`'s packed key or [`NONE_KEY`]; every internal node
+/// holds the minimum of its children.
+#[derive(Debug)]
+struct MinTree {
+    /// Number of leaves in use (the fleet size).
+    leaves: usize,
+    /// Power-of-two leaf span; leaf `i` lives at `nodes[base + i]`.
+    base: usize,
+    /// 1-based heap layout, `nodes[1]` is the root.
+    nodes: Vec<u64>,
+}
+
+impl MinTree {
+    fn new(leaves: usize) -> MinTree {
+        let base = leaves.next_power_of_two().max(1);
+        MinTree {
+            leaves,
+            base,
+            nodes: vec![NONE_KEY; 2 * base],
+        }
+    }
+
+    /// Rebuilds every leaf from `key(i)` and all internal nodes bottom-up.
+    fn rebuild(&mut self, key: impl Fn(usize) -> u64) {
+        for i in 0..self.leaves {
+            self.nodes[self.base + i] = key(i);
+        }
+        for node in (1..self.base).rev() {
+            self.nodes[node] = self.nodes[2 * node].min(self.nodes[2 * node + 1]);
+        }
+    }
+}
+
+/// The exact least-used ordering plus its pending re-keys.
+#[derive(Debug)]
+struct UsageIndex {
+    /// Every chip's packed `(usage, id)` key, ascending — exact except
+    /// for chips flagged dirty since the last repair.
+    sorted: Vec<u64>,
+    /// Current usage per chip, the source of truth for repairs.
+    usage_ms: Vec<u64>,
+    /// `dirty[c]`: chip `c`'s entry in `sorted` is stale.
+    dirty: Vec<bool>,
+    /// The dirty chips, unordered, each exactly once.
+    dirty_list: Vec<u32>,
+    /// Reused repair buffers (double buffer + re-keyed dirty chips).
+    merge_buf: Vec<u64>,
+    fresh: Vec<u64>,
+}
+
+impl UsageIndex {
+    /// Folds the pending re-keys back into the sorted array: skip every
+    /// stale entry, weave in the freshly keyed dirty chips — one
+    /// sequential pass, no per-chip searching.
+    fn repair(&mut self) {
+        if self.dirty_list.is_empty() {
+            return;
+        }
+        self.fresh.clear();
+        for &c in &self.dirty_list {
+            self.fresh.push(pack(self.usage_ms[c as usize], c));
+        }
+        self.fresh.sort_unstable();
+        self.merge_buf.clear();
+        let mut fi = 0;
+        for &k in &self.sorted {
+            if self.dirty[unpack_id(k) as usize] {
+                continue;
+            }
+            while fi < self.fresh.len() && self.fresh[fi] < k {
+                self.merge_buf.push(self.fresh[fi]);
+                fi += 1;
+            }
+            self.merge_buf.push(k);
+        }
+        self.merge_buf.extend_from_slice(&self.fresh[fi..]);
+        std::mem::swap(&mut self.sorted, &mut self.merge_buf);
+        for &c in &self.dirty_list {
+            self.dirty[c as usize] = false;
+        }
+        self.dirty_list.clear();
+        debug_assert_eq!(self.sorted.len(), self.usage_ms.len());
+        debug_assert!(self.sorted.windows(2).all(|w| w[0] < w[1]));
+    }
+}
+
+/// The availability state plus the busy/idle tree pair built from it.
+#[derive(Debug)]
+struct AvailIndex {
+    /// Last recorded drain time per chip (meaningful while busy).
+    avail_ms: Vec<u64>,
+    /// Whether the chip has queued work.
+    is_busy: Vec<bool>,
+    /// The trees lag the arrays; rebuilt on the next cursor.
+    stale: bool,
+    /// Raw `(avail, id)` over busy chips.
+    busy: MinTree,
+    /// `(0, id)` over idle chips; `now` is added at query time.
+    idle: MinTree,
+}
+
+impl AvailIndex {
+    fn refresh(&mut self) {
+        if !self.stale {
+            return;
+        }
+        let (avail_ms, is_busy) = (&self.avail_ms, &self.is_busy);
+        self.busy.rebuild(|i| {
+            if is_busy[i] {
+                pack(avail_ms[i], i as u32)
+            } else {
+                NONE_KEY
+            }
+        });
+        self.idle.rebuild(|i| {
+            if is_busy[i] {
+                NONE_KEY
+            } else {
+                pack(0, i as u32)
+            }
+        });
+        self.stale = false;
+    }
+}
+
+/// The exact fleet ordering by `(usage, id)`, acquired from
+/// [`ChipIndexes::least_used`]. Holds the interior borrow (one live
+/// acquisition at a time); pending re-keys were repaired on acquisition,
+/// so ranks read straight out of the sorted array.
+pub struct LeastUsed<'a>(RefMut<'a, UsageIndex>);
+
+impl LeastUsed<'_> {
+    /// Number of chips in the ordering (the fleet size).
+    pub fn len(&self) -> usize {
+        self.0.sorted.len()
+    }
+
+    /// True for an empty fleet.
+    pub fn is_empty(&self) -> bool {
+        self.0.sorted.is_empty()
+    }
+
+    /// The chip at `rank` in ascending `(usage, id)` order.
+    pub fn chip(&self, rank: usize) -> ChipId {
+        ChipId(unpack_id(self.0.sorted[rank]))
+    }
+}
+
+/// A heap entry of an [`IndexCursor`]: the entry's adjusted key plus a
+/// packed node pointer (tree tag in the top bit, node index below).
+/// Entries alive at any moment root disjoint subtrees whose leaf sets
+/// are disjoint chip sets, so their keys are distinct and the pop order
+/// is fully deterministic.
+type HeapEntry = (u64, u32);
+
+/// Tag bit marking an entry of the busy tree.
+const TAG_BIT: u32 = 1 << 31;
+
+/// Ascending-order iterator over the merged busy/idle availability pair,
+/// acquired from [`ChipIndexes::earliest_available`].
+///
+/// Extraction is heap-guided descent: pop the smallest live entry; a
+/// leaf is yielded, an internal node is replaced by its non-empty
+/// children. The trees are never mutated, so a cursor costs O(k log F)
+/// for k items and nothing to abandon — exactly what the best-effort
+/// head extraction needs, since it consumes only `n` chips.
+pub struct IndexCursor<'a> {
+    avail: RefMut<'a, AvailIndex>,
+    /// Reusable binary-heap storage, borrowed from the owning
+    /// [`ChipIndexes`] for the cursor's lifetime (one cursor at a time).
+    heap: RefMut<'a, Vec<HeapEntry>>,
+    /// Added to every idle-tree key: idle chips clamp to exactly `now`.
+    idle_offset: u64,
+    /// Debug floor on the millis half of busy yields: busy chips must
+    /// never drain before `now` while the index is current.
+    now_ms: u64,
+}
+
+impl<'a> IndexCursor<'a> {
+    fn new(
+        mut avail: RefMut<'a, AvailIndex>,
+        mut heap: RefMut<'a, Vec<HeapEntry>>,
+        now_ms: u64,
+    ) -> IndexCursor<'a> {
+        avail.refresh();
+        heap.clear();
+        let idle_offset = pack(now_ms, 0);
+        let mut cursor = IndexCursor {
+            avail,
+            heap,
+            idle_offset,
+            now_ms,
+        };
+        for (tag, offset) in [(0u32, idle_offset), (TAG_BIT, 0)] {
+            let tree = if tag == 0 {
+                &cursor.avail.idle
+            } else {
+                &cursor.avail.busy
+            };
+            match tree.nodes.get(1) {
+                Some(&root) if root != NONE_KEY => cursor.push((root + offset, tag | 1)),
+                _ => {}
+            }
+        }
+        cursor
+    }
+
+    fn push(&mut self, entry: HeapEntry) {
+        self.heap.push(entry);
+        let heap = &mut *self.heap;
+        let mut i = heap.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if heap[parent].0 <= heap[i].0 {
+                break;
+            }
+            heap.swap(parent, i);
+            i = parent;
+        }
+    }
+
+    /// Replaces the heap root with `entry` and restores the heap
+    /// property downward.
+    fn replace_root(&mut self, entry: HeapEntry) {
+        let heap = &mut *self.heap;
+        heap[0] = entry;
+        let len = heap.len();
+        let mut i = 0;
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < len && heap[l].0 < heap[smallest].0 {
+                smallest = l;
+            }
+            if r < len && heap[r].0 < heap[smallest].0 {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            heap.swap(i, smallest);
+            i = smallest;
+        }
+    }
+
+    /// Removes the heap root and restores the heap property.
+    fn pop_root(&mut self) {
+        if let Some(last) = self.heap.pop() {
+            if !self.heap.is_empty() {
+                self.replace_root(last);
+            }
+        }
+    }
+}
+
+impl Iterator for IndexCursor<'_> {
+    type Item = ChipId;
+
+    fn next(&mut self) -> Option<ChipId> {
+        loop {
+            let &(key, packed) = self.heap.first()?;
+            let busy = packed & TAG_BIT != 0;
+            let node = (packed & !TAG_BIT) as usize;
+            let (tree, offset) = if busy {
+                (&self.avail.busy, 0)
+            } else {
+                (&self.avail.idle, self.idle_offset)
+            };
+            if node >= tree.base {
+                debug_assert!(
+                    !busy || unpack_ms(key) >= self.now_ms,
+                    "stale index: busy chip drains before now"
+                );
+                debug_assert_eq!(unpack_id(key) as usize, node - tree.base);
+                self.pop_root();
+                return Some(ChipId(unpack_id(key)));
+            }
+            // Internal node: replace it by its smaller-indexed live child
+            // in place (one sift instead of a pop + push), pushing the
+            // other child if it is live too.
+            let tag = packed & TAG_BIT;
+            let l = tree.nodes[2 * node];
+            let r = tree.nodes[2 * node + 1];
+            if l != NONE_KEY {
+                let right = (r != NONE_KEY).then(|| (r + offset, tag | (2 * node + 1) as u32));
+                self.replace_root((l + offset, tag | (2 * node) as u32));
+                if let Some(entry) = right {
+                    self.push(entry);
+                }
+            } else {
+                debug_assert_ne!(r, NONE_KEY, "internal key without a live child");
+                self.replace_root((r + offset, tag | (2 * node + 1) as u32));
+            }
+        }
+    }
+}
+
+/// The persistent per-fleet indexes the indexed placement path consumes:
+/// the least-used ordering over all chips and the busy/idle availability
+/// pair (see the module docs for the structures behind each).
+#[derive(Debug)]
+pub struct ChipIndexes {
+    /// Fleet size.
+    n: usize,
+    /// `(usage, id)` over every chip, blocked or not — consumers filter
+    /// blocked chips exactly like the linear pool they replace.
+    usage: RefCell<UsageIndex>,
+    /// Clamped `(avail, id)` state and trees.
+    avail: RefCell<AvailIndex>,
+    /// Shared cursor heap storage; borrowing enforces one live cursor.
+    heap: RefCell<Vec<HeapEntry>>,
+}
+
+impl ChipIndexes {
+    /// A fleet of `n` chips, all idle with zero usage (the start state).
+    pub fn new(n: usize) -> ChipIndexes {
+        ChipIndexes {
+            n,
+            usage: RefCell::new(UsageIndex {
+                sorted: (0..n as u32).map(|i| pack(0, i)).collect(),
+                usage_ms: vec![0; n],
+                dirty: vec![false; n],
+                dirty_list: Vec::new(),
+                merge_buf: Vec::new(),
+                fresh: Vec::new(),
+            }),
+            avail: RefCell::new(AvailIndex {
+                avail_ms: vec![0; n],
+                is_busy: vec![false; n],
+                stale: true,
+                busy: MinTree::new(n),
+                idle: MinTree::new(n),
+            }),
+            heap: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Number of chips indexed.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for an empty fleet.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Records `chip`'s new cumulative busy time (call on job finish).
+    /// O(1): marks the chip's sorted entry stale; the next
+    /// [`ChipIndexes::least_used`] acquisition repairs in one pass.
+    pub fn set_usage(&mut self, chip: ChipId, usage: SimDuration) {
+        let u = self.usage.get_mut();
+        let i = chip.0 as usize;
+        u.usage_ms[i] = usage.as_millis();
+        if !u.dirty[i] {
+            u.dirty[i] = true;
+            u.dirty_list.push(chip.0);
+        }
+    }
+
+    /// Records that `chip` has queued work draining at `drains_at` (call
+    /// when a placement lands on the chip). O(1): the busy/idle trees
+    /// rebuild on the next [`ChipIndexes::earliest_available`].
+    pub fn chip_busy(&mut self, chip: ChipId, drains_at: SimTime) {
+        let a = self.avail.get_mut();
+        let i = chip.0 as usize;
+        a.avail_ms[i] = drains_at.as_millis();
+        a.is_busy[i] = true;
+        a.stale = true;
+    }
+
+    /// Records that `chip`'s queue drained. O(1), like
+    /// [`ChipIndexes::chip_busy`].
+    pub fn chip_idle(&mut self, chip: ChipId) {
+        let a = self.avail.get_mut();
+        a.is_busy[chip.0 as usize] = false;
+        a.stale = true;
+    }
+
+    /// Epoch invalidation: re-records the whole availability state from
+    /// fresh `avail` values and the queue-occupancy predicate. The owner
+    /// calls this whenever a queue replay rewrote `avail` (DVFS
+    /// rebalance, deferral, faults, or the forced-replay knob).
+    pub fn rebuild_avail(&mut self, avail: &[SimTime], busy: impl Fn(usize) -> bool) {
+        let a = self.avail.get_mut();
+        debug_assert_eq!(avail.len(), a.avail_ms.len());
+        for (i, &t) in avail.iter().enumerate() {
+            a.avail_ms[i] = t.as_millis();
+            a.is_busy[i] = busy(i);
+        }
+        a.stale = true;
+    }
+
+    /// Acquires the exact ascending `(usage, id)` ordering — the
+    /// least-used ordering Fair's surplus mode walks — repairing any
+    /// pending re-keys first. Panics if another acquisition is live.
+    pub fn least_used(&self) -> LeastUsed<'_> {
+        let mut u = self.usage.borrow_mut();
+        u.repair();
+        LeastUsed(u)
+    }
+
+    /// Cursor over every chip in ascending clamped `(max(avail, now),
+    /// id)` order — the earliest-available ordering best effort takes.
+    /// Busy chips compare by their raw drain time (necessarily `>= now`
+    /// while the index is current, asserted in debug builds); idle chips
+    /// clamp to exactly `now` and order by id. Rebuilds the tree pair
+    /// first if any transition was recorded since the last cursor.
+    /// Panics if another cursor is live.
+    pub fn earliest_available(&self, now: SimTime) -> IndexCursor<'_> {
+        IndexCursor::new(
+            self.avail.borrow_mut(),
+            self.heap.borrow_mut(),
+            now.as_millis(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn times(ms: &[u64]) -> Vec<SimTime> {
+        ms.iter()
+            .map(|&m| SimTime::ZERO + SimDuration::from_millis(m))
+            .collect()
+    }
+
+    fn least_used_ids(idx: &ChipIndexes) -> Vec<u32> {
+        let lu = idx.least_used();
+        (0..lu.len()).map(|r| lu.chip(r).0).collect()
+    }
+
+    #[test]
+    fn least_used_yields_usage_then_id_order() {
+        let mut idx = ChipIndexes::new(5);
+        idx.set_usage(ChipId(0), SimDuration::from_millis(30));
+        idx.set_usage(ChipId(1), SimDuration::from_millis(10));
+        idx.set_usage(ChipId(2), SimDuration::from_millis(30));
+        idx.set_usage(ChipId(3), SimDuration::ZERO);
+        idx.set_usage(ChipId(4), SimDuration::from_millis(10));
+        assert_eq!(least_used_ids(&idx), vec![3, 1, 4, 0, 2]);
+    }
+
+    #[test]
+    fn lazy_repair_matches_full_sort() {
+        let mut idx = ChipIndexes::new(32);
+        let mut usage = vec![0u64; 32];
+        // Interleave bursts of re-keys (including repeat touches of the
+        // same chip between queries) with ordering acquisitions.
+        for step in 0..100u64 {
+            let c = ((step * 17) % 32) as usize;
+            usage[c] += (step % 7) * 1000 + 1;
+            idx.set_usage(ChipId(c as u32), SimDuration::from_millis(usage[c]));
+            if step % 9 == 0 {
+                let mut expect: Vec<u32> = (0..32).collect();
+                expect.sort_by_key(|&i| (usage[i as usize], i));
+                assert_eq!(least_used_ids(&idx), expect, "step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn earliest_available_merges_idle_and_busy() {
+        let mut idx = ChipIndexes::new(6);
+        // Chips 1 and 4 busy until 500/200 ms; the rest idle.
+        idx.chip_busy(ChipId(1), SimTime::ZERO + SimDuration::from_millis(500));
+        idx.chip_busy(ChipId(4), SimTime::ZERO + SimDuration::from_millis(200));
+        let now = SimTime::ZERO + SimDuration::from_millis(100);
+        let order: Vec<u32> = idx.earliest_available(now).map(|c| c.0).collect();
+        // Idle chips clamp to now=100 and order by id, then busy by drain.
+        assert_eq!(order, vec![0, 2, 3, 5, 4, 1]);
+    }
+
+    #[test]
+    fn busy_chip_draining_at_now_ties_by_id_with_idle() {
+        let mut idx = ChipIndexes::new(4);
+        let now = SimTime::ZERO + SimDuration::from_millis(100);
+        idx.chip_busy(ChipId(0), now);
+        idx.chip_busy(ChipId(2), now + SimDuration::from_millis(1));
+        let order: Vec<u32> = idx.earliest_available(now).map(|c| c.0).collect();
+        // Chip 0 drains exactly at now: it ranks among the idle chips by
+        // id, exactly like the clamped linear sort would place it.
+        assert_eq!(order, vec![0, 1, 3, 2]);
+    }
+
+    #[test]
+    fn transitions_and_rekeying_track_the_linear_sort() {
+        let mut idx = ChipIndexes::new(8);
+        let avail = times(&[0, 900, 0, 300, 300, 0, 50, 700]);
+        let busy = [false, true, false, true, true, false, true, true];
+        idx.rebuild_avail(&avail, |i| busy[i]);
+        let now = SimTime::ZERO + SimDuration::from_millis(40);
+        let got: Vec<u32> = idx.earliest_available(now).map(|c| c.0).collect();
+        let mut expect: Vec<u32> = (0..8).collect();
+        expect.sort_by_key(|&i| (avail[i as usize].max(now), i));
+        assert_eq!(got, expect);
+        // Chip 1 drains; chip 0 picks up work until 1200 ms. `now` stays
+        // below every busy chip's drain time (the index invariant).
+        idx.chip_idle(ChipId(1));
+        idx.chip_busy(ChipId(0), SimTime::ZERO + SimDuration::from_millis(1200));
+        let now = SimTime::ZERO + SimDuration::from_millis(45);
+        let got: Vec<u32> = idx.earliest_available(now).map(|c| c.0).collect();
+        let new_avail = times(&[1200, 900, 0, 300, 300, 0, 50, 700]);
+        let busy = [true, false, false, true, true, false, true, true];
+        let mut expect: Vec<u32> = (0..8).collect();
+        expect.sort_by_key(|&i| {
+            let a = if busy[i as usize] {
+                new_avail[i as usize]
+            } else {
+                SimTime::ZERO
+            };
+            (a.max(now), i)
+        });
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn cursor_is_abandonable_and_reusable() {
+        let mut idx = ChipIndexes::new(16);
+        for i in 0..16 {
+            idx.chip_busy(
+                ChipId(i),
+                SimTime::ZERO + SimDuration::from_millis(1600 - i as u64 * 100),
+            );
+        }
+        {
+            let mut c = idx.earliest_available(SimTime::ZERO);
+            assert_eq!(c.next(), Some(ChipId(15)));
+            // Abandon after one item; nothing to undo.
+        }
+        let order: Vec<u32> = idx.earliest_available(SimTime::ZERO).map(|c| c.0).collect();
+        assert_eq!(order.len(), 16);
+        assert_eq!(order[0], 15);
+        assert_eq!(order[15], 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn two_live_cursors_panic() {
+        let idx = ChipIndexes::new(4);
+        let _a = idx.earliest_available(SimTime::ZERO);
+        let _b = idx.earliest_available(SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn two_live_least_used_acquisitions_panic() {
+        let idx = ChipIndexes::new(4);
+        let _a = idx.least_used();
+        let _b = idx.least_used();
+    }
+
+    #[test]
+    fn single_chip_fleet() {
+        let mut idx = ChipIndexes::new(1);
+        assert_eq!(least_used_ids(&idx), vec![0]);
+        idx.chip_busy(ChipId(0), SimTime::from_secs(5));
+        let got: Vec<u32> = idx.earliest_available(SimTime::ZERO).map(|c| c.0).collect();
+        assert_eq!(got, vec![0]);
+    }
+}

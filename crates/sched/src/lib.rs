@@ -3,6 +3,9 @@
 //! The decision-making half of iScope (§IV):
 //!
 //! * [`view`] — the scheduler's snapshot of the pool ([`ProcView`]).
+//! * [`index`] — persistent tournament-tree indexes over the pool
+//!   orderings ([`ChipIndexes`]), so placements extract candidates in
+//!   O(k log F) instead of scanning the fleet.
 //! * [`placement`] — the Ran / Effi / Fair placement rules with gang
 //!   semantics and deadline feasibility.
 //! * [`scheme`] — the five evaluated [`Scheme`]s of Table 2 (profiling
@@ -15,12 +18,14 @@
 #![warn(missing_docs)]
 
 pub mod dvfs;
+pub mod index;
 pub mod placement;
 pub mod recovery;
 pub mod scheme;
 pub mod view;
 
 pub use dvfs::{match_budget, DvfsCandidate, MatchOutcome};
+pub use index::{ChipIndexes, IndexCursor, LeastUsed};
 pub use placement::{
     EfficiencyPlacement, FairPlacement, Placement, PlacementDecision, RandomPlacement,
 };

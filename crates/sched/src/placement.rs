@@ -18,6 +18,7 @@
 //! earliest-available processors) and the simulator records a deadline
 //! miss.
 
+use crate::index::ChipIndexes;
 use crate::view::ProcView;
 use iscope_dcsim::SimRng;
 use iscope_pvmodel::ChipId;
@@ -168,33 +169,52 @@ impl Placement for FairPlacement {
     }
 }
 
-/// Merges two `(avail, id)`-sorted runs into `out` (cleared first). The
-/// key is strictly ordering (ids are unique), so the merge of sorted runs
-/// equals the full sort of their concatenation.
-fn merge_by_avail(a: &[ChipId], b: &[ChipId], out: &mut Vec<ChipId>, view: &ProcView<'_>) {
-    let key = |c: &ChipId| (view.avail[c.0 as usize], *c);
-    out.clear();
-    out.reserve(a.len() + b.len());
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        if key(&a[i]) <= key(&b[j]) {
-            out.push(a[i]);
-            i += 1;
-        } else {
-            out.push(b[j]);
-            j += 1;
+/// Restores the max-heap property upward from `pos` (a freshly pushed
+/// leaf) in a binary max-heap laid out in `v`.
+fn sift_up(v: &mut [u64], mut pos: usize) {
+    while pos > 0 {
+        let parent = (pos - 1) / 2;
+        if v[pos] <= v[parent] {
+            break;
         }
+        v.swap(pos, parent);
+        pos = parent;
     }
-    out.extend_from_slice(&a[i..]);
-    out.extend_from_slice(&b[j..]);
+}
+
+/// Restores the max-heap property downward from the root (after the root
+/// key was replaced) in a binary max-heap laid out in `v`.
+fn sift_down(v: &mut [u64]) {
+    let len = v.len();
+    let mut pos = 0;
+    loop {
+        let mut biggest = pos;
+        let (l, r) = (2 * pos + 1, 2 * pos + 2);
+        if l < len && v[l] > v[biggest] {
+            biggest = l;
+        }
+        if r < len && v[r] > v[biggest] {
+            biggest = r;
+        }
+        if biggest == pos {
+            break;
+        }
+        v.swap(pos, biggest);
+        pos = biggest;
+    }
 }
 
 /// One doubling round shared by the prefix walkers: admits `slice` (the
-/// newly widened part of the preference order) into the `(avail, id)`-
-/// sorted candidate run `bufs.cand`, then checks whether the `n` earliest-
-/// available candidates form a feasible set. Carrying the surviving
-/// sorted candidates across rounds means each chip is sorted into the run
-/// once, instead of the whole prefix being re-sorted every round.
+/// newly widened part of the preference order) into `bufs.top`, a bounded
+/// max-heap holding the `n` earliest-available candidates seen so far
+/// under the `(clamped_avail, id)` order, then checks feasibility in
+/// O(1): the heap root *is* the gang's estimated start (the latest drain
+/// among the n earliest-available chips). Each admitted chip costs one
+/// packed-key build and one u64 root comparison — no per-round sort, no
+/// sorted-run merge — and only the winning round pays an `n log n` sort
+/// to emit the head in `(clamped_avail, id)` order, exactly the set and
+/// order the sorted-run formulation produced (the packed integer orders
+/// identically to the tuple).
 fn admit_and_try(
     slice: &[ChipId],
     n: usize,
@@ -202,17 +222,39 @@ fn admit_and_try(
     view: &ProcView<'_>,
     bufs: &mut crate::view::ScratchBufs,
 ) -> Option<PlacementDecision> {
-    bufs.admit.clear();
-    bufs.admit
-        .extend(slice.iter().copied().filter(|&c| !view.is_blocked(c)));
-    bufs.admit
-        .sort_unstable_by_key(|c| (view.avail[c.0 as usize], *c));
-    merge_by_avail(&bufs.cand, &bufs.admit, &mut bufs.merged, view);
-    std::mem::swap(&mut bufs.cand, &mut bufs.merged);
-    if bufs.cand.len() >= n {
-        let head = &bufs.cand[..n];
-        if view.meets_deadline(job, head) {
-            return Some(PlacementDecision::Feasible(head.to_vec()));
+    let top = &mut bufs.top;
+    let now_ms = view.now.as_millis();
+    for &c in slice {
+        if view.is_blocked(c) {
+            continue;
+        }
+        let key = crate::index::pack(view.avail[c.0 as usize].as_millis().max(now_ms), c.0);
+        if top.len() < n {
+            top.push(key);
+            let last = top.len() - 1;
+            sift_up(top, last);
+        } else if n > 0 && key < top[0] {
+            top[0] = key;
+            sift_down(top);
+        }
+    }
+    if top.len() >= n {
+        let est_start_ms = if n == 0 {
+            now_ms
+        } else {
+            top[0] >> crate::index::ID_BITS
+        };
+        if est_start_ms + job.runtime_at_fmax.as_millis() <= job.deadline.as_millis() {
+            top.sort_unstable();
+            let head: Vec<ChipId> = top
+                .iter()
+                .map(|&k| ChipId(crate::index::unpack_id(k)))
+                .collect();
+            debug_assert!(
+                view.meets_deadline(job, &head),
+                "heap-root feasibility diverged from the set fold"
+            );
+            return Some(PlacementDecision::Feasible(head));
         }
     }
     None
@@ -230,7 +272,7 @@ fn prefix_place(order: &[ChipId], job: &Job, view: &ProcView<'_>) -> PlacementDe
     );
     {
         let mut bufs = view.scratch.borrow_mut();
-        bufs.cand.clear();
+        bufs.top.clear();
         let mut taken = 0;
         let mut k = n;
         loop {
@@ -248,11 +290,79 @@ fn prefix_place(order: &[ChipId], job: &Job, view: &ProcView<'_>) -> PlacementDe
     best_effort(job, view)
 }
 
-/// Fair's surplus mode: the same doubling walk, but over the least-used
-/// ordering, materialized lazily — each round selects the next block of
-/// `(usage, id)`-smallest chips with a partial `select_nth` instead of
-/// sorting the whole fleet up front.
+/// Fair's surplus mode: a doubling walk over the least-used `(usage,
+/// id)` ordering. Dispatches to the indexed extraction when the view
+/// carries [`ChipIndexes`], with the linear partial-selection path kept
+/// as ground truth (cross-checked on every decision in debug builds).
 fn fair_surplus_place(job: &Job, view: &ProcView<'_>) -> PlacementDecision {
+    if let Some(idx) = view.index {
+        let d = fair_surplus_place_indexed(job, view, idx);
+        debug_assert_eq!(
+            d,
+            fair_surplus_place_linear(job, view),
+            "indexed Fair surplus diverged from the linear ground truth"
+        );
+        d
+    } else {
+        fair_surplus_place_linear(job, view)
+    }
+}
+
+/// Indexed surplus walk: each round reads the next block of least-used
+/// chips straight out of the persistent `(usage, id)` sorted index
+/// (lazily repaired on acquisition), instead of re-materializing and
+/// partially selecting a fleet-sized pool. The index holds exactly the
+/// order the linear `select_nth` + block sort produces, so
+/// `admit_and_try` sees identical slices and the decisions match bit
+/// for bit.
+fn fair_surplus_place_indexed(
+    job: &Job,
+    view: &ProcView<'_>,
+    idx: &ChipIndexes,
+) -> PlacementDecision {
+    let n = job.cpus as usize;
+    assert!(
+        n <= view.available_count(),
+        "job wider than the in-service fleet"
+    );
+    {
+        let mut bufs = view.scratch.borrow_mut();
+        let mut pool = std::mem::take(&mut bufs.pool);
+        bufs.top.clear();
+        let order = idx.least_used();
+        let total = view.len();
+        debug_assert_eq!(order.len(), total);
+        let mut sel = 0;
+        let mut k = n;
+        loop {
+            let k_now = k.min(total);
+            if k_now > sel {
+                pool.clear();
+                pool.extend((sel..k_now).map(|r| order.chip(r)));
+                let decision = admit_and_try(&pool, n, job, view, &mut bufs);
+                sel = k_now;
+                if let Some(d) = decision {
+                    drop(order);
+                    bufs.pool = pool;
+                    return d;
+                }
+            }
+            if k_now == total {
+                break;
+            }
+            k = k_now.saturating_mul(2);
+        }
+        drop(order);
+        bufs.pool = pool;
+    }
+    best_effort(job, view)
+}
+
+/// Linear surplus walk (the pre-index ground truth): the least-used
+/// ordering is materialized lazily — each round selects the next block of
+/// `(usage, id)`-smallest chips with a partial `select_nth` over a
+/// fleet-sized pool.
+fn fair_surplus_place_linear(job: &Job, view: &ProcView<'_>) -> PlacementDecision {
     let n = job.cpus as usize;
     assert!(
         n <= view.available_count(),
@@ -263,7 +373,7 @@ fn fair_surplus_place(job: &Job, view: &ProcView<'_>) -> PlacementDecision {
         let mut pool = std::mem::take(&mut bufs.pool);
         pool.clear();
         pool.extend((0..view.len() as u32).map(ChipId));
-        bufs.cand.clear();
+        bufs.top.clear();
         let usage_key = |c: &ChipId| (view.usage[c.0 as usize], *c);
         // Invariant: pool[..sel] are the `sel` least-used chips, sorted.
         let mut sel = 0;
@@ -293,29 +403,76 @@ fn fair_surplus_place(job: &Job, view: &ProcView<'_>) -> PlacementDecision {
 }
 
 /// The `n` earliest-available processors overall (deadline already known
-/// to be missed). Partial selection: only the kept prefix gets sorted.
+/// to be missed). Dispatches to the indexed extraction when the view
+/// carries [`ChipIndexes`]; the linear partial selection stays as ground
+/// truth (cross-checked on every decision in debug builds).
 fn best_effort(job: &Job, view: &ProcView<'_>) -> PlacementDecision {
-    let n = job.cpus as usize;
-    let mut bufs = view.scratch.borrow_mut();
-    let all = &mut bufs.pool;
-    all.clear();
-    all.extend(
-        (0..view.len() as u32)
-            .map(ChipId)
-            .filter(|&c| !view.is_blocked(c)),
-    );
-    let key = |c: &ChipId| (view.avail[c.0 as usize], *c);
-    if n > 0 && all.len() > n {
-        all.select_nth_unstable_by_key(n - 1, key);
-    }
-    all.truncate(n);
-    all.sort_unstable_by_key(key);
-    let all = all.clone();
-    if view.meets_deadline(job, &all) {
-        // Possible when retries were unlucky (Ran): the earliest set works.
-        PlacementDecision::Feasible(all)
+    if let Some(idx) = view.index {
+        let d = best_effort_indexed(job, view, idx);
+        debug_assert_eq!(
+            d,
+            best_effort_linear(job, view),
+            "indexed best effort diverged from the linear ground truth"
+        );
+        d
     } else {
-        PlacementDecision::BestEffort(all)
+        best_effort_linear(job, view)
+    }
+}
+
+/// Indexed best effort: pull chips off the merged clamped-`(avail, id)`
+/// cursor in ascending order, skip out-of-service chips, stop at `n` —
+/// O(n log F) instead of a fleet-sized selection.
+fn best_effort_indexed(job: &Job, view: &ProcView<'_>, idx: &ChipIndexes) -> PlacementDecision {
+    let n = job.cpus as usize;
+    let picked = {
+        let mut bufs = view.scratch.borrow_mut();
+        let mut picked = std::mem::take(&mut bufs.pool);
+        picked.clear();
+        picked.extend(
+            idx.earliest_available(view.now)
+                .filter(|&c| !view.is_blocked(c))
+                .take(n),
+        );
+        picked
+    };
+    finish_best_effort(job, view, picked)
+}
+
+/// Linear best effort (the pre-index ground truth): materialize the
+/// unblocked pool, partially select the `n` earliest, sort the kept
+/// prefix.
+fn best_effort_linear(job: &Job, view: &ProcView<'_>) -> PlacementDecision {
+    let n = job.cpus as usize;
+    let picked = {
+        let mut bufs = view.scratch.borrow_mut();
+        let mut all = std::mem::take(&mut bufs.pool);
+        all.clear();
+        all.extend(
+            (0..view.len() as u32)
+                .map(ChipId)
+                .filter(|&c| !view.is_blocked(c)),
+        );
+        let key = |c: &ChipId| (view.clamped_avail(*c), *c);
+        if n > 0 && all.len() > n {
+            all.select_nth_unstable_by_key(n - 1, key);
+        }
+        all.truncate(n);
+        all.sort_unstable_by_key(key);
+        all
+    };
+    finish_best_effort(job, view, picked)
+}
+
+/// Shared tail: both extraction paths hand their result set out of the
+/// scratch buffer itself (no per-call clone; the buffer regrows on the
+/// next placement that needs it).
+fn finish_best_effort(job: &Job, view: &ProcView<'_>, picked: Vec<ChipId>) -> PlacementDecision {
+    if view.meets_deadline(job, &picked) {
+        // Possible when retries were unlucky (Ran): the earliest set works.
+        PlacementDecision::Feasible(picked)
+    } else {
+        PlacementDecision::BestEffort(picked)
     }
 }
 
@@ -332,6 +489,7 @@ mod tests {
         avail: Vec<SimTime>,
         usage: Vec<SimDuration>,
         blocked: Vec<bool>,
+        index: Option<ChipIndexes>,
         scratch: crate::view::PlaceScratch,
     }
 
@@ -348,10 +506,27 @@ mod tests {
                 avail: vec![SimTime::ZERO; n],
                 usage: vec![SimDuration::ZERO; n],
                 blocked: vec![false; n],
+                index: None,
                 scratch: crate::view::PlaceScratch::default(),
                 fleet,
                 plan,
             }
+        }
+
+        /// Builds chip indexes matching the fixture's current state, so
+        /// `view()` exercises the indexed path (which in debug builds
+        /// cross-checks itself against the linear one on every call).
+        fn build_index(&mut self) {
+            let mut idx = ChipIndexes::new(self.avail.len());
+            for (i, &u) in self.usage.iter().enumerate() {
+                idx.set_usage(ChipId(i as u32), u);
+            }
+            // Fixture views run at now = 0, so every chip's stored avail
+            // is `>= now` and the busy tree alone reproduces the clamped
+            // ordering.
+            let avail = &self.avail;
+            idx.rebuild_avail(avail, |i| avail[i] > SimTime::ZERO);
+            self.index = Some(idx);
         }
 
         fn view(&self) -> ProcView<'_> {
@@ -362,6 +537,8 @@ mod tests {
                 plan: &self.plan,
                 dvfs: &self.fleet.dvfs,
                 blocked: &self.blocked,
+                in_service: self.blocked.iter().filter(|&&b| !b).count(),
+                index: self.index.as_ref(),
                 scratch: &self.scratch,
             }
         }
@@ -559,5 +736,67 @@ mod tests {
         let d = EfficiencyPlacement.place(&job(4, 100, 50), &fx.view(), false, &mut rng);
         assert!(!d.is_feasible());
         assert!(d.chips().iter().all(|&c| !fx.blocked[c.0 as usize]));
+    }
+
+    /// A mixed pool (busy, idle, blocked, skewed usage) driven through
+    /// every policy with and without indexes: the decisions must be
+    /// identical. In debug builds the indexed run additionally
+    /// cross-checks itself against the linear path inside the dispatch.
+    #[test]
+    fn indexed_views_match_linear_decisions() {
+        let mut fx = Fixture::new(40);
+        for i in 0..40 {
+            fx.avail[i] = SimTime::from_secs((i as u64 * 37) % 900);
+            fx.usage[i] = SimDuration::from_secs((i as u64 * 71) % 5000);
+        }
+        fx.usage[13] = SimDuration::ZERO;
+        fx.blocked[5] = true;
+        fx.blocked[21] = true;
+        let linear: Vec<PlacementDecision> = {
+            let mut rng = SimRng::new(12);
+            [1u32, 4, 9]
+                .iter()
+                .flat_map(|&cpus| {
+                    [
+                        RandomPlacement.place(&job(cpus, 300, 600), &fx.view(), true, &mut rng),
+                        EfficiencyPlacement.place(&job(cpus, 300, 600), &fx.view(), true, &mut rng),
+                        FairPlacement.place(&job(cpus, 300, 600), &fx.view(), true, &mut rng),
+                        FairPlacement.place(&job(cpus, 300, 600), &fx.view(), false, &mut rng),
+                    ]
+                })
+                .collect()
+        };
+        fx.build_index();
+        let mut rng = SimRng::new(12);
+        let indexed: Vec<PlacementDecision> = [1u32, 4, 9]
+            .iter()
+            .flat_map(|&cpus| {
+                [
+                    RandomPlacement.place(&job(cpus, 300, 600), &fx.view(), true, &mut rng),
+                    EfficiencyPlacement.place(&job(cpus, 300, 600), &fx.view(), true, &mut rng),
+                    FairPlacement.place(&job(cpus, 300, 600), &fx.view(), true, &mut rng),
+                    FairPlacement.place(&job(cpus, 300, 600), &fx.view(), false, &mut rng),
+                ]
+            })
+            .collect();
+        assert_eq!(linear, indexed);
+    }
+
+    /// Impossible deadlines force the best-effort tail; indexed and
+    /// linear extraction must agree there too, including when blocked
+    /// chips sit at the front of the earliest-available order.
+    #[test]
+    fn indexed_best_effort_matches_linear() {
+        let mut fx = Fixture::new(16);
+        for i in 0..16 {
+            fx.avail[i] = SimTime::from_secs(5_000 + (i as u64 * 97) % 1000);
+        }
+        fx.blocked[2] = true;
+        let mut rng = SimRng::new(13);
+        let linear = FairPlacement.place(&job(5, 100, 10), &fx.view(), true, &mut rng);
+        fx.build_index();
+        let indexed = FairPlacement.place(&job(5, 100, 10), &fx.view(), true, &mut rng);
+        assert!(!indexed.is_feasible());
+        assert_eq!(linear, indexed);
     }
 }

@@ -1,5 +1,6 @@
 //! The scheduler's view of the processor pool at a decision instant.
 
+use crate::index::ChipIndexes;
 use iscope_dcsim::{SimDuration, SimTime};
 use iscope_pvmodel::{ChipId, DvfsConfig, OperatingPlan};
 use iscope_workload::Job;
@@ -21,12 +22,10 @@ pub struct PlaceScratch {
 pub struct ScratchBufs {
     /// Candidate pool under (partial) preference ordering.
     pub pool: Vec<ChipId>,
-    /// Surviving candidates, kept sorted by `(avail, id)`.
-    pub cand: Vec<ChipId>,
-    /// Newly admitted candidates being sorted before a merge.
-    pub admit: Vec<ChipId>,
-    /// Merge staging area.
-    pub merged: Vec<ChipId>,
+    /// Bounded max-heap of the `n` earliest-available candidates seen so
+    /// far in a widening walk, keyed by the packed `(clamped_avail, id)`
+    /// integer (`millis << 24 | id` — one u64 comparison per candidate).
+    pub top: Vec<u64>,
 }
 
 impl PlaceScratch {
@@ -41,11 +40,14 @@ impl PlaceScratch {
 ///
 /// `avail[chip]` is the scheduler's estimate of when the chip finishes its
 /// queued work (its reservation horizon); `usage[chip]` is its cumulative
-/// busy time so far (the lifetime-balancing signal of ScanFair).
+/// busy time so far (the lifetime-balancing signal of ScanFair). Stored
+/// `avail` values may lag `now` for idle chips (their last drain time is
+/// in the past); ordering and start estimates always clamp through
+/// [`ProcView::clamped_avail`] / [`ProcView::est_start`].
 pub struct ProcView<'a> {
     /// Current time.
     pub now: SimTime,
-    /// Estimated earliest start per chip.
+    /// Estimated earliest start per chip (unclamped; may lag `now`).
     pub avail: &'a [SimTime],
     /// Cumulative busy time per chip.
     pub usage: &'a [SimDuration],
@@ -56,6 +58,14 @@ pub struct ProcView<'a> {
     /// Chips currently out of service (e.g. isolated for in-situ
     /// profiling); empty slice means everything is in service.
     pub blocked: &'a [bool],
+    /// Number of in-service chips, maintained by the owner at its
+    /// block/unblock transitions so [`ProcView::available_count`] stops
+    /// rescanning `blocked` on every placement.
+    pub in_service: usize,
+    /// Persistent chip indexes maintained by the simulator; `None`
+    /// forces the linear full-pool scans (the `force_linear_placement`
+    /// knob, and standalone views that carry no indexes).
+    pub index: Option<&'a ChipIndexes>,
     /// Reusable candidate buffers (see [`PlaceScratch`]).
     pub scratch: &'a PlaceScratch,
 }
@@ -71,13 +81,27 @@ impl ProcView<'_> {
         self.blocked.get(chip.0 as usize).copied().unwrap_or(false)
     }
 
-    /// Number of in-service processors.
+    /// Number of in-service processors. O(1): the owner maintains the
+    /// count at its block/unblock transitions.
     pub fn available_count(&self) -> usize {
-        if self.blocked.is_empty() {
-            self.len()
-        } else {
-            self.blocked.iter().filter(|&&b| !b).count()
-        }
+        debug_assert_eq!(
+            self.in_service,
+            if self.blocked.is_empty() {
+                self.len()
+            } else {
+                self.blocked.iter().filter(|&&b| !b).count()
+            },
+            "in-service counter diverged from the blocked set"
+        );
+        self.in_service
+    }
+
+    /// A chip's earliest usable instant: its reservation horizon, clamped
+    /// to `now` (idle chips' stored drain times may be in the past). The
+    /// `(clamped_avail, id)` tuple is the ordering every earliest-
+    /// available selection uses.
+    pub fn clamped_avail(&self, chip: ChipId) -> SimTime {
+        self.avail[chip.0 as usize].max(self.now)
     }
 
     /// True if the pool is empty.

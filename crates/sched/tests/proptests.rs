@@ -3,9 +3,10 @@
 //! feasibility claims are honest.
 
 use iscope_dcsim::{SimDuration, SimRng, SimTime};
-use iscope_pvmodel::{CpuBoundness, DvfsConfig, Fleet, OperatingPlan, VariationParams};
+use iscope_pvmodel::{ChipId, CpuBoundness, DvfsConfig, Fleet, OperatingPlan, VariationParams};
 use iscope_sched::{
-    EfficiencyPlacement, FairPlacement, PlaceScratch, Placement, ProcView, RandomPlacement,
+    ChipIndexes, EfficiencyPlacement, FairPlacement, PlaceScratch, Placement, ProcView,
+    RandomPlacement,
 };
 use iscope_workload::{Job, JobId, Urgency};
 use proptest::prelude::*;
@@ -86,6 +87,8 @@ fn random_placement_survives_heavy_blocking() {
         plan: &plan,
         dvfs: &f.dvfs,
         blocked: &blocked,
+        in_service: blocked.iter().filter(|&&b| !b).count(),
+        index: None,
         scratch: &scratch,
     };
     for seed in 0..64 {
@@ -135,6 +138,8 @@ proptest! {
                 plan: &plan,
                 dvfs: &f.dvfs,
                 blocked: &state.blocked,
+                in_service: state.blocked.iter().filter(|&&b| !b).count(),
+                index: None,
                 scratch: &scratch,
             };
             let d = policy.place(&j, &view, surplus, &mut rng);
@@ -185,6 +190,8 @@ proptest! {
                 plan: &plan,
                 dvfs: &f.dvfs,
                 blocked: &blocked,
+                in_service: blocked.iter().filter(|&&b| !b).count(),
+                index: None,
                 scratch: &scratch,
             };
             let d = policy.place(&j, &view, surplus, &mut rng);
@@ -212,6 +219,8 @@ proptest! {
             plan: &plan,
             dvfs: &f.dvfs,
             blocked: &state.blocked,
+            in_service: state.blocked.iter().filter(|&&b| !b).count(),
+            index: None,
             scratch: &scratch,
         };
         let mut rng = SimRng::new(seed);
@@ -220,5 +229,59 @@ proptest! {
         prop_assert_eq!(a.chips(), b.chips(), "Effi must ignore the RNG");
         let c = FairPlacement.place(&j, &view(), false, &mut rng);
         prop_assert_eq!(a.chips(), c.chips(), "Fair without surplus is Effi");
+    }
+
+    /// Indexed and linear candidate extraction agree decision for
+    /// decision: the same arbitrary pool state (busy/idle mix, skewed
+    /// usage, blocked chips) driven through every policy in both surplus
+    /// modes must place identically whether or not the view carries a
+    /// [`ChipIndexes`], with identical RNG consumption. In debug builds
+    /// the indexed leg additionally cross-checks itself in the dispatch.
+    #[test]
+    fn indexed_extraction_matches_linear(
+        state in pool_strategy(),
+        cpus in 1u32..=8,
+        runtime_s in 10u32..5000,
+        deadline_s in 10u32..20_000,
+        surplus in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let f = fleet();
+        let plan = OperatingPlan::oracle(&f);
+        let avail: Vec<SimTime> = state.avail_s.iter().map(|&s| SimTime::from_secs(s as u64)).collect();
+        let usage: Vec<SimDuration> = state.usage_s.iter().map(|&s| SimDuration::from_secs(s as u64)).collect();
+        let j = job(cpus, runtime_s, deadline_s);
+        let scratch = PlaceScratch::default();
+        let mut idx = ChipIndexes::new(POOL);
+        for (i, &u) in usage.iter().enumerate() {
+            idx.set_usage(ChipId(i as u32), u);
+        }
+        // Decisions run at now = 0, so every chip's stored avail is
+        // `>= now` and any busy/idle split reproduces the clamped order;
+        // declare the chips with future reservations busy.
+        idx.rebuild_avail(&avail, |i| avail[i] > SimTime::ZERO);
+        let in_service = state.blocked.iter().filter(|&&b| !b).count();
+        for policy in [
+            &RandomPlacement as &dyn Placement,
+            &EfficiencyPlacement,
+            &FairPlacement,
+        ] {
+            let mk_view = |index| ProcView {
+                now: SimTime::ZERO,
+                avail: &avail,
+                usage: &usage,
+                plan: &plan,
+                dvfs: &f.dvfs,
+                blocked: &state.blocked,
+                in_service,
+                index,
+                scratch: &scratch,
+            };
+            let mut rng_linear = SimRng::new(seed);
+            let mut rng_indexed = SimRng::new(seed);
+            let linear = policy.place(&j, &mk_view(None), surplus, &mut rng_linear);
+            let indexed = policy.place(&j, &mk_view(Some(&idx)), surplus, &mut rng_indexed);
+            prop_assert_eq!(&linear, &indexed, "{} diverged", policy.name());
+        }
     }
 }

@@ -9,9 +9,9 @@
 //! interleaving the run produces.
 
 use iscope::prelude::*;
-use iscope::{DvfsMode, InSituConfig};
+use iscope::{DvfsMode, FaultInjectionConfig, InSituConfig};
 use iscope_dcsim::{SimDuration, SimTime};
-use iscope_pvmodel::CpuBoundness;
+use iscope_pvmodel::{CpuBoundness, FailureModel};
 use iscope_sched::Scheme;
 use iscope_workload::{Job, JobId, Urgency, Workload};
 use proptest::prelude::*;
@@ -74,6 +74,117 @@ fn incremental_equals_replay_across_modes() {
                 }
             }
         }
+    }
+}
+
+/// The placement-index mirror of the matrix above: every scheme ×
+/// supply × DVFS-mode × in-situ combination must run bit-identically
+/// with `force_linear_placement(true)` (per-arrival fleet scans, kept
+/// as ground truth) — the persistent chip indexes must be invisible in
+/// every decision and in the RNG stream. In debug builds the default
+/// leg additionally cross-checks indexed against linear inside the
+/// placement dispatch on every single arrival.
+#[test]
+fn indexed_equals_linear_across_modes() {
+    for scheme in [Scheme::BinRan, Scheme::ScanEffi, Scheme::ScanFair] {
+        for wind in [false, true] {
+            for mode in [DvfsMode::GlobalLevel, DvfsMode::PerJobGreedy] {
+                for in_situ in [false, true] {
+                    let indexed = builder(scheme, wind, mode, in_situ, 11).build().run();
+                    let linear = builder(scheme, wind, mode, in_situ, 11)
+                        .force_linear_placement(true)
+                        .build()
+                        .run();
+                    let what = format!("indexed {scheme} wind={wind} {mode:?} in_situ={in_situ}");
+                    assert_identical(&indexed, &linear, &what);
+                }
+            }
+        }
+    }
+}
+
+/// Fault injection rewrites availability out from under the indexes:
+/// timing failures abandon attempts mid-flight, retries requeue, and
+/// quarantine blocks chips. The epoch-invalidation rebuild must keep
+/// the indexed run bit-identical to the linear scan — including the
+/// full failure sequence itself.
+#[test]
+fn indexed_equals_linear_under_fault_injection() {
+    let mk = |linear: bool| {
+        GreenDatacenterSim::builder()
+            .fleet_size(16)
+            .scheme(Scheme::ScanFair)
+            .synthetic_trace(SyntheticTrace {
+                num_jobs: 60,
+                max_cpus: 8,
+                runtime_clamp_s: (300.0, 900.0),
+                ..SyntheticTrace::default()
+            })
+            .fault_injection(FaultInjectionConfig {
+                model: FailureModel {
+                    time_acceleration: 4000.0,
+                    jitter_v_sd: 0.0002,
+                    ..FailureModel::default()
+                },
+                ..FaultInjectionConfig::default()
+            })
+            .force_linear_placement(linear)
+            .seed(11)
+            .build()
+            .run()
+    };
+    let indexed = mk(false);
+    let linear = mk(true);
+    let fi = indexed.faults.expect("fault stats present");
+    assert!(
+        fi.timing_failures > 0,
+        "scenario not stressed enough to inject failures: {fi:?}"
+    );
+    assert_eq!(
+        fi,
+        linear.faults.unwrap(),
+        "failure sequence diverged between indexed and linear placement"
+    );
+    assert_identical(&indexed, &linear, "indexed under fault injection");
+}
+
+/// The scarce-wind 4×-rate regime from the demand tests, aimed at the
+/// indexes: the budget matcher rewrites DVFS levels at almost every
+/// event, so `refresh_avail` replays and epoch-invalidates the chip
+/// indexes constantly. Rebuilt indexes must keep producing the linear
+/// decisions in both DVFS modes.
+#[test]
+fn indexed_survives_rebalance_epoch_invalidation() {
+    for mode in [DvfsMode::GlobalLevel, DvfsMode::PerJobGreedy] {
+        let mk = |linear: bool| {
+            GreenDatacenterSim::builder()
+                .fleet_size(FLEET)
+                .synthetic_jobs(96)
+                .arrival_rate(4.0)
+                .scheme(Scheme::ScanFair)
+                .dvfs_mode(mode)
+                .supply(Supply::hybrid_farm(
+                    &WindFarm::default(),
+                    SimDuration::from_hours(96),
+                    FLEET as f64 / 4800.0 * 0.25,
+                    7,
+                ))
+                .force_linear_placement(linear)
+                .seed(7)
+                .build()
+                .run()
+        };
+        let indexed = mk(false);
+        let linear = mk(true);
+        assert_identical(
+            &indexed,
+            &linear,
+            &format!("indexed scarce wind 4x rate {mode:?}"),
+        );
+        assert!(
+            indexed.deadline_misses > 0,
+            "{mode:?}: scenario not stressed enough to exercise the floors"
+        );
     }
 }
 
@@ -201,7 +312,8 @@ proptest! {
 
     /// Arbitrary workloads produce arbitrary interleavings of
     /// place/start/complete/rebalance events; the incremental run must
-    /// match the replay run bit for bit on all of them.
+    /// match the replay run bit for bit on all of them, and the indexed
+    /// placement path must match the linear fleet scan just as exactly.
     #[test]
     fn arbitrary_interleavings_stay_equivalent(
         specs in proptest::collection::vec(job_strategy(), 1..40),
@@ -211,12 +323,13 @@ proptest! {
     ) {
         let scheme = [Scheme::BinRan, Scheme::ScanEffi, Scheme::ScanFair][scheme_pick as usize];
         let workload = build_workload(&specs);
-        let mk = |replay: bool| {
+        let mk = |replay: bool, linear: bool| {
             let mut b = GreenDatacenterSim::builder()
                 .fleet_size(FLEET)
                 .workload(workload.clone())
                 .scheme(scheme)
                 .force_replay_avail(replay)
+                .force_linear_placement(linear)
                 .seed(seed);
             if wind {
                 b = b.supply(Supply::hybrid_farm(
@@ -228,12 +341,17 @@ proptest! {
             }
             b.build().run()
         };
-        let fast = mk(false);
-        let slow = mk(true);
+        let fast = mk(false, false);
+        let slow = mk(true, false);
+        let lin = mk(false, true);
         prop_assert_eq!(&fast.ledger, &slow.ledger);
         prop_assert_eq!(fast.makespan, slow.makespan);
         prop_assert_eq!(fast.deadline_misses, slow.deadline_misses);
         prop_assert_eq!(&fast.usage_hours, &slow.usage_hours);
+        prop_assert_eq!(&fast.ledger, &lin.ledger, "indexed ledger diverged");
+        prop_assert_eq!(fast.makespan, lin.makespan, "indexed makespan diverged");
+        prop_assert_eq!(fast.deadline_misses, lin.deadline_misses);
+        prop_assert_eq!(&fast.usage_hours, &lin.usage_hours);
     }
 }
 
