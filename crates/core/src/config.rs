@@ -384,4 +384,10 @@ impl SimRun {
     pub fn workload(&self) -> &Workload {
         &self.input.workload
     }
+
+    /// Unwraps the assembled [`SimInput`] — the per-site configuration
+    /// unit a [`crate::federation::FederationInput`] is built from.
+    pub fn into_input(self) -> SimInput {
+        self.input
+    }
 }

@@ -1,0 +1,654 @@
+//! Multi-site federation: N [`crate::site::SiteState`]s under one event
+//! clock, with a global geo-router.
+//!
+//! A federated run drives every site from a single `iscope-dcsim`
+//! [`Engine`] whose event type wraps each site's own events in
+//! [`SiteTagged`] — ordering and FIFO tie-breaking are exactly those of a
+//! single-site run, and the tag only routes the popped event to the right
+//! state. Three event kinds exist at the federation level:
+//!
+//! * `Arrival(i)` — job `i` of the global workload was submitted; the
+//!   [`Router`] picks a site, the job is admitted there, and the site
+//!   handles it as its own arrival (deferral applies normally).
+//! * `Rerouted{to, job, starts}` — a failed gang migrated over the WAN:
+//!   it lands at `to` after [`FederationInput::wan_delay`] and goes
+//!   straight to placement (like a local retry, deferral is bypassed).
+//! * `Site(tagged)` — a site-local event (completion, wind sample,
+//!   profiling/re-profiling ticks, timing failures, retries), dispatched
+//!   to its site. Retries are intercepted here: when retry rerouting is
+//!   on, the router may move the failed gang to another site instead.
+//!
+//! Determinism: routers are deterministic functions of `(job, now, site
+//! views)` plus their own seeded state — they never touch the simulation
+//! RNG streams — and every tie among equally attractive sites breaks on
+//! the packed `(surplus, site id)` integer key (lowest id wins), so
+//! decisions are independent of site iteration order. A 1-site federation
+//! under [`NullRouter`] is bit-identical to [`crate::run_simulation`]
+//! (locked by `tests/federation_equivalence.rs`).
+//!
+//! Per-site weather comes from [`correlated_wind_supplies`]: one shared
+//! front trace mixed into each site's local draw with weight `rho`
+//! (`PowerTrace::plus` composition), so `rho` sweeps from independent
+//! sites (0) to one continent-wide front (1).
+
+use crate::report::FederationReport;
+use crate::simulation::{PhaseTimers, RunStats, SimInput};
+use crate::site::{SiteCtx, SiteEv, SiteState};
+use iscope_dcsim::{Ctx, Engine, Model, SimDuration, SimTime, SiteTagged, StopReason};
+use iscope_energy::{forecast_wind_over, SolarFarm, Supply, WindFarm};
+use iscope_pvmodel::watts_to_microwatts;
+use iscope_workload::{Job, Workload};
+
+/// What a [`Router`] may observe about one site when deciding where a
+/// gang goes. Deliberately narrow: routers see supply and coarse load,
+/// never per-chip state, so site internals stay free to evolve.
+#[derive(Clone)]
+pub struct SiteView<'a> {
+    /// Site id (index into the federation's site vector).
+    pub site: u32,
+    /// The site's power supply (wind trace + prices).
+    pub supply: &'a Supply,
+    /// Current facility demand of the site (W).
+    pub demand_w: f64,
+    /// Jobs queued or deferred at the site but not yet running.
+    pub queued_jobs: u64,
+    /// Number of processors at the site.
+    pub fleet_size: usize,
+}
+
+impl SiteView<'_> {
+    /// Forecast renewable surplus (W) over `span`: the persistence
+    /// forecast of the site's wind trace minus its current demand.
+    /// Utility-only sites forecast zero supply.
+    pub fn forecast_surplus_w(&self, now: SimTime, span: SimDuration) -> f64 {
+        let forecast = self
+            .supply
+            .wind
+            .as_ref()
+            .map_or(0.0, |t| forecast_wind_over(t, now, span));
+        forecast - self.demand_w
+    }
+}
+
+/// A global routing policy: one decision per arriving gang, one optional
+/// decision per failed gang's requeue.
+pub trait Router {
+    /// Display name (reports, tables, CI logs).
+    fn name(&self) -> &'static str;
+
+    /// Site that receives the arriving `job`.
+    fn route_arrival(&mut self, job: &Job, now: SimTime, sites: &[SiteView<'_>]) -> u32;
+
+    /// Site that receives a failed gang's requeue; `from` is the site the
+    /// gang failed at. Returning `from` keeps the retry local (no WAN
+    /// delay); anything else migrates the gang. Defaults to local.
+    fn route_retry(&mut self, job: &Job, from: u32, now: SimTime, sites: &[SiteView<'_>]) -> u32 {
+        let _ = (job, now, sites);
+        from
+    }
+}
+
+/// Degenerate router: everything goes to site 0. Exists for the parity
+/// lock — a 1-site federation under this router must be bit-identical to
+/// the plain single-site run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRouter;
+
+impl Router for NullRouter {
+    fn name(&self) -> &'static str {
+        "null"
+    }
+
+    fn route_arrival(&mut self, _job: &Job, _now: SimTime, _sites: &[SiteView<'_>]) -> u32 {
+        0
+    }
+}
+
+/// Baseline: seeded static hash of the job id over the site count.
+/// Oblivious to weather and load — the load-spreading strawman the
+/// surplus-follower is measured against.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticHashRouter {
+    /// Hash seed (decisions are a pure function of `(seed, job id)`).
+    pub seed: u64,
+}
+
+impl Router for StaticHashRouter {
+    fn name(&self) -> &'static str {
+        "static-hash"
+    }
+
+    fn route_arrival(&mut self, job: &Job, _now: SimTime, sites: &[SiteView<'_>]) -> u32 {
+        (splitmix64(self.seed ^ u64::from(job.id.0)) % sites.len() as u64) as u32
+    }
+}
+
+/// Follow the wind/sun: each gang goes to the site with the largest
+/// forecast renewable surplus over the gang's own runtime (persistence
+/// forecast, `crates/energy::forecast`). With `reroute_retries` set on
+/// the federation, failed gangs are re-routed the same way — paying the
+/// WAN migration delay when the best site is not the origin.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FollowSurplusRouter;
+
+impl Router for FollowSurplusRouter {
+    fn name(&self) -> &'static str {
+        "follow-surplus"
+    }
+
+    fn route_arrival(&mut self, job: &Job, now: SimTime, sites: &[SiteView<'_>]) -> u32 {
+        max_surplus_site(job, now, sites)
+    }
+
+    fn route_retry(&mut self, job: &Job, _from: u32, now: SimTime, sites: &[SiteView<'_>]) -> u32 {
+        max_surplus_site(job, now, sites)
+    }
+}
+
+/// The site with the largest forecast surplus for `job`, ties broken
+/// toward the lowest site id.
+///
+/// Same idiom as the packed keys of `crates/sched/src/index.rs`, widened:
+/// the surplus in integer microwatts is sign-biased into a `u64` (order-
+/// preserving map of `i64`), then packed above the complemented site id —
+/// `(biased << 32) | (u32::MAX - site)` — so one `max` fold yields
+/// "highest surplus, lowest id on ties" whatever order sites are visited
+/// in. Keys are distinct (ids are), so the fold has a unique maximum.
+fn max_surplus_site(job: &Job, now: SimTime, sites: &[SiteView<'_>]) -> u32 {
+    assert!(!sites.is_empty(), "routing over an empty federation");
+    let mut best_key = 0u128;
+    let mut best_site = 0u32;
+    for v in sites {
+        let surplus_uw = watts_to_microwatts(v.forecast_surplus_w(now, job.runtime_at_fmax));
+        let biased = (surplus_uw as u64) ^ (1 << 63);
+        let key = (u128::from(biased) << 32) | u128::from(u32::MAX - v.site);
+        if key > best_key {
+            best_key = key;
+            best_site = v.site;
+        }
+    }
+    best_site
+}
+
+/// `splitmix64` mix of one `u64` — the static-hash router's whole state.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Inputs of one federated run.
+pub struct FederationInput {
+    /// Per-site configuration (fleet, plan, supply, fault injection,
+    /// audit, telemetry, ...). The per-site `workload` field is ignored
+    /// and replaced by the global one, so builder-derived gang-width
+    /// clamps stay consistent across sites.
+    pub sites: Vec<SimInput>,
+    /// The global arrival stream the router distributes.
+    pub workload: Workload,
+    /// The routing policy.
+    pub router: Box<dyn Router>,
+    /// Delay a migrated gang spends on the WAN before it can be placed at
+    /// its destination (the cross-site requeue cost).
+    pub wan_delay: SimDuration,
+    /// Let the router move failed gangs across sites (paying `wan_delay`);
+    /// with `false`, retries always stay at their origin site.
+    pub reroute_retries: bool,
+}
+
+/// The federation-level event alphabet.
+#[derive(Debug, Clone)]
+enum FedEv {
+    /// Global job `i` was submitted: route and admit it.
+    Arrival(usize),
+    /// A migrated gang lands at `to` (already extracted from its origin),
+    /// carrying its global attempt count so retry budgets stay global.
+    Rerouted { to: u32, job: Job, starts: u32 },
+    /// A site-local event.
+    Site(SiteTagged<SiteEv>),
+}
+
+/// Wraps the federation engine context for one site: everything the site
+/// schedules comes back tagged with its id.
+struct TaggedCtx<'a, 'q> {
+    site: u32,
+    inner: &'a mut Ctx<'q, FedEv>,
+}
+
+impl SiteCtx for TaggedCtx<'_, '_> {
+    fn schedule(&mut self, at: SimTime, ev: SiteEv) {
+        self.inner
+            .schedule(at, FedEv::Site(SiteTagged::new(self.site, ev)));
+    }
+}
+
+struct Federation {
+    sites: Vec<SiteState>,
+    router: Box<dyn Router>,
+    workload: Workload,
+    wan_delay: SimDuration,
+    reroute_retries: bool,
+    total_jobs: usize,
+    routed_jobs: u64,
+    migrations: u64,
+}
+
+/// Router-visible snapshots of every site, in site-id order.
+fn site_views(sites: &[SiteState]) -> Vec<SiteView<'_>> {
+    sites
+        .iter()
+        .map(|s| SiteView {
+            site: s.site_id,
+            supply: &s.supply,
+            demand_w: s.current_demand_w,
+            queued_jobs: s.queued_jobs,
+            fleet_size: s.fleet.len(),
+        })
+        .collect()
+}
+
+impl Federation {
+    /// Jobs finished anywhere: per-site completions minus the migrated-out
+    /// closures (a migration closes the job at its origin without
+    /// finishing it; in-flight migrations therefore count as unfinished).
+    fn finished(&self) -> usize {
+        self.sites
+            .iter()
+            .map(|s| s.done_count - s.migrated_out as usize)
+            .sum()
+    }
+
+    /// Delivers one site-local event, refreshing the site's
+    /// `expect_more` flag first so its periodic loops (wind sampling,
+    /// profiling, re-profiling) stay alive while any job in the
+    /// federation is still unfinished — a drained site may yet receive
+    /// migrated or routed work.
+    fn dispatch(&mut self, ctx: &mut Ctx<'_, FedEv>, site: u32, now: SimTime, ev: SiteEv) {
+        let expect = self.finished() < self.total_jobs;
+        let s = &mut self.sites[site as usize];
+        s.expect_more = expect;
+        let mut tctx = TaggedCtx { site, inner: ctx };
+        s.handle_event(&mut tctx, now, ev);
+    }
+}
+
+impl Model<FedEv> for Federation {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, FedEv>, event: FedEv) {
+        let now = ctx.now();
+        match event {
+            FedEv::Arrival(i) => {
+                let job = self.workload.jobs()[i].clone();
+                let to = {
+                    let views = site_views(&self.sites);
+                    self.router.route_arrival(&job, now, &views)
+                };
+                assert!(
+                    (to as usize) < self.sites.len(),
+                    "router returned site {to} of {}",
+                    self.sites.len()
+                );
+                self.routed_jobs += 1;
+                let local = self.sites[to as usize].admit(job);
+                self.dispatch(ctx, to, now, SiteEv::Arrival(local));
+            }
+            FedEv::Rerouted { to, job, starts } => {
+                let local = self.sites[to as usize].admit_with_starts(job, starts);
+                let expect = self.finished() < self.total_jobs;
+                let s = &mut self.sites[to as usize];
+                s.expect_more = expect;
+                let mut tctx = TaggedCtx {
+                    site: to,
+                    inner: ctx,
+                };
+                s.rerouted_arrival(local, now, &mut tctx);
+            }
+            FedEv::Site(t) => {
+                let site = t.site;
+                if let SiteEv::Retry { job } = t.event {
+                    // A retry is the one moment a gang is liftable: it
+                    // holds no chips and is not running. Ask the router
+                    // before the origin re-places it.
+                    if self.reroute_retries && self.sites[site as usize].retry_pending(job) {
+                        let j = self.sites[site as usize].job(job).clone();
+                        let to = {
+                            let views = site_views(&self.sites);
+                            self.router.route_retry(&j, site, now, &views)
+                        };
+                        assert!(
+                            (to as usize) < self.sites.len(),
+                            "router returned site {to} of {}",
+                            self.sites.len()
+                        );
+                        if to != site {
+                            self.migrations += 1;
+                            let (job, starts) =
+                                self.sites[site as usize].extract_for_migration(job);
+                            ctx.schedule(now + self.wan_delay, FedEv::Rerouted { to, job, starts });
+                            // The Retry event still goes to the origin
+                            // below: the extracted job is locally Done so
+                            // placement is skipped, but the site's books
+                            // and matcher advance at this instant.
+                        }
+                    }
+                }
+                self.dispatch(ctx, site, now, t.event);
+            }
+        }
+    }
+}
+
+/// Runs a federated simulation to completion.
+pub fn run_federation(input: FederationInput) -> FederationReport {
+    run_federation_instrumented(input).0
+}
+
+/// [`run_federation`] plus runtime counters summed across sites.
+pub fn run_federation_instrumented(input: FederationInput) -> (FederationReport, RunStats) {
+    let start = std::time::Instant::now();
+    let FederationInput {
+        sites,
+        workload,
+        router,
+        wan_delay,
+        reroute_retries,
+    } = input;
+    assert!(!sites.is_empty(), "a federation needs at least one site");
+    let router_name = router.name().to_string();
+    let mut site_states = Vec::with_capacity(sites.len());
+    for (i, mut si) in sites.into_iter().enumerate() {
+        si.workload = workload.clone();
+        let (s, _) = SiteState::new(si, i as u32, false);
+        site_states.push(s);
+    }
+    let total_jobs = workload.jobs().len();
+    let mut engine = Engine::new().with_step_budget(200_000_000);
+    // Priming order mirrors the single-site driver — all arrivals in
+    // workload order, then each site's periodic loops in site order — so a
+    // 1-site federation issues the exact same event sequence numbers.
+    for (i, j) in workload.jobs().iter().enumerate() {
+        engine.prime(j.submit, FedEv::Arrival(i));
+    }
+    for s in &site_states {
+        for (at, ev) in s.initial_events() {
+            engine.prime(at, FedEv::Site(SiteTagged::new(s.site_id, ev)));
+        }
+    }
+    let mut fed = Federation {
+        sites: site_states,
+        router,
+        workload,
+        wan_delay,
+        reroute_retries,
+        total_jobs,
+        routed_jobs: 0,
+        migrations: 0,
+    };
+    let stop = engine.run(&mut fed);
+    assert_eq!(
+        stop,
+        StopReason::Quiescent,
+        "federation exhausted its step budget"
+    );
+    assert_eq!(
+        fed.finished(),
+        total_jobs,
+        "federation ended with unfinished jobs"
+    );
+    for s in &fed.sites {
+        assert_eq!(
+            s.done_count,
+            s.jobs.len(),
+            "site {} ended with unfinished jobs",
+            s.site_id
+        );
+    }
+    let events = engine.steps();
+    let routed_jobs = fed.routed_jobs;
+    let migrations = fed.migrations;
+    let mut placements = 0u64;
+    let mut phases = PhaseTimers::default();
+    let mut reports = Vec::with_capacity(fed.sites.len());
+    for s in fed.sites {
+        let outcome = s.finalize();
+        placements += outcome.placements;
+        phases.placement_ns += outcome.phases.placement_ns;
+        phases.rebalance_ns += outcome.phases.rebalance_ns;
+        phases.demand_ns += outcome.phases.demand_ns;
+        phases.accounting_ns += outcome.phases.accounting_ns;
+        reports.push(outcome.report);
+    }
+    let report = FederationReport {
+        router: router_name,
+        sites: reports,
+        routed_jobs,
+        migrations,
+    };
+    let stats = RunStats {
+        events,
+        placements,
+        wall: start.elapsed(),
+        phases,
+    };
+    (report, stats)
+}
+
+/// Per-site hybrid supplies driven by one shared weather front (the
+/// correlated-copula knob of the federation sweep).
+///
+/// Every site's wind trace is `shared·rho + local·(1−rho)`: the shared
+/// trace is one seed-derived draw common to all sites (the front), each
+/// local trace an independent per-site draw, mixed pointwise via
+/// [`iscope_energy::PowerTrace::plus`]. `rho = 1` makes all sites see the
+/// same weather (geo-routing can win nothing), `rho = 0` makes them
+/// independent (maximal diversification gain). With `solar`, a solar
+/// plant is composed in the same way on the same grid (the farm and plant
+/// must share a sampling interval). The result is scaled by `swp_factor`
+/// like [`Supply::hybrid_farm`]. Everything is a pure function of
+/// `(seed, site index)`.
+pub fn correlated_wind_supplies(
+    farm: &WindFarm,
+    solar: Option<&SolarFarm>,
+    duration: SimDuration,
+    swp_factor: f64,
+    rho: f64,
+    seed: u64,
+    sites: usize,
+) -> Vec<Supply> {
+    assert!(
+        (0.0..=1.0).contains(&rho),
+        "weather correlation must be in [0, 1], got {rho}"
+    );
+    let shared_wind = farm.generate(duration, splitmix64(seed ^ 0x5748_4152_4544_5744));
+    let shared_solar =
+        solar.map(|p| p.generate(duration, splitmix64(seed ^ 0x5748_4152_4544_534F)));
+    (0..sites)
+        .map(|s| {
+            let local_seed = splitmix64(seed ^ 0x4C4F_4341_4C00_0000 ^ s as u64);
+            let local_wind = farm.generate(duration, local_seed);
+            let mut trace = shared_wind.scaled(rho).plus(&local_wind.scaled(1.0 - rho));
+            if let (Some(p), Some(sh)) = (solar, &shared_solar) {
+                let local_solar = p.generate(duration, splitmix64(local_seed ^ 0x534F_4C41_5200));
+                trace = trace.plus(&sh.scaled(rho).plus(&local_solar.scaled(1.0 - rho)));
+            }
+            Supply::hybrid(trace.scaled(swp_factor))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iscope_dcsim::SimDuration;
+    use iscope_workload::{JobId, Urgency};
+    use proptest::prelude::*;
+
+    fn job(id: u32, runtime_s: u64) -> Job {
+        Job {
+            id: JobId(id),
+            submit: SimTime::ZERO,
+            cpus: 1,
+            runtime_at_fmax: SimDuration::from_secs(runtime_s),
+            gamma: iscope_pvmodel::CpuBoundness::FULL,
+            deadline: SimTime::from_secs(10 * runtime_s),
+            urgency: Urgency::Low,
+        }
+    }
+
+    /// Views with fixed surpluses: constant wind traces, zero demand.
+    fn views(surpluses_w: &[f64]) -> Vec<Supply> {
+        surpluses_w
+            .iter()
+            .map(|&w| Supply::hybrid(PowerTrace::constant(SimDuration::from_mins(10), w, 16)))
+            .collect()
+    }
+
+    use iscope_energy::PowerTrace;
+
+    fn as_views(supplies: &[Supply]) -> Vec<SiteView<'_>> {
+        supplies
+            .iter()
+            .enumerate()
+            .map(|(i, s)| SiteView {
+                site: i as u32,
+                supply: s,
+                demand_w: 0.0,
+                queued_jobs: 0,
+                fleet_size: 8,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn follow_surplus_picks_the_largest_forecast() {
+        let supplies = views(&[100.0, 5000.0, 700.0]);
+        let v = as_views(&supplies);
+        let mut r = FollowSurplusRouter;
+        assert_eq!(r.route_arrival(&job(0, 600), SimTime::ZERO, &v), 1);
+    }
+
+    #[test]
+    fn surplus_ties_break_toward_the_lowest_site_id() {
+        let supplies = views(&[300.0, 300.0, 300.0]);
+        let v = as_views(&supplies);
+        assert_eq!(max_surplus_site(&job(0, 600), SimTime::ZERO, &v), 0);
+    }
+
+    #[test]
+    fn static_hash_is_a_pure_function_of_seed_and_job_id() {
+        let supplies = views(&[1.0, 2.0, 3.0, 4.0]);
+        let v = as_views(&supplies);
+        let mut a = StaticHashRouter { seed: 7 };
+        let mut b = StaticHashRouter { seed: 7 };
+        for id in 0..64 {
+            let j = job(id, 60);
+            assert_eq!(
+                a.route_arrival(&j, SimTime::ZERO, &v),
+                b.route_arrival(&j, SimTime::ZERO, &v)
+            );
+        }
+        // Different seeds produce a different spread somewhere.
+        let mut c = StaticHashRouter { seed: 8 };
+        assert!(
+            (0..64).any(|id| {
+                let j = job(id, 60);
+                a.route_arrival(&j, SimTime::ZERO, &v) != c.route_arrival(&j, SimTime::ZERO, &v)
+            }),
+            "seed must matter"
+        );
+    }
+
+    #[test]
+    fn correlated_supplies_converge_as_rho_rises() {
+        let farm = WindFarm::default();
+        let day = SimDuration::from_hours(24);
+        let same = correlated_wind_supplies(&farm, None, day, 1.0, 1.0, 42, 3);
+        let t0 = same[0].wind.as_ref().unwrap();
+        for s in &same[1..] {
+            assert_eq!(
+                &t0.watts,
+                &s.wind.as_ref().unwrap().watts,
+                "rho=1 => identical"
+            );
+        }
+        let indep = correlated_wind_supplies(&farm, None, day, 1.0, 0.0, 42, 3);
+        assert_ne!(
+            &indep[0].wind.as_ref().unwrap().watts,
+            &indep[1].wind.as_ref().unwrap().watts,
+            "rho=0 => independent"
+        );
+    }
+
+    #[test]
+    fn correlated_supplies_are_seed_deterministic() {
+        let farm = WindFarm::default();
+        let day = SimDuration::from_hours(24);
+        let a = correlated_wind_supplies(&farm, None, day, 1.3, 0.4, 9, 4);
+        let b = correlated_wind_supplies(&farm, None, day, 1.3, 0.4, 9, 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                &x.wind.as_ref().unwrap().watts,
+                &y.wind.as_ref().unwrap().watts
+            );
+        }
+    }
+
+    #[test]
+    fn solar_composition_adds_power_on_the_same_grid() {
+        let farm = WindFarm::default();
+        let plant = SolarFarm::default();
+        let day = SimDuration::from_hours(24);
+        let wind_only = correlated_wind_supplies(&farm, None, day, 1.0, 0.5, 1, 2);
+        let mixed = correlated_wind_supplies(&farm, Some(&plant), day, 1.0, 0.5, 1, 2);
+        let a: f64 = wind_only[0].wind.as_ref().unwrap().total_energy_j();
+        let b: f64 = mixed[0].wind.as_ref().unwrap().total_energy_j();
+        assert!(b >= a, "solar can only add energy");
+    }
+
+    proptest! {
+        /// Router decisions are deterministic under seed and independent
+        /// of the order sites are visited in: the packed-key fold makes
+        /// the decision a function of the *set* of (surplus, id) pairs.
+        #[test]
+        fn surplus_decision_is_iteration_order_independent(
+            surpluses in proptest::collection::vec(0.0f64..1e7, 2..8),
+            seed in 0u64..1000,
+            runtime_s in 60u64..7200,
+        ) {
+            let supplies = views(&surpluses);
+            let forward = as_views(&supplies);
+            let mut shuffled: Vec<SiteView<'_>> = Vec::new();
+            // A seed-derived rotation + reversal: enough to visit sites in
+            // a different order without needing a shuffle primitive.
+            let n = forward.len();
+            let rot = (seed as usize) % n;
+            for k in 0..n {
+                let idx = (rot + k) % n;
+                shuffled.push(forward[idx].clone());
+            }
+            shuffled.reverse();
+            let j = job(seed as u32, runtime_s);
+            let a = max_surplus_site(&j, SimTime::ZERO, &forward);
+            let b = max_surplus_site(&j, SimTime::ZERO, &shuffled);
+            prop_assert_eq!(a, b, "visit order changed the decision");
+        }
+
+        /// Static-hash decisions are stable across repeated calls and
+        /// in-range for any site count.
+        #[test]
+        fn static_hash_is_deterministic_and_in_range(
+            seed in 0u64..u64::MAX,
+            id in 0u32..u32::MAX,
+            nsites in 1usize..12,
+        ) {
+            let supplies = views(&vec![1.0; nsites]);
+            let v = as_views(&supplies);
+            let mut r = StaticHashRouter { seed };
+            let j = job(id, 600);
+            let a = r.route_arrival(&j, SimTime::ZERO, &v);
+            let b = r.route_arrival(&j, SimTime::ZERO, &v);
+            prop_assert_eq!(a, b);
+            prop_assert!((a as usize) < nsites);
+        }
+    }
+}

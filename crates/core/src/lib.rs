@@ -35,12 +35,18 @@
 
 pub mod config;
 pub mod experiments;
+pub mod federation;
 pub mod report;
 pub mod simulation;
+mod site;
 pub mod telemetry;
 
 pub use config::{GreenDatacenterSim, SimRun};
-pub use report::{AuditReport, FaultStats, ProfilingStats, RunReport};
+pub use federation::{
+    correlated_wind_supplies, run_federation, run_federation_instrumented, FederationInput,
+    FollowSurplusRouter, NullRouter, Router, SiteView, StaticHashRouter,
+};
+pub use report::{AuditReport, FaultStats, FederationReport, ProfilingStats, RunReport};
 pub use simulation::{
     run_simulation, run_simulation_instrumented, AuditConfig, DeferralConfig, DvfsMode,
     FaultInjectionConfig, InSituConfig, PhaseTimers, ReprofileConfig, RunStats, SimInput,

@@ -38,6 +38,97 @@ pub struct RunReport {
     pub telemetry: Option<Vec<crate::telemetry::TelemetryRecord>>,
 }
 
+/// The measured outcome of a federated run: one full [`RunReport`] per
+/// site (each with its own ledger, audit, fault stats, and telemetry)
+/// plus the routing rollup.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FederationReport {
+    /// Name of the router policy that distributed the load.
+    pub router: String,
+    /// Per-site reports; the index is the site id.
+    pub sites: Vec<RunReport>,
+    /// Arrival routing decisions taken (one per submitted job).
+    pub routed_jobs: u64,
+    /// Cross-site requeues: failed gangs extracted from their origin site
+    /// and re-admitted elsewhere after the WAN migration delay.
+    pub migrations: u64,
+}
+
+impl FederationReport {
+    /// Jobs submitted to the federation. A migrated job is admitted at
+    /// two sites (its origin closes it as migrated-out), so this subtracts
+    /// the migrations from the per-site admission counts.
+    pub fn jobs(&self) -> usize {
+        let admitted: usize = self.sites.iter().map(|s| s.jobs).sum();
+        admitted - self.migrations as usize
+    }
+
+    /// Total wind energy drawn across sites, kWh.
+    pub fn wind_kwh(&self) -> f64 {
+        self.sites.iter().map(|s| s.wind_kwh()).sum()
+    }
+
+    /// Total utility energy drawn across sites, kWh.
+    pub fn utility_kwh(&self) -> f64 {
+        self.sites.iter().map(|s| s.utility_kwh()).sum()
+    }
+
+    /// Fraction of federation energy served by renewables — the headline
+    /// the geo-router optimizes.
+    pub fn wind_fraction(&self) -> f64 {
+        let total = self.wind_kwh() + self.utility_kwh();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.wind_kwh() / total
+        }
+    }
+
+    /// Deadline misses across all sites (migrated-then-abandoned jobs
+    /// count once, at the site that abandoned them).
+    pub fn deadline_misses(&self) -> usize {
+        self.sites.iter().map(|s| s.deadline_misses).sum()
+    }
+
+    /// Federation miss rate over submitted jobs.
+    pub fn miss_rate(&self) -> f64 {
+        let jobs = self.jobs();
+        if jobs == 0 {
+            0.0
+        } else {
+            self.deadline_misses() as f64 / jobs as f64
+        }
+    }
+
+    /// Completion time of the last job anywhere in the federation.
+    pub fn makespan(&self) -> SimTime {
+        self.sites
+            .iter()
+            .map(|s| s.makespan)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Utility cost across sites, USD.
+    pub fn utility_cost_usd(&self) -> f64 {
+        self.sites.iter().map(|s| s.utility_cost_usd()).sum()
+    }
+
+    /// One-line rollup for logs and tables.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} | {} sites | {} jobs | wind {:.1}% | utility {:.1} kWh | misses {} | migrations {}",
+            self.router,
+            self.sites.len(),
+            self.jobs(),
+            100.0 * self.wind_fraction(),
+            self.utility_kwh(),
+            self.deadline_misses(),
+            self.migrations,
+        )
+    }
+}
+
 /// What the run-wide invariant auditor measured and concluded (DESIGN.md
 /// §4). Built only when [`crate::simulation::AuditConfig`] was set; a
 /// strict audit panics before this report is ever observable, so a report

@@ -1,8 +1,8 @@
-//! The green-datacenter discrete-event simulation: jobs, gang queues,
-//! supply/demand matching, and energy accounting, wired onto the
-//! `iscope-dcsim` engine.
+//! The green-datacenter discrete-event simulation: run configuration
+//! ([`SimInput`] and its option structs) and the thin single-site driver
+//! wiring one [`crate::site::SiteState`] onto the `iscope-dcsim` engine.
 //!
-//! Event model:
+//! Event model (see [`crate::site`] for the state machine itself):
 //!
 //! * `Arrival(i)` — job `i` is submitted; the scheme's placement picks its
 //!   processors and the job enters their FIFO queues.
@@ -14,22 +14,19 @@
 //! Energy is integrated exactly: demand is piecewise-constant between
 //! events, wind is piecewise-constant between `WindSample`s, so the
 //! ledger's wind/utility split is event-by-event exact.
+//!
+//! Multi-site runs reuse the same state type under one shared clock —
+//! see [`crate::federation`].
 
-use crate::report::{AuditReport, RunReport};
-use crate::telemetry::{self, TelemetryConfig};
-use iscope_dcsim::{
-    Ctx, Engine, Model, RowSampler, Sampler, SimDuration, SimRng, SimTime, StopReason,
-};
-use iscope_energy::{EnergyLedger, Supply};
-use iscope_pvmodel::{
-    microwatts_to_watts, speed_factor, watts_to_microwatts, ChipId, CoolingModel, FailureModel,
-    Fleet, FreqLevel, OperatingPlan,
-};
-use iscope_scanner::{ProfilingRecords, ReprofilePolicy, Scanner, ScannerConfig, VoltageGrid};
-use iscope_sched::{match_budget, ChipIndexes, DvfsCandidate, Placement, ProcView, RetryPolicy};
-use iscope_workload::{Job, Workload};
-use std::collections::{BTreeSet, VecDeque};
-use std::time::Instant;
+use crate::report::RunReport;
+use crate::site::{SiteEv, SiteState};
+use crate::telemetry::TelemetryConfig;
+use iscope_dcsim::{Ctx, Engine, Model, SimDuration, StopReason};
+use iscope_energy::Supply;
+use iscope_pvmodel::{CoolingModel, FailureModel, Fleet, OperatingPlan};
+use iscope_scanner::{ReprofilePolicy, ScannerConfig};
+use iscope_sched::{Placement, RetryPolicy};
+use iscope_workload::Workload;
 
 /// Inputs of one simulation run.
 pub struct SimInput {
@@ -259,1895 +256,6 @@ pub enum DvfsMode {
     PerJobGreedy,
 }
 
-/// Safety margin (s) the budget matcher keeps between a slowed job's
-/// projected completion and its effective deadline.
-const DVFS_SAFETY_MARGIN_S: f64 = 120.0;
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Ev {
-    Arrival(usize),
-    Completion {
-        job: usize,
-        gen: u64,
-    },
-    WindSample,
-    /// Periodic opportunistic-profiling check (stage 1 of Fig. 3).
-    ProfilingCheck,
-    /// A chip finished its scan and rejoins service at its measured
-    /// operating point.
-    ProfilingDone {
-        chip: u32,
-    },
-    /// A running gang's worst chip crossed its drifted Min Vdd: the
-    /// attempt dies mid-flight. `attempt` guards against stale events
-    /// after the job was already killed and restarted.
-    TimingFailure {
-        job: usize,
-        attempt: u32,
-        chip: u32,
-    },
-    /// A failed job's backoff expired: place it again.
-    Retry {
-        job: usize,
-    },
-    /// Periodic re-profiling check: drain due chips and start re-scans.
-    ReprofileCheck,
-    /// A re-scan finished; the chip rejoins service with a refreshed plan
-    /// entry and a reset stress clock.
-    ReprofileDone {
-        chip: u32,
-    },
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Phase {
-    Waiting,
-    Running,
-    Done,
-}
-
-struct JobState {
-    job: Job,
-    chips: Vec<ChipId>,
-    phase: Phase,
-    level: FreqLevel,
-    /// Remaining work in seconds-at-f_max.
-    remaining_nominal_s: f64,
-    last_progress: SimTime,
-    started_at: SimTime,
-    gen: u64,
-    /// Absolute time of the live `Completion` event (valid while
-    /// running): the exact instant the job will finish unless a DVFS
-    /// change reschedules it. Availability projections anchor on this
-    /// instead of re-deriving it from floats, so they match the event
-    /// the engine will actually fire.
-    sched_end: SimTime,
-    /// Facility power of this job at each frequency level under the
-    /// current plan (valid while running), in fixed-point integer
-    /// microwatts. A job's chip set is fixed at placement, so the row only
-    /// changes when an in-situ scan upgrades the plan; freezing it keeps
-    /// `true_power`'s per-chip evaluation off the per-event demand path,
-    /// and the integer representation makes every sum over rows exactly
-    /// order-independent — the fleet-wide demand aggregates maintained
-    /// from these rows match a from-scratch replay bit for bit.
-    power_uw_at: Vec<i64>,
-    /// Cached deadline bound imposed by this job's direct queue successors
-    /// (valid while running): the minimum over its chips of "successor k
-    /// must start by deadline_k − chain-through-k". `SimTime::MAX` when no
-    /// successor constrains it. A successor set only grows by appends
-    /// while this job runs (it is the head of all its queues), so the
-    /// bound is initialized by one queue walk at start and tightened in
-    /// O(1) per placement that lands behind this job — `min_feasible_level`
-    /// never re-walks queues on the rebalance path.
-    chain_limit: SimTime,
-    /// Times this job has entered `Running` (the attempt counter under
-    /// fault injection; stays 1 in fault-free runs).
-    starts: u32,
-    /// Energy (J) drawn by the current attempt so far, settled at each
-    /// progress advance. Charged to the waste ledger when the attempt
-    /// fails. Only maintained under fault injection.
-    attempt_energy_j: f64,
-}
-
-struct Sim {
-    fleet: Fleet,
-    plan: OperatingPlan,
-    placement: Box<dyn Placement>,
-    supply: Supply,
-    cooling: CoolingModel,
-    rng: SimRng,
-    jobs: Vec<JobState>,
-    queues: Vec<VecDeque<usize>>,
-    usage: Vec<SimDuration>,
-    running: Vec<usize>,
-    done_count: usize,
-    deadline_misses: usize,
-    ledger: EnergyLedger,
-    last_account: SimTime,
-    current_demand_w: f64,
-    makespan: SimTime,
-    samplers: Option<[Sampler; 4]>,
-    dvfs_mode: DvfsMode,
-    deferral: Option<DeferralConfig>,
-    deferred: Vec<usize>,
-    in_situ: Option<InSituState>,
-    faults: Option<FaultState>,
-    /// Scratch for the merged blocked view (in-situ isolation plus the
-    /// fault machinery's drained/scanning/suspect sets) handed to the
-    /// placement policy when fault injection is active.
-    fault_blocked_scratch: Vec<bool>,
-    surplus_signal: SurplusSignal,
-    /// Placement decisions taken (one per job, counting deferred jobs
-    /// once, when finally placed). Reported through [`RunStats`].
-    placements: u64,
-    /// Incrementally maintained per-chip availability: `avail[c]` is the
-    /// absolute time chip `c` drains its queue under current knowledge
-    /// (running jobs end at their scheduled completion, queued gangs at
-    /// f_max behind them). Values may fall behind `now` for idle chips;
-    /// the placement view clamps them. Invalidated by DVFS level changes
-    /// (`avail_dirty`) and rebuilt by replay on the next placement.
-    avail: Vec<SimTime>,
-    /// Set when a DVFS level change moved running jobs' completions, so
-    /// every downstream projection in `avail` is stale.
-    avail_dirty: bool,
-    /// Persistent tournament-tree indexes over the `(usage, id)` and
-    /// clamped `(avail, id)` pool orderings (DESIGN.md §3d). Maintained
-    /// at the same transition points as `avail`/`usage` — O(log F) per
-    /// chip on place/finish — and rebuilt wholesale whenever the lazy
-    /// queue replay rewrites `avail` (the epoch-invalidation rule).
-    chip_index: ChipIndexes,
-    /// Reusable candidate buffers for the placement policies.
-    place_scratch: iscope_sched::PlaceScratch,
-    /// Testing knob mirrored from [`SimInput::force_replay_avail`].
-    force_replay_avail: bool,
-    /// Testing knob mirrored from [`SimInput::force_replay_demand`].
-    force_replay_demand: bool,
-    /// Testing knob mirrored from [`SimInput::force_linear_placement`].
-    force_linear_placement: bool,
-    /// `demand_uw_at_level[l]`: fleet demand (integer µW) if every running
-    /// job sat at level `l` — the sum of the frozen `power_uw_at` rows over
-    /// the running set. Maintained incrementally on start/finish/plan
-    /// upgrade; `rebalance_global`'s level descent probes it in O(1).
-    demand_uw_at_level: Vec<i64>,
-    /// Fleet demand (integer µW) at the jobs' *current* levels (what the
-    /// ledger actually charges, before cooling-free profiling overhead).
-    /// Maintained incrementally on start/finish/level change/plan upgrade;
-    /// `refresh_demand` reads it in O(1).
-    running_demand_uw: i64,
-    /// `chain_len_ms[c]`: summed nominal runtimes (ms) of everything
-    /// queued on chip `c` *behind* its head job. Appends extend it, a
-    /// completion re-bases it to the next head; it feeds the O(1) cached
-    /// chain-limit tightening in `place_job`.
-    chain_len_ms: Vec<u64>,
-    /// Number of chips with a non-empty queue, maintained at the two queue
-    /// transition points (`place_job` push, `finish_job` pop) so the
-    /// in-situ profiling check stops recounting the fleet per event.
-    busy_queues: usize,
-    /// Chips that are simultaneously idle, unprofiled, and unblocked — the
-    /// in-situ scanner's candidate pool. Ordered (BTreeSet) so candidate
-    /// selection matches the ascending-id scan it replaces bit for bit.
-    /// Maintained only when in-situ profiling is active; empty otherwise.
-    idle_unprofiled: BTreeSet<u32>,
-    /// Scratch buffer for the level changes a rebalance applies, reused
-    /// across invocations like `PlaceScratch`'s candidate buffers.
-    level_scratch: Vec<usize>,
-    /// Jobs submitted (or requeued for retry) but not yet running: the
-    /// telemetry queue-depth signal. Integer-only bookkeeping at the
-    /// three phase-transition points, so maintaining it unconditionally
-    /// cannot perturb floats, RNG streams, or event order.
-    queued_jobs: u64,
-    /// Run-wide invariant auditor, when enabled.
-    audit: Option<AuditState>,
-    /// Fixed-cadence telemetry recorder, when enabled.
-    telemetry: Option<TelemetryState>,
-    /// Wall-clock nanoseconds spent per hot-path phase.
-    phase_ns: PhaseTimers,
-}
-
-/// Runtime state of the invariant auditor: an independent shadow of the
-/// energy books. `demand_w` is the auditor's own demand snapshot —
-/// recomputed from the plan and fleet at every demand refresh, never read
-/// from the incremental aggregates it cross-checks — and the energy
-/// integrals accumulate `demand_w` against the same event intervals the
-/// ledger sees.
-struct AuditState {
-    config: AuditConfig,
-    /// The auditor's demand snapshot (W) for the interval now opening.
-    demand_w: f64,
-    /// Independently integrated wind energy (J).
-    wind_j: f64,
-    /// Independently integrated utility energy (J).
-    utility_j: f64,
-    /// Independently integrated per-chip busy time (ms): each accounting
-    /// interval adds its length to every chip of every running job.
-    /// Integer milliseconds, so the end-of-run comparison against the
-    /// per-attempt `usage` sums is exact.
-    busy_ms: Vec<u64>,
-    /// Independent deadline recount (completion instant vs the job's own
-    /// deadline; abandoned jobs count once).
-    deadline_misses: usize,
-    /// Energy intervals integrated.
-    intervals: u64,
-    /// Demand-snapshot cross-checks performed.
-    demand_checks: u64,
-    /// Scratch for the per-level recomputation.
-    by_level_scratch: Vec<i64>,
-    /// Recorded invariant breaches (detail capped; see `suppressed`).
-    violations: Vec<String>,
-    /// Breaches beyond the detail cap.
-    suppressed: u64,
-}
-
-/// Cap on recorded violation detail strings; further breaches only bump
-/// the suppressed counter so a badly broken run cannot balloon memory.
-const MAX_VIOLATION_DETAILS: usize = 16;
-
-impl AuditState {
-    fn violation(&mut self, msg: String) {
-        if self.violations.len() < MAX_VIOLATION_DETAILS {
-            self.violations.push(msg);
-        } else {
-            self.suppressed += 1;
-        }
-    }
-}
-
-/// Runtime state of the telemetry recorder: one multi-channel
-/// sample-and-hold sampler plus a reusable row buffer. Channel layout
-/// (see [`crate::telemetry`]): supply W, demand W, utility W, queue
-/// depth, one channel per DVFS level (running jobs at that level),
-/// quarantined-chip count.
-struct TelemetryState {
-    sampler: RowSampler,
-    row_scratch: Vec<f64>,
-}
-
-struct InSituState {
-    config: InSituConfig,
-    scanner: Scanner,
-    records: ProfilingRecords,
-    rng: SimRng,
-    /// Chips currently isolated for profiling (out of service).
-    blocked: Vec<bool>,
-    /// Number of `true` entries in `blocked`, so the per-check headroom
-    /// computation stops scanning the fleet.
-    blocked_count: usize,
-    /// Chips whose scan completed and whose plan entry was upgraded.
-    profiled: Vec<bool>,
-    /// Number of `true` entries in `profiled`.
-    profiled_count: usize,
-    /// Facility power drawn by chips under test.
-    profiling_power_w: f64,
-    /// Accumulated profiling energy (J) — part of demand but reported
-    /// separately as the overhead.
-    profiling_energy_note_j: f64,
-}
-
-/// Runtime state of fault injection, recovery, and periodic re-profiling
-/// (the closed staleness loop).
-struct FaultState {
-    config: FaultInjectionConfig,
-    /// Jitter stream for the failure predicate; independent of every
-    /// other stream, so enabling faults never perturbs placement or
-    /// scanner randomness.
-    rng: SimRng,
-    /// Measurement-noise stream for the re-scans.
-    scan_rng: SimRng,
-    /// Re-scan machinery (present only with a re-profiling config).
-    scanner: Option<Scanner>,
-    grid: Option<VoltageGrid>,
-    /// Stress hours a chip may accumulate before it is due for a re-scan
-    /// (resolved once from the policy against the *initial* plan;
-    /// `INFINITY` without re-profiling).
-    stress_interval_hours: f64,
-    /// Accumulated (accelerated) voltage-stress hours per chip since its
-    /// last scan.
-    stress_hours: Vec<f64>,
-    /// Chips quarantined after a failure, awaiting a re-scan.
-    suspect: Vec<bool>,
-    /// Chips due for a re-scan: no new work is placed on them while
-    /// their queued work drains.
-    draining: Vec<bool>,
-    /// Chips currently under re-scan (out of service).
-    scanning: Vec<bool>,
-    /// Min Vdd measured at scan start, applied when the scan completes.
-    /// (The chip is isolated and idle for the whole scan, so no wear can
-    /// accrue in between — start and end measurements coincide.)
-    pending_vmin: Vec<Option<Vec<f64>>>,
-    /// Chips that must stay in service: the widest gang in the workload,
-    /// or the re-profiling config's availability floor if larger.
-    min_in_service: usize,
-    /// Facility power drawn by chips under re-scan.
-    reprofile_power_w: f64,
-    /// Accumulated re-scan energy (J) — part of demand but reported
-    /// separately as the overhead.
-    reprofile_energy_j: f64,
-    timing_failures: u64,
-    retries: u64,
-    failed_jobs: usize,
-    /// Energy (J) burned by failed attempts.
-    wasted_j: f64,
-    chips_rescanned: u64,
-    /// Summed per-chip downtime spent in re-scans.
-    rescan_downtime: SimDuration,
-}
-
-impl Sim {
-    fn new(input: SimInput) -> (Sim, Workload) {
-        let n = input.fleet.len();
-        let samplers = input.trace_interval.map(|iv| {
-            [
-                Sampler::new("demand", iv, 0.0),
-                Sampler::new("wind", iv, input.supply.wind_power_at(SimTime::ZERO)),
-                Sampler::new("utility_draw", iv, 0.0),
-                Sampler::new("wind_draw", iv, 0.0),
-            ]
-        });
-        let jobs = input
-            .workload
-            .jobs()
-            .iter()
-            .map(|j| JobState {
-                job: j.clone(),
-                chips: Vec::new(),
-                phase: Phase::Waiting,
-                level: input.fleet.dvfs.max_level(),
-                remaining_nominal_s: j.runtime_at_fmax.as_secs_f64(),
-                last_progress: j.submit,
-                started_at: SimTime::ZERO,
-                gen: 0,
-                sched_end: SimTime::ZERO,
-                power_uw_at: Vec::new(),
-                chain_limit: SimTime::MAX,
-                starts: 0,
-                attempt_energy_j: 0.0,
-            })
-            .collect();
-        let num_levels = input.fleet.dvfs.num_levels();
-        // Every chip starts idle, unprofiled, and unblocked, so the
-        // in-situ candidate pool starts as the whole fleet.
-        let idle_unprofiled: BTreeSet<u32> = if input.in_situ.is_some() {
-            (0..n as u32).collect()
-        } else {
-            BTreeSet::new()
-        };
-        let fault_cfg = input.fault_injection;
-        let faults = fault_cfg.map(|config| {
-            config.model.validate();
-            config.retry.validate();
-            assert!(
-                (0.0..=1.0).contains(&config.max_suspect_fraction),
-                "suspect fraction must be in [0, 1]"
-            );
-            let reprofile = config.reprofile.as_ref();
-            if let Some(r) = reprofile {
-                r.policy.validate();
-            }
-            let stress_interval_hours = reprofile.map_or(f64::INFINITY, |r| {
-                r.policy
-                    .stress_interval_hours(&input.fleet, &input.plan, &config.model.aging)
-            });
-            let (scanner, grid) = match reprofile {
-                Some(r) => (
-                    Some(Scanner::new(r.scanner.clone())),
-                    Some(VoltageGrid::from_dvfs(
-                        &input.fleet.dvfs,
-                        r.scanner.grid_points,
-                        r.scanner.grid_depth,
-                    )),
-                ),
-                None => (None, None),
-            };
-            let min_in_service = (input.workload.max_cpus() as usize).max(
-                reprofile.map_or(0, |r| (n as f64 * r.min_available_fraction).ceil() as usize),
-            );
-            FaultState {
-                rng: SimRng::derive(input.seed, "fault-injection"),
-                scan_rng: SimRng::derive(input.seed, "re-profiling"),
-                scanner,
-                grid,
-                stress_interval_hours,
-                stress_hours: vec![0.0; n],
-                suspect: vec![false; n],
-                draining: vec![false; n],
-                scanning: vec![false; n],
-                pending_vmin: vec![None; n],
-                min_in_service,
-                reprofile_power_w: 0.0,
-                reprofile_energy_j: 0.0,
-                timing_failures: 0,
-                retries: 0,
-                failed_jobs: 0,
-                wasted_j: 0.0,
-                chips_rescanned: 0,
-                rescan_downtime: SimDuration::ZERO,
-                config,
-            }
-        });
-        let sim = Sim {
-            rng: SimRng::derive(input.seed, "simulation"),
-            jobs,
-            queues: vec![VecDeque::new(); n],
-            usage: vec![SimDuration::ZERO; n],
-            running: Vec::new(),
-            done_count: 0,
-            deadline_misses: 0,
-            ledger: EnergyLedger::new(),
-            last_account: SimTime::ZERO,
-            current_demand_w: 0.0,
-            makespan: SimTime::ZERO,
-            samplers,
-            dvfs_mode: input.dvfs_mode,
-            deferral: input.deferral,
-            deferred: Vec::new(),
-            surplus_signal: input.surplus_signal,
-            placements: 0,
-            avail: vec![SimTime::ZERO; n],
-            avail_dirty: false,
-            chip_index: ChipIndexes::new(n),
-            place_scratch: iscope_sched::PlaceScratch::default(),
-            force_replay_avail: input.force_replay_avail,
-            force_replay_demand: input.force_replay_demand,
-            force_linear_placement: input.force_linear_placement,
-            demand_uw_at_level: vec![0; num_levels],
-            running_demand_uw: 0,
-            chain_len_ms: vec![0; n],
-            busy_queues: 0,
-            idle_unprofiled,
-            level_scratch: Vec::new(),
-            queued_jobs: 0,
-            audit: input.audit.map(|config| {
-                assert!(config.tolerance > 0.0, "audit tolerance must be positive");
-                AuditState {
-                    config,
-                    demand_w: 0.0,
-                    wind_j: 0.0,
-                    utility_j: 0.0,
-                    busy_ms: vec![0; n],
-                    deadline_misses: 0,
-                    intervals: 0,
-                    demand_checks: 0,
-                    by_level_scratch: vec![0; num_levels],
-                    violations: Vec::new(),
-                    suppressed: 0,
-                }
-            }),
-            telemetry: input.telemetry.map(|config| {
-                let channels = telemetry::CHANNELS_BEFORE_LEVELS + num_levels + 1;
-                let mut sampler = RowSampler::new(config.interval, channels, 0.0);
-                // Seed the t = 0 row: wind budget is live from the start,
-                // everything else is zero until the first event.
-                let mut row = vec![0.0; channels];
-                row[0] = input.supply.wind_power_at(SimTime::ZERO);
-                sampler.record(SimTime::ZERO, &row);
-                TelemetryState {
-                    sampler,
-                    row_scratch: row,
-                }
-            }),
-            phase_ns: PhaseTimers::default(),
-            faults,
-            fault_blocked_scratch: Vec::with_capacity(n),
-            in_situ: input.in_situ.map(|config| {
-                let grid = VoltageGrid::from_dvfs(
-                    &input.fleet.dvfs,
-                    config.scanner.grid_points,
-                    config.scanner.grid_depth,
-                );
-                let cores = input.fleet.chips.first().map_or(0, |c| c.cores.len());
-                InSituState {
-                    scanner: Scanner::new(config.scanner.clone()),
-                    records: ProfilingRecords::new(grid, n, cores),
-                    rng: SimRng::derive(input.seed, "in-situ-scanner"),
-                    blocked: vec![false; n],
-                    blocked_count: 0,
-                    profiled: vec![false; n],
-                    profiled_count: 0,
-                    profiling_power_w: 0.0,
-                    profiling_energy_note_j: 0.0,
-                    config,
-                }
-            }),
-            fleet: input.fleet,
-            plan: input.plan,
-            placement: input.placement,
-            supply: input.supply,
-            cooling: input.cooling,
-        };
-        (sim, input.workload)
-    }
-
-    /// Facility power of `job` at `level`: true chip power under the plan,
-    /// times the cooling overhead.
-    fn job_power(&self, js: &JobState, level: FreqLevel) -> f64 {
-        let it: f64 = js
-            .chips
-            .iter()
-            .map(|&c| self.plan.true_power(&self.fleet, c, level))
-            .sum();
-        self.cooling.facility_power(it)
-    }
-
-    /// Integrates energy up to `now` at the current demand, splitting the
-    /// draw between wind and utility.
-    fn account(&mut self, now: SimTime) {
-        let t0 = Instant::now();
-        let interval = now.saturating_since(self.last_account);
-        let dt = interval.as_secs_f64();
-        if dt > 0.0 {
-            let wind = self.supply.wind_power_at(self.last_account);
-            self.ledger.draw(self.current_demand_w, wind, dt);
-            if let Some(insitu) = &mut self.in_situ {
-                insitu.profiling_energy_note_j += insitu.profiling_power_w * dt;
-            }
-            if let Some(faults) = &mut self.faults {
-                faults.reprofile_energy_j += faults.reprofile_power_w * dt;
-            }
-            if let Some(mut audit) = self.audit.take() {
-                // Shadow integration over the same interval, but at the
-                // auditor's own demand snapshot (recomputed from the plan
-                // at the previous demand refresh, never read from the
-                // engine's aggregates).
-                let covered = audit.demand_w.min(wind);
-                audit.wind_j += covered * dt;
-                audit.utility_j += (audit.demand_w - covered) * dt;
-                audit.intervals += 1;
-                // Busy-time shadow: every chip of every running job was
-                // busy for this whole interval (start/finish/fail are
-                // events, so attempt boundaries coincide with interval
-                // boundaries and integer milliseconds sum exactly).
-                let dt_ms = interval.as_millis();
-                for &i in &self.running {
-                    for &c in &self.jobs[i].chips {
-                        audit.busy_ms[c.0 as usize] += dt_ms;
-                    }
-                }
-                self.audit = Some(audit);
-            }
-        }
-        self.last_account = now;
-        self.phase_ns.accounting_ns += t0.elapsed().as_nanos() as u64;
-    }
-
-    /// Ground truth for [`Sim::running_demand_uw`]: re-sums the frozen
-    /// rows at each running job's current level. Integer µW, so the order
-    /// of summation cannot matter.
-    fn replay_running_demand_uw(&self) -> i64 {
-        self.running
-            .iter()
-            .map(|&i| self.jobs[i].power_uw_at[self.jobs[i].level.0 as usize])
-            .sum()
-    }
-
-    /// Ground truth for one [`Sim::demand_uw_at_level`] entry: re-sums the
-    /// frozen rows at a fixed candidate level.
-    fn replay_demand_at_level_uw(&self, level: FreqLevel) -> i64 {
-        self.running
-            .iter()
-            .map(|&i| self.jobs[i].power_uw_at[level.0 as usize])
-            .sum()
-    }
-
-    /// Fleet demand (µW) if every running job sat at `level` — the value
-    /// `rebalance_global`'s descent probes. O(1) from the incremental
-    /// aggregate; O(running) replay under `force_replay_demand`.
-    fn demand_at_level_uw(&self, level: FreqLevel) -> i64 {
-        if self.force_replay_demand {
-            return self.replay_demand_at_level_uw(level);
-        }
-        debug_assert_eq!(
-            self.demand_uw_at_level[level.0 as usize],
-            self.replay_demand_at_level_uw(level),
-            "incremental per-level demand aggregate diverged from replay"
-        );
-        self.demand_uw_at_level[level.0 as usize]
-    }
-
-    /// Rebuilds both demand aggregates from scratch. Only needed after an
-    /// in-situ plan upgrade rewrites the frozen rows under the running
-    /// jobs (rare: once per chip per run); integer sums make the rebuild
-    /// indistinguishable from incremental maintenance.
-    fn rebuild_demand_aggregates(&mut self) {
-        for l in self.fleet.dvfs.levels() {
-            self.demand_uw_at_level[l.0 as usize] = self.replay_demand_at_level_uw(l);
-        }
-        self.running_demand_uw = self.replay_running_demand_uw();
-    }
-
-    /// Refreshes total demand and updates the trace samplers. Chips under
-    /// in-situ test draw their profiling power on top of the job load. The
-    /// job share is the incrementally maintained fixed-point aggregate —
-    /// O(1) per event — converted to watts only here, at the ledger /
-    /// sampler boundary.
-    fn refresh_demand(&mut self, now: SimTime) {
-        let t0 = Instant::now();
-        let job_uw = if self.force_replay_demand {
-            self.replay_running_demand_uw()
-        } else {
-            debug_assert_eq!(
-                self.running_demand_uw,
-                self.replay_running_demand_uw(),
-                "incremental running-demand aggregate diverged from replay"
-            );
-            self.running_demand_uw
-        };
-        let mut demand = microwatts_to_watts(job_uw);
-        if let Some(insitu) = &self.in_situ {
-            demand += insitu.profiling_power_w;
-        }
-        if let Some(faults) = &self.faults {
-            demand += faults.reprofile_power_w;
-        }
-        self.current_demand_w = demand;
-        let wind = self.supply.wind_power_at(now);
-        if let Some(s) = self.samplers.as_mut() {
-            s[0].record(now, demand);
-            s[1].record(now, wind);
-            s[2].record(now, (demand - wind).max(0.0));
-            s[3].record(now, demand.min(wind));
-        }
-        if self.audit.is_some() {
-            self.audit_refresh_snapshot(demand);
-        }
-        if self.telemetry.is_some() {
-            self.record_telemetry(now, demand, wind);
-        }
-        self.phase_ns.demand_ns += t0.elapsed().as_nanos() as u64;
-    }
-
-    /// Recomputes the auditor's demand snapshot from the plan and fleet —
-    /// per-job facility power from `job_power` (not the frozen rows),
-    /// per-level sums from scratch (not the incremental aggregates) — and
-    /// cross-checks the engine's state against it: the fixed-point
-    /// aggregates exactly, the float demand within tolerance. The new
-    /// snapshot becomes the power the shadow books integrate until the
-    /// next refresh.
-    fn audit_refresh_snapshot(&mut self, engine_demand_w: f64) {
-        let Some(mut audit) = self.audit.take() else {
-            return;
-        };
-        audit.by_level_scratch.fill(0);
-        let mut running_uw: i64 = 0;
-        for &i in &self.running {
-            let js = &self.jobs[i];
-            for l in self.fleet.dvfs.levels() {
-                let uw = watts_to_microwatts(self.job_power(js, l));
-                audit.by_level_scratch[l.0 as usize] += uw;
-                if l == js.level {
-                    running_uw += uw;
-                }
-            }
-        }
-        for l in self.fleet.dvfs.levels() {
-            let li = l.0 as usize;
-            if audit.by_level_scratch[li] != self.demand_uw_at_level[li] {
-                audit.violation(format!(
-                    "demand_uw_at_level[{li}] = {} but independent recomputation gives {}",
-                    self.demand_uw_at_level[li], audit.by_level_scratch[li]
-                ));
-            }
-        }
-        if running_uw != self.running_demand_uw {
-            audit.violation(format!(
-                "running_demand_uw = {} but independent recomputation gives {running_uw}",
-                self.running_demand_uw
-            ));
-        }
-        // Overhead draw recomputed from the out-of-service sets, not the
-        // incrementally add/subtracted running totals.
-        let mut overhead_w = 0.0;
-        let top = self.fleet.dvfs.max_level();
-        let pm = self.fleet.power_model();
-        if let Some(insitu) = &self.in_situ {
-            for (ci, _) in insitu.blocked.iter().enumerate().filter(|(_, &b)| b) {
-                overhead_w += self.cooling.facility_power(pm.chip_power(
-                    &self.fleet.chips[ci],
-                    &self.fleet.dvfs,
-                    top,
-                    self.fleet.dvfs.v_nom(top),
-                ));
-            }
-        }
-        if let Some(faults) = &self.faults {
-            for (ci, _) in faults.scanning.iter().enumerate().filter(|(_, &s)| s) {
-                overhead_w += self.cooling.facility_power(pm.chip_power(
-                    &self.fleet.chips[ci],
-                    &self.fleet.dvfs,
-                    top,
-                    self.fleet.dvfs.v_nom(top),
-                ));
-            }
-        }
-        let audit_demand = microwatts_to_watts(running_uw) + overhead_w;
-        let rel = (audit_demand - engine_demand_w).abs() / engine_demand_w.abs().max(1.0);
-        if rel > audit.config.tolerance {
-            audit.violation(format!(
-                "demand snapshot diverged: engine {engine_demand_w} W, audit {audit_demand} W \
-                 (rel {rel:e})"
-            ));
-        }
-        audit.demand_w = audit_demand;
-        audit.demand_checks += 1;
-        self.audit = Some(audit);
-    }
-
-    /// Feeds the telemetry recorder the signal values active from `now`:
-    /// supply, demand, utility draw, queue depth, per-level occupancy of
-    /// the running set, and the quarantined-chip count. Pure
-    /// sample-and-hold — nothing here schedules events or touches
-    /// simulation state.
-    fn record_telemetry(&mut self, now: SimTime, demand: f64, wind: f64) {
-        let Some(mut tel) = self.telemetry.take() else {
-            return;
-        };
-        let levels = self.fleet.dvfs.num_levels();
-        let row = &mut tel.row_scratch;
-        row.fill(0.0);
-        row[0] = wind;
-        row[1] = demand;
-        row[2] = (demand - wind).max(0.0);
-        row[3] = self.queued_jobs as f64;
-        for &i in &self.running {
-            row[telemetry::CHANNELS_BEFORE_LEVELS + self.jobs[i].level.0 as usize] += 1.0;
-        }
-        row[telemetry::CHANNELS_BEFORE_LEVELS + levels] = self
-            .faults
-            .as_ref()
-            .map_or(0.0, |f| f.suspect.iter().filter(|&&s| s).count() as f64);
-        tel.sampler.record(now, row);
-        self.telemetry = Some(tel);
-    }
-
-    /// Advances a running job's remaining work to `now`.
-    fn advance_progress(&mut self, idx: usize, now: SimTime) {
-        let faults_on = self.faults.is_some();
-        let js = &mut self.jobs[idx];
-        if js.phase != Phase::Running {
-            return;
-        }
-        let dt = now.saturating_since(js.last_progress).as_secs_f64();
-        if dt > 0.0 {
-            let f = self.fleet.dvfs.freq_ghz(js.level);
-            let rate = speed_factor(js.job.gamma, f, self.fleet.dvfs.f_max());
-            js.remaining_nominal_s = (js.remaining_nominal_s - dt * rate).max(0.0);
-            if faults_on {
-                // Settle the attempt's energy at the level it actually ran
-                // (callers advance before mutating the level), so a failed
-                // attempt knows exactly what it burned.
-                js.attempt_energy_j +=
-                    dt * microwatts_to_watts(js.power_uw_at[js.level.0 as usize]);
-            }
-        }
-        js.last_progress = now;
-    }
-
-    /// (Re)schedules the completion event from the current remaining work.
-    fn schedule_completion(&mut self, idx: usize, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
-        let js = &mut self.jobs[idx];
-        js.gen += 1;
-        let f = self.fleet.dvfs.freq_ghz(js.level);
-        let rate = speed_factor(js.job.gamma, f, self.fleet.dvfs.f_max());
-        let dur = SimDuration::from_secs_f64(js.remaining_nominal_s / rate);
-        js.sched_end = now + dur;
-        ctx.schedule(
-            js.sched_end,
-            Ev::Completion {
-                job: idx,
-                gen: js.gen,
-            },
-        );
-    }
-
-    /// Stage 1-4 of Fig. 3: when utilization is low, isolate idle,
-    /// inadequately profiled chips and start their scans. Utilization
-    /// comes from the maintained busy-queue counter and the candidate
-    /// domain from the maintained idle/unprofiled pool — nothing here
-    /// recounts queues or scans the fleet per check.
-    fn profiling_check(&mut self, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
-        let n = self.fleet.len();
-        debug_assert_eq!(
-            self.busy_queues,
-            self.queues.iter().filter(|q| !q.is_empty()).count(),
-            "busy-queue counter diverged from the queues"
-        );
-        let busy = self.busy_queues;
-        // Count every out-of-service chip (in-situ isolation plus the
-        // fault machinery); reduces to `blocked_count` without faults.
-        let out = self.out_of_service_count();
-        let Some(insitu) = &mut self.in_situ else {
-            return;
-        };
-        let utilization = busy as f64 / n as f64;
-        if utilization >= insitu.config.utilization_threshold {
-            return; // stage 1: only profile at low utilization
-        }
-        let available_now = n - out;
-        let min_available = (n as f64 * insitu.config.min_available_fraction).ceil() as usize;
-        let mut may_take = available_now.saturating_sub(min_available);
-        may_take = may_take.min(insitu.scanner.config().domain_size);
-        if may_take == 0 {
-            return;
-        }
-        // Stage 2: choose idle, unprofiled, unblocked chips (a profiling
-        // domain). The pool is kept in ascending chip id, so the domain is
-        // the same one the full-fleet filter scan used to pick.
-        #[cfg(debug_assertions)]
-        {
-            let replay: Vec<u32> = (0..n as u32)
-                .filter(|&c| {
-                    !insitu.profiled[c as usize]
-                        && !insitu.blocked[c as usize]
-                        && self.queues[c as usize].is_empty()
-                })
-                .collect();
-            let pool: Vec<u32> = self.idle_unprofiled.iter().copied().collect();
-            debug_assert_eq!(pool, replay, "idle-unprofiled pool diverged");
-        }
-        let candidates: Vec<u32> = self
-            .idle_unprofiled
-            .iter()
-            .copied()
-            .filter(|&c| {
-                // The pool tracks idle/unprofiled/unblocked only; the fault
-                // machinery's out-of-service chips are filtered here.
-                !self.faults.as_ref().is_some_and(|f| {
-                    f.scanning[c as usize] || f.draining[c as usize] || f.suspect[c as usize]
-                })
-            })
-            .take(may_take)
-            .collect();
-        for c in candidates {
-            // Stages 3-6 run against the hidden silicon now; the chip is
-            // out of service for the resulting test time.
-            let chip = &self.fleet.chips[c as usize];
-            let duration = insitu
-                .scanner
-                .profile_chip(chip, &mut insitu.records, &mut insitu.rng);
-            insitu.blocked[c as usize] = true;
-            insitu.blocked_count += 1;
-            self.idle_unprofiled.remove(&c);
-            // A chip under test runs its stress workload at nominal
-            // voltage and full clock.
-            let top = self.fleet.dvfs.max_level();
-            let pm = self.fleet.power_model();
-            insitu.profiling_power_w += self.cooling.facility_power(pm.chip_power(
-                chip,
-                &self.fleet.dvfs,
-                top,
-                self.fleet.dvfs.v_nom(top),
-            ));
-            ctx.schedule(now + duration, Ev::ProfilingDone { chip: c });
-        }
-    }
-
-    /// A chip's scan completed: return it to service at its measured
-    /// operating point (the plan upgrade that makes `Scan*` scheduling
-    /// possible chip by chip).
-    fn profiling_done(&mut self, chip_idx: u32, now: SimTime) {
-        let Some(insitu) = &mut self.in_situ else {
-            return;
-        };
-        insitu.blocked[chip_idx as usize] = false;
-        insitu.blocked_count -= 1;
-        insitu.profiled[chip_idx as usize] = true;
-        insitu.profiled_count += 1;
-        // A profiled chip never re-enters the scan pool; it was removed
-        // when blocked and stays out.
-        let top = self.fleet.dvfs.max_level();
-        let pm = self.fleet.power_model();
-        let chip = &self.fleet.chips[chip_idx as usize];
-        insitu.profiling_power_w -= self.cooling.facility_power(pm.chip_power(
-            chip,
-            &self.fleet.dvfs,
-            top,
-            self.fleet.dvfs.v_nom(top),
-        ));
-        insitu.profiling_power_w = insitu.profiling_power_w.max(0.0);
-        // Build the chip's scanned voltages and estimates.
-        let chip_id = iscope_pvmodel::ChipId(chip_idx);
-        let voltages: Vec<f64> = self
-            .fleet
-            .dvfs
-            .levels()
-            .map(|l| {
-                insitu
-                    .records
-                    .measured_vmin_chip(chip_id, l)
-                    .unwrap_or_else(|| self.fleet.dvfs.v_nom(l))
-                    + iscope_pvmodel::SCAN_GUARDBAND_V
-            })
-            .collect();
-        let est: Vec<f64> = self
-            .fleet
-            .dvfs
-            .levels()
-            .map(|l| {
-                pm.power(
-                    chip.alpha,
-                    chip.beta,
-                    self.fleet.dvfs.freq_ghz(l),
-                    voltages[l.0 as usize],
-                )
-            })
-            .collect();
-        self.plan.update_chip(chip_id, voltages, est);
-        self.refreeze_running_rows(now);
-    }
-
-    /// The plan changed under the running jobs: refresh every cached
-    /// power row and rebuild the demand aggregates from the new rows.
-    /// Rows for jobs not touching the upgraded chip come out bit-identical
-    /// (same inputs), so refreshing all is safe and plan upgrades are rare
-    /// (once per chip per scan). Under fault injection, each job's progress
-    /// — and hence its attempt energy — is settled at the old row first;
-    /// fault-free runs skip that to keep their float segmentation (and
-    /// bit-identity with pre-fault builds) untouched.
-    fn refreeze_running_rows(&mut self, now: SimTime) {
-        for k in 0..self.running.len() {
-            let idx = self.running[k];
-            if self.faults.is_some() {
-                self.advance_progress(idx, now);
-            }
-            let row: Vec<i64> = self
-                .fleet
-                .dvfs
-                .levels()
-                .map(|l| watts_to_microwatts(self.job_power(&self.jobs[idx], l)))
-                .collect();
-            self.jobs[idx].power_uw_at = row;
-        }
-        self.rebuild_demand_aggregates();
-    }
-
-    /// Whether chip `i` is out of service for placement: isolated by the
-    /// in-situ scanner, or held out by the fault machinery (draining
-    /// toward a re-scan, under re-scan, or quarantined as suspect).
-    fn chip_out_of_service(&self, i: usize) -> bool {
-        self.in_situ.as_ref().is_some_and(|s| s.blocked[i])
-            || self
-                .faults
-                .as_ref()
-                .is_some_and(|f| f.scanning[i] || f.draining[i] || f.suspect[i])
-    }
-
-    /// Number of out-of-service chips (union of both mechanisms). O(1)
-    /// when at most the in-situ scanner is active; O(n) under fault
-    /// injection, where the sets can overlap.
-    fn out_of_service_count(&self) -> usize {
-        match (&self.in_situ, &self.faults) {
-            (None, None) => 0,
-            (Some(s), None) => s.blocked_count,
-            _ => (0..self.fleet.len())
-                .filter(|&i| self.chip_out_of_service(i))
-                .count(),
-        }
-    }
-
-    /// Chips the in-situ scanner has upgraded so far.
-    fn profiled_count(&self) -> usize {
-        self.in_situ.as_ref().map_or(0, |s| {
-            debug_assert_eq!(s.profiled_count, s.profiled.iter().filter(|&&p| p).count());
-            s.profiled_count
-        })
-    }
-
-    /// GreenSlot-style deferral test: hold the job back if wind is short
-    /// right now and waiting one more budget interval still leaves it able
-    /// to finish in time.
-    fn should_defer(&self, idx: usize, now: SimTime) -> bool {
-        let Some(cfg) = self.deferral else {
-            return false;
-        };
-        if !self.supply.has_wind() {
-            return false;
-        }
-        if self.supply.wind_power_at(now) > self.current_demand_w {
-            return false; // wind available: run now
-        }
-        let j = &self.jobs[idx].job;
-        let latest_release = j
-            .deadline
-            .saturating_since(SimTime::ZERO + j.runtime_at_fmax + cfg.slack_margin);
-        let next_check = now + self.supply.wind_interval().unwrap_or(SimDuration::ZERO);
-        next_check <= SimTime::ZERO + latest_release
-    }
-
-    /// Releases deferred jobs whose wait is over: wind returned, or their
-    /// slack will not survive another interval.
-    fn release_deferred(&mut self, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
-        if self.deferred.is_empty() {
-            return;
-        }
-        let pending = std::mem::take(&mut self.deferred);
-        for idx in pending {
-            if self.should_defer(idx, now) {
-                self.deferred.push(idx);
-            } else {
-                self.place_job(idx, now);
-                self.try_start(&[idx], now, ctx);
-            }
-        }
-    }
-
-    /// Whether renewable supply currently covers demand *plus* the job
-    /// about to be placed (ScanFair's surplus signal). Requiring the new
-    /// job to fit under the budget keeps surplus-mode placements from
-    /// spilling their tails onto utility power.
-    fn wind_surplus(&self, now: SimTime, idx: usize) -> bool {
-        if !self.supply.has_wind() {
-            return false;
-        }
-        let js = &self.jobs[idx];
-        // Estimate the job's draw from the scheduler-visible mean busy
-        // power (the exact chips are not chosen yet). The fleet sum is
-        // cached on the plan (bit-identical to summing here) so this
-        // check is O(1) per arrival instead of O(chips).
-        let mean_est: f64 = self.plan.estimated_power_top_sum() / self.fleet.len() as f64;
-        let job_w = self.cooling.facility_power(mean_est * js.job.cpus as f64);
-        let wind = match self.surplus_signal {
-            SurplusSignal::Instantaneous => self.supply.wind_power_at(now),
-            SurplusSignal::ForecastAware => match &self.supply.wind {
-                Some(trace) => {
-                    iscope_energy::forecast_wind_over(trace, now, js.job.runtime_at_fmax)
-                }
-                None => 0.0,
-            },
-        };
-        wind > self.current_demand_w + job_w
-    }
-
-    /// Projects when each chip frees up by replaying the current queues:
-    /// running jobs complete at their scheduled completion instant (which
-    /// already reflects their *current* DVFS level), queued gang jobs
-    /// start when all their chips are free (stagger included) and run at
-    /// f_max. This keeps placement honest when DVFS has slowed the fleet
-    /// down — a stale estimate here accepts doomed placements.
-    ///
-    /// This is the ground truth the incrementally maintained `self.avail`
-    /// must agree with; it runs on the hot path only when that state is
-    /// dirty (after a DVFS level change), under deferral (which places
-    /// jobs out of arrival order), or when `force_replay_avail` is set.
-    fn projected_avail_replay(&self, now: SimTime) -> Vec<SimTime> {
-        let mut avail = vec![now; self.fleet.len()];
-        for &i in &self.running {
-            let js = &self.jobs[i];
-            for &c in &js.chips {
-                avail[c.0 as usize] = avail[c.0 as usize].max(js.sched_end);
-            }
-        }
-        // Waiting jobs in placement (= arrival) order: queue order on every
-        // shared chip is consistent with arrival order, so one pass
-        // suffices.
-        let mut waiting: Vec<usize> = self
-            .jobs
-            .iter()
-            .enumerate()
-            .filter(|(_, js)| js.phase == Phase::Waiting && !js.chips.is_empty())
-            .map(|(i, _)| i)
-            .collect();
-        waiting.sort_unstable();
-        for idx in waiting {
-            let js = &self.jobs[idx];
-            let start = js
-                .chips
-                .iter()
-                .map(|c| avail[c.0 as usize])
-                .fold(now, SimTime::max);
-            let end = start + js.job.runtime_at_fmax;
-            for &c in &js.chips {
-                avail[c.0 as usize] = end;
-            }
-        }
-        avail
-    }
-
-    /// Whether `self.avail` can be maintained incrementally. Deferral
-    /// releases jobs out of arrival order, which breaks the replay's
-    /// one-pass assumption the cross-check relies on, so deferral runs
-    /// always replay (as they always have). Fault injection both kills
-    /// running jobs mid-attempt and re-places retries out of arrival
-    /// order, so it always replays too.
-    fn avail_incremental(&self) -> bool {
-        self.deferral.is_none() && self.faults.is_none() && !self.force_replay_avail
-    }
-
-    /// Refreshes the per-chip availability projection. On the incremental
-    /// path this is a no-op; a full queue replay happens only when the
-    /// state is dirty (after a DVFS level change) or never incremental
-    /// (deferral, faults, forced replay). Whenever a replay rewrites
-    /// `avail` wholesale, the chip indexes keyed on it are stale for
-    /// every chip at once, so they are rebuilt here too — the epoch-
-    /// invalidation rule (DESIGN.md §3d). The placement view reads the
-    /// raw `avail` values and clamps to `now` at the comparison sites.
-    fn refresh_avail(&mut self, now: SimTime) {
-        let replayed = if !self.avail_incremental() {
-            self.avail = self.projected_avail_replay(now);
-            true
-        } else if self.avail_dirty {
-            self.avail = self.projected_avail_replay(now);
-            self.avail_dirty = false;
-            true
-        } else {
-            false
-        };
-        if replayed && !self.force_linear_placement {
-            let queues = &self.queues;
-            self.chip_index
-                .rebuild_avail(&self.avail, |i| !queues[i].is_empty());
-        }
-        #[cfg(debug_assertions)]
-        if self.avail_incremental() {
-            let replay = self.projected_avail_replay(now);
-            let clamped: Vec<SimTime> = self.avail.iter().map(|&t| t.max(now)).collect();
-            debug_assert_eq!(
-                clamped, replay,
-                "incremental availability diverged from queue replay"
-            );
-        }
-    }
-
-    /// Places a newly arrived job on processors and enqueues it.
-    fn place_job(&mut self, idx: usize, now: SimTime) {
-        let t0 = Instant::now();
-        self.placements += 1;
-        let surplus = self.wind_surplus(now, idx);
-        self.refresh_avail(now);
-        // The in-service count is maintained at the block/unblock
-        // transitions (O(1) reads here); only the fault machinery, whose
-        // overlapping sets already cost a fleet scan to merge, recounts
-        // while building the merged blocked view.
-        let in_service = if let Some(faults) = &self.faults {
-            let insitu_blocked = self.in_situ.as_ref().map(|s| &s.blocked);
-            self.fault_blocked_scratch.clear();
-            self.fault_blocked_scratch
-                .extend((0..self.fleet.len()).map(|i| {
-                    insitu_blocked.is_some_and(|b| b[i])
-                        || faults.scanning[i]
-                        || faults.draining[i]
-                        || faults.suspect[i]
-                }));
-            self.fleet.len() - self.fault_blocked_scratch.iter().filter(|&&b| b).count()
-        } else {
-            self.fleet.len() - self.in_situ.as_ref().map_or(0, |s| s.blocked_count)
-        };
-        let decision = {
-            let view = ProcView {
-                now,
-                avail: &self.avail,
-                usage: &self.usage,
-                plan: &self.plan,
-                dvfs: &self.fleet.dvfs,
-                blocked: if self.faults.is_some() {
-                    &self.fault_blocked_scratch
-                } else {
-                    self.in_situ.as_ref().map_or(&[], |s| &s.blocked)
-                },
-                in_service,
-                index: (!self.force_linear_placement).then_some(&self.chip_index),
-                scratch: &self.place_scratch,
-            };
-            self.placement
-                .place(&self.jobs[idx].job, &view, surplus, &mut self.rng)
-        };
-        let chips = decision.chips().to_vec();
-        // Append the job to its chips' projections: it starts when the
-        // last of them drains and holds all of them for its f_max runtime
-        // — exactly what the replay would derive. Folding from `now`
-        // clamps stale idle-chip drain times exactly like the view does.
-        let start = chips
-            .iter()
-            .map(|&c| self.avail[c.0 as usize])
-            .fold(now, SimTime::max);
-        let end = start + self.jobs[idx].job.runtime_at_fmax;
-        let runtime_ms = self.jobs[idx].job.runtime_at_fmax.as_millis();
-        let deadline = self.jobs[idx].job.deadline;
-        let track_idle = self.in_situ.is_some();
-        for &c in &chips {
-            let ci = c.0 as usize;
-            self.avail[ci] = end;
-            // Index maintenance: the chip now drains at `end` (and is
-            // certainly busy), whatever tree it sat in before.
-            if !self.force_linear_placement {
-                self.chip_index.chip_busy(c, end);
-            }
-            if let Some(&head) = self.queues[ci].front() {
-                // The job lands behind an existing chain: extend the
-                // chain length and tighten the running head's cached
-                // successor bound in O(1) — the exact constraint the
-                // full queue walk would derive for this successor.
-                self.chain_len_ms[ci] += runtime_ms;
-                if self.jobs[head].phase == Phase::Running {
-                    let gone_by = deadline.saturating_since(
-                        SimTime::ZERO + SimDuration::from_millis(self.chain_len_ms[ci]),
-                    );
-                    let limit = SimTime::ZERO + gone_by;
-                    if limit < self.jobs[head].chain_limit {
-                        self.jobs[head].chain_limit = limit;
-                    }
-                }
-            } else {
-                // Queue transition empty -> busy.
-                self.busy_queues += 1;
-                if track_idle {
-                    self.idle_unprofiled.remove(&c.0);
-                }
-            }
-            self.queues[ci].push_back(idx);
-        }
-        self.jobs[idx].chips = chips;
-        self.phase_ns.placement_ns += t0.elapsed().as_nanos() as u64;
-    }
-
-    /// Starts every waiting job that has reached the head of all its
-    /// queues, beginning from the given candidates.
-    fn try_start(&mut self, candidates: &[usize], now: SimTime, ctx: &mut Ctx<'_, Ev>) {
-        let t0 = Instant::now();
-        for &idx in candidates {
-            if self.jobs[idx].phase != Phase::Waiting {
-                continue;
-            }
-            let at_head = self.jobs[idx]
-                .chips
-                .iter()
-                .all(|c| self.queues[c.0 as usize].front() == Some(&idx));
-            if !at_head {
-                continue;
-            }
-            // The chip set is frozen now, so the per-level power row is
-            // too (until an in-situ upgrade rewrites the plan).
-            let row: Vec<i64> = self
-                .fleet
-                .dvfs
-                .levels()
-                .map(|l| watts_to_microwatts(self.job_power(&self.jobs[idx], l)))
-                .collect();
-            // Seed the cached successor deadline bound with one walk over
-            // the job's queues (jobs already waiting behind it); every
-            // later arrival tightens it in O(1) from `place_job`.
-            let chain_limit = self.chain_limit_replay(idx);
-            // The job starts at full speed: fold its frozen row into the
-            // fleet demand aggregates.
-            for (l, &uw) in row.iter().enumerate() {
-                self.demand_uw_at_level[l] += uw;
-            }
-            let top = self.fleet.dvfs.max_level();
-            self.running_demand_uw += row[top.0 as usize];
-            let js = &mut self.jobs[idx];
-            js.phase = Phase::Running;
-            js.level = top;
-            js.started_at = now;
-            js.last_progress = now;
-            js.power_uw_at = row;
-            js.chain_limit = chain_limit;
-            js.starts += 1;
-            js.attempt_energy_j = 0.0;
-            self.queued_jobs -= 1;
-            self.running.push(idx);
-            self.schedule_completion(idx, now, ctx);
-            self.maybe_inject_failure(idx, now, ctx);
-        }
-        self.phase_ns.placement_ns += t0.elapsed().as_nanos() as u64;
-    }
-
-    /// Ages a chip for `busy` hours of operation at its planned top-level
-    /// voltage (time-accelerated by the failure model) and accrues the
-    /// stress hours that drive the re-profiling cadence. No-op without
-    /// fault injection, so fault-free runs never mutate the silicon.
-    fn apply_wear(&mut self, ci: usize, busy: SimDuration) {
-        let Some(faults) = &mut self.faults else {
-            return;
-        };
-        let top = self.fleet.dvfs.max_level();
-        let v = self.plan.applied_voltage(ChipId(ci as u32), top);
-        let v_ref = self.fleet.dvfs.v_ref();
-        let stress =
-            faults
-                .config
-                .model
-                .wear(&mut self.fleet.chips[ci], busy.as_hours_f64(), v, v_ref);
-        faults.stress_hours[ci] += stress;
-    }
-
-    /// Decides at start time whether this attempt survives: the gang's
-    /// worst chip (smallest end-of-attempt margin after the drift this
-    /// attempt will add) is tested against a jitter draw. Exactly one
-    /// draw is consumed per start regardless of outcome, so the failure
-    /// sequence is a pure function of the seed. DVFS can only stretch an
-    /// attempt (jobs start at the top level), so a failure scheduled
-    /// inside the original attempt window always lands while the job is
-    /// still running; the handler re-checks phase and attempt anyway.
-    fn maybe_inject_failure(&mut self, idx: usize, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
-        let Some(faults) = &mut self.faults else {
-            return;
-        };
-        let js = &self.jobs[idx];
-        let attempt = js.sched_end.saturating_since(now);
-        let attempt_hours = attempt.as_hours_f64();
-        let top = self.fleet.dvfs.max_level();
-        let v_ref = self.fleet.dvfs.v_ref();
-        let mut worst: Option<(u32, f64, f64)> = None; // (chip, margin, drift)
-        let mut worst_end = f64::INFINITY;
-        for &c in &js.chips {
-            let chip = &self.fleet.chips[c.0 as usize];
-            let margin = faults
-                .config
-                .model
-                .worst_margin_v(&self.fleet, &self.plan, chip);
-            let v = self.plan.applied_voltage(c, top);
-            let drift = faults.config.model.attempt_drift_v(attempt_hours, v, v_ref);
-            let end_margin = margin - drift;
-            if end_margin < worst_end {
-                worst_end = end_margin;
-                worst = Some((c.0, margin, drift));
-            }
-        }
-        let jitter = faults.rng.normal(0.0, faults.config.model.jitter_v_sd);
-        let Some((chip, margin, drift)) = worst else {
-            return;
-        };
-        if faults.config.model.attempt_fails(margin, drift, jitter) {
-            let frac = faults.config.model.failure_fraction(margin, drift, jitter);
-            let at = now + attempt.mul_f64(frac);
-            ctx.schedule(
-                at,
-                Ev::TimingFailure {
-                    job: idx,
-                    attempt: js.starts,
-                    chip,
-                },
-            );
-        }
-    }
-
-    /// A running gang hit a timing failure: kill the attempt, charge the
-    /// lost work to the waste ledger, age (and, capacity permitting,
-    /// quarantine) the chips, and requeue the job under the bounded-retry
-    /// policy. Mirrors `finish_job`'s bookkeeping for an attempt that did
-    /// not finish.
-    fn fail_job(&mut self, idx: usize, failed_chip: u32, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
-        self.advance_progress(idx, now); // settles the attempt's energy
-        for l in 0..self.demand_uw_at_level.len() {
-            self.demand_uw_at_level[l] -= self.jobs[idx].power_uw_at[l];
-        }
-        self.running_demand_uw -= self.jobs[idx].power_uw_at[self.jobs[idx].level.0 as usize];
-        self.running.retain(|&i| i != idx);
-        let busy = now.saturating_since(self.jobs[idx].started_at);
-        let chips = std::mem::take(&mut self.jobs[idx].chips);
-        let mut candidates = Vec::with_capacity(chips.len());
-        for &c in &chips {
-            let ci = c.0 as usize;
-            self.usage[ci] += busy;
-            if !self.force_linear_placement {
-                self.chip_index.set_usage(c, self.usage[ci]);
-            }
-            self.apply_wear(ci, busy);
-            let q = &mut self.queues[ci];
-            debug_assert_eq!(q.front(), Some(&idx), "failed job was not at head");
-            q.pop_front();
-            if let Some(&next) = self.queues[ci].front() {
-                self.chain_len_ms[ci] -= self.jobs[next].job.runtime_at_fmax.as_millis();
-                candidates.push(next);
-            } else {
-                debug_assert_eq!(
-                    self.chain_len_ms[ci], 0,
-                    "drained queue with nonzero chain length"
-                );
-                self.busy_queues -= 1;
-                if !self.force_linear_placement {
-                    self.chip_index.chip_idle(c);
-                }
-                if let Some(insitu) = &self.in_situ {
-                    if !insitu.profiled[ci] && !insitu.blocked[ci] {
-                        self.idle_unprofiled.insert(c.0);
-                    }
-                }
-            }
-        }
-        let n = self.fleet.len();
-        let out = self.out_of_service_count();
-        let js = &mut self.jobs[idx];
-        js.gen += 1; // invalidates the live Completion event
-        js.phase = Phase::Waiting;
-        js.remaining_nominal_s = js.job.runtime_at_fmax.as_secs_f64(); // work is lost
-        js.chain_limit = SimTime::MAX;
-        let wasted = std::mem::replace(&mut js.attempt_energy_j, 0.0);
-        let failures = js.starts;
-        let ci = failed_chip as usize;
-        let faults = self
-            .faults
-            .as_mut()
-            .expect("fail_job without fault injection");
-        faults.timing_failures += 1;
-        faults.wasted_j += wasted;
-        // Quarantine the failed chip if the availability floor and the
-        // suspect cap allow; otherwise it stays in rotation (and may keep
-        // failing) until re-profiling clears the backlog.
-        if !faults.suspect[ci] {
-            let suspects = faults.suspect.iter().filter(|&&s| s).count();
-            let cap = (n as f64 * faults.config.max_suspect_fraction).floor() as usize;
-            let already_out = faults.scanning[ci]
-                || faults.draining[ci]
-                || self.in_situ.as_ref().is_some_and(|s| s.blocked[ci]);
-            if suspects < cap && (already_out || n - out > faults.min_in_service) {
-                faults.suspect[ci] = true;
-            }
-        }
-        let retry_ok = faults.config.retry.may_retry(failures);
-        if retry_ok {
-            faults.retries += 1;
-            self.queued_jobs += 1; // back to waiting until the retry fires
-            let delay = faults.config.retry.backoff(failures);
-            ctx.schedule(now + delay, Ev::Retry { job: idx });
-        } else {
-            faults.failed_jobs += 1;
-            self.jobs[idx].phase = Phase::Done;
-            self.deadline_misses += 1; // an abandoned job can never finish in time
-            self.done_count += 1;
-            self.makespan = self.makespan.max(now);
-            if let Some(audit) = &mut self.audit {
-                // Independent recount: abandonment is a miss by definition.
-                audit.deadline_misses += 1;
-            }
-        }
-        self.try_start(&candidates, now, ctx);
-    }
-
-    /// The periodic re-profiling loop (§III.C closed inside the run):
-    /// chips whose accumulated stress passed the cadence — or that were
-    /// quarantined after a failure — are drained, then re-scanned by SBFT
-    /// once idle, competing for fleet capacity exactly like in-situ
-    /// profiling does.
-    fn reprofile_check(&mut self, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
-        if self.done_count >= self.jobs.len() {
-            return;
-        }
-        let n = self.fleet.len();
-        let mut out = self.out_of_service_count();
-        let Some(faults) = &mut self.faults else {
-            return;
-        };
-        let Some(reprofile) = &faults.config.reprofile else {
-            return;
-        };
-        // Pass 1: mark due chips as draining (no new work lands on them;
-        // queued work finishes first), respecting the availability floor.
-        // Already-out chips (suspect, or isolated in-situ) drain for free.
-        for i in 0..n {
-            if faults.scanning[i] || faults.draining[i] {
-                continue;
-            }
-            let due = faults.suspect[i] || faults.stress_hours[i] >= faults.stress_interval_hours;
-            if !due {
-                continue;
-            }
-            let already_out =
-                faults.suspect[i] || self.in_situ.as_ref().is_some_and(|s| s.blocked[i]);
-            if already_out {
-                faults.draining[i] = true;
-            } else if n - out > faults.min_in_service {
-                faults.draining[i] = true;
-                out += 1;
-            }
-        }
-        // Pass 2: start scans on drained chips whose queues have emptied,
-        // up to the scanner's domain size in flight at once.
-        let scanning_now = faults.scanning.iter().filter(|&&s| s).count();
-        let mut may_take = reprofile.scanner.domain_size.saturating_sub(scanning_now);
-        let top = self.fleet.dvfs.max_level();
-        let pm = self.fleet.power_model();
-        let cores = self.fleet.chips.first().map_or(0, |c| c.cores.len());
-        for i in 0..n {
-            if may_take == 0 {
-                break;
-            }
-            if !faults.draining[i]
-                || !self.queues[i].is_empty()
-                || self.in_situ.as_ref().is_some_and(|s| s.blocked[i])
-            {
-                continue;
-            }
-            let chip = &self.fleet.chips[i];
-            let grid = faults
-                .grid
-                .as_ref()
-                .expect("re-profiling without a grid")
-                .clone();
-            let mut records = ProfilingRecords::new(grid, n, cores);
-            let duration = faults
-                .scanner
-                .as_ref()
-                .expect("re-profiling without a scanner")
-                .profile_chip(chip, &mut records, &mut faults.scan_rng);
-            // The chip is isolated and idle for the whole scan, so the
-            // measurement taken now equals the one at scan end: no wear
-            // can accrue in between.
-            let chip_id = ChipId(i as u32);
-            let measured: Vec<f64> = self
-                .fleet
-                .dvfs
-                .levels()
-                .map(|l| {
-                    records
-                        .measured_vmin_chip(chip_id, l)
-                        .unwrap_or_else(|| self.fleet.dvfs.v_nom(l))
-                })
-                .collect();
-            faults.pending_vmin[i] = Some(measured);
-            faults.draining[i] = false;
-            faults.scanning[i] = true;
-            faults.chips_rescanned += 1;
-            faults.rescan_downtime += duration;
-            // A chip under re-scan runs its stress workload at nominal
-            // voltage and full clock, like the in-situ scanner's targets.
-            faults.reprofile_power_w += self.cooling.facility_power(pm.chip_power(
-                chip,
-                &self.fleet.dvfs,
-                top,
-                self.fleet.dvfs.v_nom(top),
-            ));
-            ctx.schedule(now + duration, Ev::ReprofileDone { chip: i as u32 });
-            may_take -= 1;
-        }
-    }
-
-    /// A re-scan finished: the chip rejoins service with a plan entry
-    /// rebuilt from the fresh measurement, cleared quarantine, and a
-    /// reset stress clock.
-    fn reprofile_done(&mut self, chip_idx: u32, now: SimTime) {
-        let ci = chip_idx as usize;
-        let top = self.fleet.dvfs.max_level();
-        let pm = self.fleet.power_model();
-        let chip = &self.fleet.chips[ci];
-        let scan_power = self.cooling.facility_power(pm.chip_power(
-            chip,
-            &self.fleet.dvfs,
-            top,
-            self.fleet.dvfs.v_nom(top),
-        ));
-        let faults = self
-            .faults
-            .as_mut()
-            .expect("re-profile completion without fault injection");
-        faults.scanning[ci] = false;
-        faults.suspect[ci] = false;
-        faults.stress_hours[ci] = 0.0;
-        faults.reprofile_power_w = (faults.reprofile_power_w - scan_power).max(0.0);
-        let measured = faults.pending_vmin[ci]
-            .take()
-            .expect("re-scan finished without a measurement");
-        let voltages: Vec<f64> = measured
-            .iter()
-            .map(|&v| v + iscope_pvmodel::SCAN_GUARDBAND_V)
-            .collect();
-        let est: Vec<f64> = self
-            .fleet
-            .dvfs
-            .levels()
-            .map(|l| {
-                pm.power(
-                    chip.alpha,
-                    chip.beta,
-                    self.fleet.dvfs.freq_ghz(l),
-                    voltages[l.0 as usize],
-                )
-            })
-            .collect();
-        self.plan.update_chip(ChipId(chip_idx), voltages, est);
-        self.refreeze_running_rows(now);
-    }
-
-    /// Runs the supply/demand matcher over the running jobs and applies
-    /// the level changes (advancing progress and rescheduling completions).
-    fn rebalance(&mut self, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
-        let t0 = Instant::now();
-        let budget = if self.supply.has_wind() {
-            self.supply.wind_power_at(now)
-        } else {
-            f64::INFINITY
-        };
-        let budget_uw = watts_to_microwatts(budget);
-        match self.dvfs_mode {
-            DvfsMode::GlobalLevel => self.rebalance_global(budget_uw, now, ctx),
-            DvfsMode::PerJobGreedy => self.rebalance_greedy(budget_uw, now, ctx),
-        }
-        self.phase_ns.rebalance_ns += t0.elapsed().as_nanos() as u64;
-        self.refresh_demand(now);
-    }
-
-    /// The paper's matcher: lower one fleet-wide level at a time while
-    /// demand exceeds the renewable budget, stopping when any task (running
-    /// or queued behind one) would face a deadline violation.
-    ///
-    /// The budget-only descent target comes first — each probe is an O(1)
-    /// read of the per-level demand aggregate — and the deadline-floor
-    /// pass runs only if that target is below the top level. The final
-    /// level is `max(budget target, tightest floor)`, exactly what the old
-    /// step-by-step descent with a per-step floor check produced, but the
-    /// floor scan can stop as soon as some job's floor reaches the top.
-    fn rebalance_global(&mut self, budget_uw: i64, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
-        let top = self.fleet.dvfs.max_level();
-        let bottom = self.fleet.dvfs.min_level();
-        let mut want = top;
-        while self.demand_at_level_uw(want) > budget_uw && want > bottom {
-            want = want.down();
-        }
-        let mut level = want;
-        if want < top {
-            // "Stop lowering when some tasks face violation": clamp the
-            // descent at the tightest deadline floor. Floors are level-
-            // independent, so one pass over the running set suffices, and
-            // a floor at the top ends the scan early (no change possible).
-            for k in 0..self.running.len() {
-                let floor = self.min_feasible_level(self.running[k], now);
-                if floor > level {
-                    level = floor;
-                    if level == top {
-                        break;
-                    }
-                }
-            }
-        }
-        let mut to_change = std::mem::take(&mut self.level_scratch);
-        to_change.clear();
-        to_change.extend(
-            self.running
-                .iter()
-                .copied()
-                .filter(|&i| self.jobs[i].level != level),
-        );
-        if !to_change.is_empty() {
-            // Completions moved: every queued start projected behind them
-            // is stale. Rebuilt by replay on the next placement.
-            self.avail_dirty = true;
-        }
-        for &idx in &to_change {
-            self.advance_progress(idx, now);
-            let old = self.jobs[idx].level;
-            self.running_demand_uw += self.jobs[idx].power_uw_at[level.0 as usize]
-                - self.jobs[idx].power_uw_at[old.0 as usize];
-            self.jobs[idx].level = level;
-            self.schedule_completion(idx, now, ctx);
-        }
-        to_change.clear();
-        self.level_scratch = to_change;
-    }
-
-    /// Ablation matcher: per-job greedy budget fitting. Candidates borrow
-    /// the frozen per-job rows — no per-candidate row clones.
-    fn rebalance_greedy(&mut self, budget_uw: i64, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
-        let top = self.fleet.dvfs.max_level();
-        let outcome = {
-            let mut cands: Vec<DvfsCandidate<'_, usize>> = self
-                .running
-                .iter()
-                .map(|&i| DvfsCandidate {
-                    key: i,
-                    level: self.jobs[i].level,
-                    min_level: self.min_feasible_level(i, now),
-                    power_uw_at: &self.jobs[i].power_uw_at,
-                })
-                .collect();
-            match_budget(&mut cands, budget_uw, 0, top)
-        };
-        if !outcome.changes.is_empty() {
-            self.avail_dirty = true;
-        }
-        for (idx, new_level) in outcome.changes {
-            self.advance_progress(idx, now);
-            let old = self.jobs[idx].level;
-            self.running_demand_uw += self.jobs[idx].power_uw_at[new_level.0 as usize]
-                - self.jobs[idx].power_uw_at[old.0 as usize];
-            self.jobs[idx].level = new_level;
-            self.schedule_completion(idx, now, ctx);
-        }
-    }
-
-    /// Ground truth for [`JobState::chain_limit`]: re-walks the job's
-    /// queues. Successor k must start by (deadline_k − sum of nominal
-    /// runtimes of the chain up to and including k).
-    fn chain_limit_replay(&self, idx: usize) -> SimTime {
-        let js = &self.jobs[idx];
-        let mut limit = SimTime::MAX;
-        for &c in &js.chips {
-            let mut chain = SimDuration::ZERO;
-            for &succ in self.queues[c.0 as usize].iter().skip(1) {
-                let sj = &self.jobs[succ].job;
-                chain += sj.runtime_at_fmax;
-                let must_be_gone_by = sj.deadline.saturating_since(SimTime::ZERO + chain);
-                limit = limit.min(SimTime::ZERO + must_be_gone_by);
-            }
-        }
-        limit
-    }
-
-    /// Lowest level at which the job still meets its deadline from `now` —
-    /// and leaves its direct queue successors able to meet theirs (a
-    /// one-step lookahead: slowing a running job delays everything queued
-    /// behind it, so "tasks facing violation of their deadlines" includes
-    /// the waiting ones). Returns the top level when even full speed
-    /// misses (run flat out).
-    ///
-    /// The successor bound is the cached `chain_limit` (maintained by
-    /// `try_start`/`place_job`), so this is O(levels) — no queue walks on
-    /// the rebalance path.
-    fn min_feasible_level(&self, idx: usize, now: SimTime) -> FreqLevel {
-        let js = &self.jobs[idx];
-        // Remaining work as of now (progress may lag by up to the current
-        // event; the small overestimate is conservative).
-        let dt = now.saturating_since(js.last_progress).as_secs_f64();
-        let f_cur = self.fleet.dvfs.freq_ghz(js.level);
-        let rate_cur = speed_factor(js.job.gamma, f_cur, self.fleet.dvfs.f_max());
-        let remaining = (js.remaining_nominal_s - dt * rate_cur).max(0.0);
-        let chain_limit = if self.force_replay_demand {
-            self.chain_limit_replay(idx)
-        } else {
-            debug_assert_eq!(
-                js.chain_limit,
-                self.chain_limit_replay(idx),
-                "cached chain limit diverged from queue walk"
-            );
-            js.chain_limit
-        };
-        let limit = js.job.deadline.min(chain_limit);
-        // Keep a safety margin so millisecond rounding and gang start
-        // staggering cannot tip an exactly-fitting job past its deadline.
-        let slack_s = (limit.saturating_since(now).as_secs_f64() - DVFS_SAFETY_MARGIN_S).max(0.0);
-        for l in self.fleet.dvfs.levels() {
-            let rate = speed_factor(
-                js.job.gamma,
-                self.fleet.dvfs.freq_ghz(l),
-                self.fleet.dvfs.f_max(),
-            );
-            if remaining / rate <= slack_s {
-                return l;
-            }
-        }
-        self.fleet.dvfs.max_level()
-    }
-
-    fn finish_job(&mut self, idx: usize, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
-        self.advance_progress(idx, now);
-        // Drop the job's frozen row from the fleet demand aggregates.
-        for l in 0..self.demand_uw_at_level.len() {
-            self.demand_uw_at_level[l] -= self.jobs[idx].power_uw_at[l];
-        }
-        self.running_demand_uw -= self.jobs[idx].power_uw_at[self.jobs[idx].level.0 as usize];
-        let js = &mut self.jobs[idx];
-        debug_assert!(js.remaining_nominal_s < 1e-3, "completion with work left");
-        js.phase = Phase::Done;
-        let busy = now.saturating_since(js.started_at);
-        if now > js.job.deadline {
-            self.deadline_misses += 1;
-        }
-        if let Some(audit) = &mut self.audit {
-            // Independent recount against the job's own deadline, kept on
-            // a separate counter from the ledger increment above.
-            if now > self.jobs[idx].job.deadline {
-                audit.deadline_misses += 1;
-            }
-        }
-        self.done_count += 1;
-        self.makespan = self.makespan.max(now);
-        self.running.retain(|&i| i != idx);
-        let chips = self.jobs[idx].chips.clone();
-        let mut candidates = Vec::with_capacity(chips.len());
-        for &c in &chips {
-            let ci = c.0 as usize;
-            self.usage[ci] += busy;
-            if !self.force_linear_placement {
-                self.chip_index.set_usage(c, self.usage[ci]);
-            }
-            self.apply_wear(ci, busy);
-            let q = &mut self.queues[ci];
-            debug_assert_eq!(q.front(), Some(&idx), "completed job was not at head");
-            q.pop_front();
-            if let Some(&next) = self.queues[ci].front() {
-                // Re-base the chain length to the new head: everything
-                // still queued stays "behind the head" except the new
-                // head itself.
-                self.chain_len_ms[ci] -= self.jobs[next].job.runtime_at_fmax.as_millis();
-                candidates.push(next);
-            } else {
-                debug_assert_eq!(
-                    self.chain_len_ms[ci], 0,
-                    "drained queue with nonzero chain length"
-                );
-                // Queue transition busy -> empty.
-                self.busy_queues -= 1;
-                if !self.force_linear_placement {
-                    self.chip_index.chip_idle(c);
-                }
-                if let Some(insitu) = &self.in_situ {
-                    if !insitu.profiled[ci] && !insitu.blocked[ci] {
-                        self.idle_unprofiled.insert(c.0);
-                    }
-                }
-            }
-        }
-        self.try_start(&candidates, now, ctx);
-    }
-}
-
-impl Model<Ev> for Sim {
-    fn on_event(&mut self, ctx: &mut Ctx<'_, Ev>, event: Ev) {
-        let now = ctx.now();
-        self.account(now);
-        match event {
-            Ev::Arrival(idx) => {
-                self.queued_jobs += 1;
-                if self.should_defer(idx, now) {
-                    self.deferred.push(idx);
-                } else {
-                    self.place_job(idx, now);
-                    self.try_start(&[idx], now, ctx);
-                }
-                self.rebalance(now, ctx);
-            }
-            Ev::Completion { job, gen } => {
-                if self.jobs[job].gen != gen || self.jobs[job].phase != Phase::Running {
-                    return; // stale reschedule
-                }
-                self.finish_job(job, now, ctx);
-                self.rebalance(now, ctx);
-            }
-            Ev::WindSample => {
-                self.release_deferred(now, ctx);
-                self.rebalance(now, ctx);
-                if self.done_count < self.jobs.len() {
-                    if let Some(iv) = self.supply.wind_interval() {
-                        ctx.schedule(now + iv, Ev::WindSample);
-                    }
-                }
-            }
-            Ev::ProfilingCheck => {
-                self.profiling_check(now, ctx);
-                let keep_going = self.done_count < self.jobs.len()
-                    || self.in_situ.as_ref().is_some_and(|s| s.blocked_count > 0);
-                if let Some(insitu) = &self.in_situ {
-                    if keep_going && self.profiled_count() < self.fleet.len() {
-                        ctx.schedule(now + insitu.config.check_interval, Ev::ProfilingCheck);
-                    }
-                }
-                self.rebalance(now, ctx);
-            }
-            Ev::ProfilingDone { chip } => {
-                self.profiling_done(chip, now);
-                self.rebalance(now, ctx);
-            }
-            Ev::TimingFailure { job, attempt, chip } => {
-                if self.jobs[job].phase == Phase::Running && self.jobs[job].starts == attempt {
-                    self.fail_job(job, chip, now, ctx);
-                }
-                self.rebalance(now, ctx);
-            }
-            Ev::Retry { job } => {
-                // Retries bypass deferral: a failed job has already burned
-                // schedule slack, so it goes straight back into placement.
-                if self.jobs[job].phase == Phase::Waiting && self.jobs[job].chips.is_empty() {
-                    self.place_job(job, now);
-                    self.try_start(&[job], now, ctx);
-                }
-                self.rebalance(now, ctx);
-            }
-            Ev::ReprofileCheck => {
-                self.reprofile_check(now, ctx);
-                if self.done_count < self.jobs.len() {
-                    if let Some(faults) = &self.faults {
-                        if let Some(r) = &faults.config.reprofile {
-                            ctx.schedule(now + r.check_interval, Ev::ReprofileCheck);
-                        }
-                    }
-                }
-                self.rebalance(now, ctx);
-            }
-            Ev::ReprofileDone { chip } => {
-                self.reprofile_done(chip, now);
-                self.rebalance(now, ctx);
-            }
-        }
-    }
-}
-
 /// Wall-clock nanoseconds spent in each scheduler hot-path phase,
 /// accumulated over a whole run. Reported through [`RunStats`] so
 /// `iscope-exp bench-report` can show where event time goes. The phases
@@ -2196,6 +304,20 @@ impl RunStats {
     }
 }
 
+/// The thin single-site instantiation: one [`SiteState`] driven directly
+/// by the engine with untagged events — no router, no federation. This is
+/// all that remains of the old monolithic `Sim`.
+struct SingleSite {
+    site: SiteState,
+}
+
+impl Model<SiteEv> for SingleSite {
+    fn on_event(&mut self, ctx: &mut Ctx<'_, SiteEv>, event: SiteEv) {
+        let now = ctx.now();
+        self.site.handle_event(ctx, now, event);
+    }
+}
+
 /// Runs one simulation to completion and returns the report.
 pub fn run_simulation(input: SimInput) -> RunReport {
     run_simulation_instrumented(input).0
@@ -2204,30 +326,14 @@ pub fn run_simulation(input: SimInput) -> RunReport {
 /// [`run_simulation`] plus runtime counters for the performance harness.
 pub fn run_simulation_instrumented(input: SimInput) -> (RunReport, RunStats) {
     let start = std::time::Instant::now();
-    let scheme = input.scheme_name.clone();
-    let prices = input.supply.prices;
-    let has_wind = input.supply.has_wind();
-    let wind_interval = input.supply.wind_interval();
-    let (mut sim, workload) = Sim::new(input);
+    let (site, workload) = SiteState::new(input, 0, true);
+    let mut sim = SingleSite { site };
     let mut engine = Engine::new().with_step_budget(200_000_000);
     for (i, j) in workload.jobs().iter().enumerate() {
-        engine.prime(j.submit, Ev::Arrival(i));
+        engine.prime(j.submit, SiteEv::Arrival(i));
     }
-    if has_wind {
-        if let Some(iv) = wind_interval {
-            engine.prime(SimTime::ZERO + iv, Ev::WindSample);
-        }
-    }
-    if let Some(insitu) = &sim.in_situ {
-        engine.prime(
-            SimTime::ZERO + insitu.config.check_interval,
-            Ev::ProfilingCheck,
-        );
-    }
-    if let Some(faults) = &sim.faults {
-        if let Some(r) = &faults.config.reprofile {
-            engine.prime(SimTime::ZERO + r.check_interval, Ev::ReprofileCheck);
-        }
+    for (at, ev) in sim.site.initial_events() {
+        engine.prime(at, ev);
     }
     let stop = engine.run(&mut sim);
     assert_eq!(
@@ -2236,128 +342,19 @@ pub fn run_simulation_instrumented(input: SimInput) -> (RunReport, RunStats) {
         "simulation exhausted its step budget"
     );
     assert_eq!(
-        sim.done_count,
-        sim.jobs.len(),
+        sim.site.done_count,
+        sim.site.jobs.len(),
         "simulation ended with unfinished jobs"
     );
-    // Close the books at the final instant.
-    let end = sim.makespan;
-    sim.account(end);
-    let power_series = sim
-        .samplers
-        .take()
-        .map(|s| s.into_iter().map(|smp| smp.finish(end)).collect())
-        .unwrap_or_default();
-    let num_levels = sim.fleet.dvfs.num_levels();
-    let telemetry_records = sim.telemetry.take().map(|t| {
-        t.sampler
-            .finish(end)
-            .into_iter()
-            .map(|(at, row)| telemetry::record_from_row(at, &row, num_levels))
-            .collect::<Vec<_>>()
-    });
-    let audit = sim.audit.take().map(|mut a| {
-        // Final cross-checks against the closed books.
-        let ledger_total = sim.ledger.wind_j + sim.ledger.utility_j;
-        let audit_total = a.wind_j + a.utility_j;
-        let scale = ledger_total.abs().max(1.0);
-        let energy_rel_residual = (audit_total - ledger_total).abs() / scale;
-        if energy_rel_residual > a.config.tolerance {
-            a.violation(format!(
-                "energy total diverged: ledger {ledger_total} J, audit {audit_total} J \
-                 (rel {energy_rel_residual:e})"
-            ));
-        }
-        let wind_rel = (a.wind_j - sim.ledger.wind_j).abs() / scale;
-        if wind_rel > a.config.tolerance {
-            a.violation(format!(
-                "wind split diverged: ledger {} J, audit {} J (rel {wind_rel:e})",
-                sim.ledger.wind_j, a.wind_j
-            ));
-        }
-        let utility_rel = (a.utility_j - sim.ledger.utility_j).abs() / scale;
-        if utility_rel > a.config.tolerance {
-            a.violation(format!(
-                "utility split diverged: ledger {} J, audit {} J (rel {utility_rel:e})",
-                sim.ledger.utility_j, a.utility_j
-            ));
-        }
-        let mut busy_time_ok = true;
-        let busy_ms = std::mem::take(&mut a.busy_ms);
-        for (c, (&audit_ms, used)) in busy_ms.iter().zip(&sim.usage).enumerate() {
-            if audit_ms != used.as_millis() {
-                busy_time_ok = false;
-                a.violation(format!(
-                    "chip {c} busy time diverged: usage {} ms, audit {audit_ms} ms",
-                    used.as_millis()
-                ));
-            }
-        }
-        let deadline_ok = a.deadline_misses == sim.deadline_misses;
-        if !deadline_ok {
-            a.violation(format!(
-                "deadline ledger diverged: {} recorded, {} recounted",
-                sim.deadline_misses, a.deadline_misses
-            ));
-        }
-        let report = AuditReport {
-            intervals: a.intervals,
-            demand_checks: a.demand_checks,
-            audit_wind_j: a.wind_j,
-            audit_utility_j: a.utility_j,
-            energy_rel_residual,
-            busy_time_ok,
-            deadline_ok,
-            suppressed_violations: a.suppressed,
-            violations: a.violations,
-        };
-        if a.config.strict && !report.clean() {
-            panic!(
-                "audit found {} invariant breach(es) ({} suppressed):\n{}",
-                report.violations.len(),
-                report.suppressed_violations,
-                report.violations.join("\n")
-            );
-        }
-        report
-    });
-    let profiling = sim.in_situ.as_ref().map(|s| crate::report::ProfilingStats {
-        chips_profiled: s.profiled.iter().filter(|&&p| p).count(),
-        fleet_size: s.profiled.len(),
-        profiling_energy_kwh: s.profiling_energy_note_j / 3.6e6,
-        tests_run: s.records.tests_run(),
-    });
-    let faults = sim.faults.as_ref().map(|f| crate::report::FaultStats {
-        timing_failures: f.timing_failures,
-        retries: f.retries,
-        failed_jobs: f.failed_jobs,
-        suspect_chips: f.suspect.iter().filter(|&&s| s).count(),
-        chips_rescanned: f.chips_rescanned,
-        wasted_kwh: f.wasted_j / 3.6e6,
-        rescan_downtime_hours: f.rescan_downtime.as_hours_f64(),
-        rescan_energy_kwh: f.reprofile_energy_j / 3.6e6,
-    });
-    let report = RunReport {
-        scheme,
-        ledger: sim.ledger,
-        prices,
-        jobs: sim.jobs.len(),
-        deadline_misses: sim.deadline_misses,
-        makespan: sim.makespan,
-        usage_hours: sim.usage.iter().map(|u| u.as_hours_f64()).collect(),
-        power_series,
-        profiling,
-        faults,
-        audit,
-        telemetry: telemetry_records,
-    };
+    let events = engine.steps();
+    let outcome = sim.site.finalize();
     let stats = RunStats {
-        events: engine.steps(),
-        placements: sim.placements,
+        events,
+        placements: outcome.placements,
         wall: start.elapsed(),
-        phases: sim.phase_ns,
+        phases: outcome.phases,
     };
-    (report, stats)
+    (outcome.report, stats)
 }
 
 #[cfg(test)]

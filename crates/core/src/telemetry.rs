@@ -46,6 +46,9 @@ impl Default for TelemetryConfig {
 /// One telemetry sample (the signal values active at the tick instant).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TelemetryRecord {
+    /// Emitting site (0 in single-site runs; the site index in a
+    /// federation, so per-site streams can share one JSONL file).
+    pub site: u64,
     /// Tick instant, seconds since the start of the run.
     pub t_s: f64,
     /// Renewable supply available at the tick (W).
@@ -66,11 +69,17 @@ pub struct TelemetryRecord {
 /// occupancy block: supply, demand, utility, queue depth.
 pub(crate) const CHANNELS_BEFORE_LEVELS: usize = 4;
 
-/// Converts a sampler row (see the channel layout in `simulation.rs`)
-/// into a record. `levels` is the DVFS level count.
-pub(crate) fn record_from_row(at: SimTime, row: &[f64], levels: usize) -> TelemetryRecord {
+/// Converts a sampler row (see the channel layout in `site.rs`) into a
+/// record. `levels` is the DVFS level count, `site` the emitting site.
+pub(crate) fn record_from_row(
+    at: SimTime,
+    row: &[f64],
+    levels: usize,
+    site: u64,
+) -> TelemetryRecord {
     debug_assert_eq!(row.len(), CHANNELS_BEFORE_LEVELS + levels + 1);
     TelemetryRecord {
+        site,
         t_s: at.as_secs_f64(),
         supply_w: row[0],
         demand_w: row[1],
@@ -100,7 +109,8 @@ fn render_f64(v: f64) -> String {
 pub fn render_line(r: &TelemetryRecord) -> String {
     let levels: Vec<String> = r.level_jobs.iter().map(|v| v.to_string()).collect();
     format!(
-        "{{\"t_s\":{},\"supply_w\":{},\"demand_w\":{},\"utility_w\":{},\"queue_depth\":{},\"level_jobs\":[{}],\"quarantined\":{}}}",
+        "{{\"site\":{},\"t_s\":{},\"supply_w\":{},\"demand_w\":{},\"utility_w\":{},\"queue_depth\":{},\"level_jobs\":[{}],\"quarantined\":{}}}",
+        r.site,
         render_f64(r.t_s),
         render_f64(r.supply_w),
         render_f64(r.demand_w),
@@ -140,6 +150,7 @@ pub fn parse_line(line: &str) -> Result<TelemetryRecord, String> {
         .and_then(|s| s.strip_suffix('}'))
         .ok_or("record is not a JSON object")?;
     let mut r = TelemetryRecord {
+        site: 0, // absent in pre-federation JSONL: those streams were site 0
         t_s: f64::NAN,
         supply_w: f64::NAN,
         demand_w: f64::NAN,
@@ -151,6 +162,7 @@ pub fn parse_line(line: &str) -> Result<TelemetryRecord, String> {
     let mut seen_levels = false;
     for (key, value) in split_fields(body)? {
         match key {
+            "site" => r.site = parse_int(value)?,
             "t_s" => r.t_s = parse_num(value)?,
             "supply_w" => r.supply_w = parse_num(value)?,
             "demand_w" => r.demand_w = parse_num(value)?,
@@ -243,6 +255,7 @@ mod tests {
 
     fn record(t: f64) -> TelemetryRecord {
         TelemetryRecord {
+            site: 0,
             t_s: t,
             supply_w: 12_500.25,
             demand_w: 9_800.0,
@@ -295,6 +308,28 @@ mod tests {
         let back = parse_jsonl(&text).unwrap();
         assert_eq!(back.len(), 1);
         assert_eq!(back[0], record(5.0));
+    }
+
+    #[test]
+    fn multi_site_records_round_trip_and_interleave() {
+        // A federation writes all sites' streams into one JSONL file;
+        // records keep their site tag through the codec.
+        let mut a = record(0.0);
+        a.site = 2;
+        let mut b = record(0.0);
+        b.site = 0;
+        let text = render_jsonl(&[a.clone(), b.clone()]);
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back, vec![a, b]);
+    }
+
+    #[test]
+    fn pre_federation_lines_parse_as_site_zero() {
+        // JSONL written before the site channel existed has no "site" key;
+        // those streams were single-site by construction.
+        let line = "{\"t_s\":0.0,\"supply_w\":1.0,\"demand_w\":1.0,\"utility_w\":0.0,\
+                    \"queue_depth\":0,\"level_jobs\":[0],\"quarantined\":0}";
+        assert_eq!(parse_line(line).unwrap().site, 0);
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! * [`engine`] — the [`Engine`]/[`Model`] driver loop.
 //! * [`rng`] — seeded [`SimRng`] with Normal / Poisson / Weibull /
 //!   LogNormal samplers (implemented in-crate; see DESIGN.md §6).
+//! * [`site`] — [`SiteTagged`] event wrapper routing one engine's events
+//!   to the per-site states of a federated run.
 //! * [`stats`] — Welford accumulators and time-weighted integrals
 //!   (the power→energy accounting path).
 //! * [`trace`] — fixed-interval samplers for the power-trace figures.
@@ -20,6 +22,7 @@
 pub mod engine;
 pub mod event;
 pub mod rng;
+pub mod site;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -27,6 +30,7 @@ pub mod trace;
 pub use engine::{Ctx, Engine, Model, StopReason};
 pub use event::{EventHandle, EventQueue};
 pub use rng::SimRng;
+pub use site::SiteTagged;
 pub use stats::{Histogram, Running, TimeWeighted};
 pub use time::{SimDuration, SimTime};
 pub use trace::{RowSampler, Sampler, TimeSeries};

@@ -49,12 +49,12 @@ pub struct Ablations {
 }
 
 fn run(cfg: &ExpConfig, scheme: Scheme, wind: bool, mode: DvfsMode, defer: bool) -> RunReport {
-    let b = cfg.sim(scheme).dvfs_mode(mode);
     let b = if wind {
-        b.supply(cfg.wind_supply(1.0))
+        cfg.wind_sim(scheme, 1.0)
     } else {
-        b
-    };
+        cfg.sim(scheme)
+    }
+    .dvfs_mode(mode);
     let b = if defer {
         b.deferral(DeferralConfig::default())
     } else {

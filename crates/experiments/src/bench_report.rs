@@ -12,8 +12,9 @@
 //! stand-in cannot serialize real values (see `vendor/README.md`).
 
 use crate::common::{ExpConfig, ExpScale};
+use crate::federation;
 use iscope::prelude::*;
-use iscope::{PhaseTimers, RunStats};
+use iscope::{run_federation_instrumented, FollowSurplusRouter, PhaseTimers, RunStats};
 use iscope_sched::Scheme;
 
 /// One benchmark measurement, normalized from [`RunStats`].
@@ -111,6 +112,13 @@ pub struct BenchReport {
     pub scale: BenchNumbers,
     /// Hot-path phase breakdown of the fleet-scale run.
     pub scale_phases: PhaseTimers,
+    /// Federated run: the default experiment cell split over 4 sites
+    /// under the follow-surplus router, half-correlated weather, faults
+    /// on — the event clock now multiplexes four `SiteState`s plus the
+    /// routing layer.
+    pub federation: BenchNumbers,
+    /// Hot-path phase breakdown of the federated run (summed over sites).
+    pub federation_phases: PhaseTimers,
     /// One-line summary of the headline run's simulation outcome, so a
     /// perf regression that changes behaviour is visible in the report.
     pub headline_outcome: String,
@@ -118,6 +126,8 @@ pub struct BenchReport {
     pub dvfs_outcome: String,
     /// Outcome summary of the fleet-scale run.
     pub scale_outcome: String,
+    /// Outcome summary of the federated run.
+    pub federation_outcome: String,
 }
 
 /// The headline scenario: the paper's 4800-CPU testbed under one day of
@@ -201,6 +211,12 @@ pub fn run() -> BenchReport {
         .run_instrumented();
     let (dvfs_report, dvfs_stats) = dvfs_stress_sim().build().run_instrumented();
     let (scale_report, scale_stats) = scale_sim().build().run_instrumented();
+    let (fed_report, fed_stats) = run_federation_instrumented(federation::scenario(
+        &cfg,
+        4,
+        0.5,
+        Box::new(FollowSurplusRouter),
+    ));
     BenchReport {
         headline: stats.into(),
         headline_phases: stats.phases,
@@ -209,9 +225,12 @@ pub fn run() -> BenchReport {
         dvfs_phases: dvfs_stats.phases,
         scale: scale_stats.into(),
         scale_phases: scale_stats.phases,
+        federation: fed_stats.into(),
+        federation_phases: fed_stats.phases,
         headline_outcome: report.summary(),
         dvfs_outcome: dvfs_report.summary(),
         scale_outcome: scale_report.summary(),
+        federation_outcome: fed_report.summary(),
     }
 }
 
@@ -325,7 +344,9 @@ impl BenchReport {
              \"dvfs_stress\": \"1200 procs, 20000 jobs at 4x arrival rate (max 16-wide), \
              ScanFair, hybrid wind x0.0625 (scarce), seed 42\",\n    \
              \"scale\": \"50000 procs, 200000 jobs (max 512-wide), ScanFair, hybrid wind \
-             x10.4 (per-CPU standard), seed 42\"\n  },\n",
+             x10.4 (per-CPU standard), seed 42\",\n    \
+             \"federation\": \"4 sites x 60 procs, 1000 jobs, follow-surplus router, \
+             rho=0.5 correlated wind, faults on, seed 42\"\n  },\n",
         );
         out.push_str(&format!(
             "  \"headline\": {},\n",
@@ -354,6 +375,14 @@ impl BenchReport {
         out.push_str(&format!(
             "  \"scale_phases\": {},\n",
             phases_json(&self.scale_phases, "  ")
+        ));
+        out.push_str(&format!(
+            "  \"federation\": {},\n",
+            numbers_json(&self.federation, "  ")
+        ));
+        out.push_str(&format!(
+            "  \"federation_phases\": {},\n",
+            phases_json(&self.federation_phases, "  ")
         ));
         match (BASELINE_HEADLINE, BASELINE_FIGURE) {
             (Some(bh), Some(bf)) => {
@@ -401,8 +430,12 @@ impl BenchReport {
             self.dvfs_outcome.trim().replace('"', "'")
         ));
         out.push_str(&format!(
-            "  \"scale_outcome\": \"{}\"\n}}\n",
+            "  \"scale_outcome\": \"{}\",\n",
             self.scale_outcome.trim().replace('"', "'")
+        ));
+        out.push_str(&format!(
+            "  \"federation_outcome\": \"{}\"\n}}\n",
+            self.federation_outcome.trim().replace('"', "'")
         ));
         out
     }

@@ -87,6 +87,13 @@ impl ExpConfig {
         }
     }
 
+    /// The scenario nearly every figure runs: this config's fleet and
+    /// workload under `scheme`, powered by the hybrid wind supply at
+    /// `swp` times standard wind power.
+    pub fn wind_sim(&self, scheme: Scheme, swp: f64) -> GreenDatacenterSim {
+        self.sim(scheme).supply(self.wind_supply(swp))
+    }
+
     /// The wind supply at a given SWP factor (1.0 = standard wind power).
     pub fn wind_supply(&self, swp: f64) -> Supply {
         Supply::hybrid_farm(

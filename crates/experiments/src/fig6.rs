@@ -62,22 +62,14 @@ pub fn run(cfg: &ExpConfig) -> Fig6 {
         .flat_map(|&s| HU_POINTS.iter().map(move |&h| (s, h)))
         .collect();
     let hu_reports = sweep(&hu_cells, |&(scheme, hu)| {
-        cfg.sim(scheme)
-            .hu_fraction(hu)
-            .supply(cfg.wind_supply(1.0))
-            .build()
-            .run()
+        cfg.wind_sim(scheme, 1.0).hu_fraction(hu).build().run()
     });
     let rate_cells: Vec<(Scheme, f64)> = Scheme::ALL
         .iter()
         .flat_map(|&s| RATE_POINTS.iter().map(move |&r| (s, r)))
         .collect();
     let rate_reports = sweep(&rate_cells, |&(scheme, rate)| {
-        cfg.sim(scheme)
-            .arrival_rate(rate)
-            .supply(cfg.wind_supply(1.0))
-            .build()
-            .run()
+        cfg.wind_sim(scheme, 1.0).arrival_rate(rate).build().run()
     });
     let (utility_by_hu, wind_by_hu) =
         tables("fig6a", "fig6c", "% of HU jobs", &HU_POINTS, &hu_reports);

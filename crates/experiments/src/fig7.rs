@@ -40,8 +40,7 @@ pub const SAMPLE_INTERVAL_S: u64 = 350;
 pub fn run(cfg: &ExpConfig) -> Fig7 {
     let schemes = [Scheme::ScanRan, Scheme::ScanEffi, Scheme::ScanFair];
     let reports = sweep(&schemes, |&scheme| {
-        cfg.sim(scheme)
-            .supply(cfg.wind_supply(1.0))
+        cfg.wind_sim(scheme, 1.0)
             .trace_interval(SimDuration::from_secs(SAMPLE_INTERVAL_S))
             .build()
             .run()

@@ -56,15 +56,17 @@ pub fn run(cfg: &ExpConfig) -> Fig8 {
         .flat_map(|&s| (0..3usize).map(move |c| (s, c)))
         .collect();
     let reports = sweep(&cells, |&(scheme, case)| {
-        let b = cfg.sim(scheme);
-        let b = match [Case::NoWind, Case::Wind, Case::WindFuture][case] {
-            Case::NoWind => b.supply(iscope_energy::Supply::utility_only()),
-            Case::Wind => b.supply(cfg.wind_supply(1.0)),
-            Case::WindFuture => {
-                b.supply(cfg.wind_supply(1.0).with_prices(PriceBook::future_wind()))
-            }
-        };
-        b.build().run()
+        match [Case::NoWind, Case::Wind, Case::WindFuture][case] {
+            Case::NoWind => cfg
+                .sim(scheme)
+                .supply(iscope_energy::Supply::utility_only()),
+            Case::Wind => cfg.wind_sim(scheme, 1.0),
+            Case::WindFuture => cfg
+                .sim(scheme)
+                .supply(cfg.wind_supply(1.0).with_prices(PriceBook::future_wind())),
+        }
+        .build()
+        .run()
     });
     let columns = vec![
         "no-wind".to_string(),

@@ -34,8 +34,7 @@ pub fn run(cfg: &ExpConfig) -> Fig9 {
     // Telemetry is observational (bit-identical runs), so every cell can
     // record it; only the headline ScanFair cell's series is kept.
     let mut reports = sweep(&cells, |&(scheme, swp)| {
-        cfg.sim(scheme)
-            .supply(cfg.wind_supply(swp))
+        cfg.wind_sim(scheme, swp)
             .telemetry(TelemetryConfig::default())
             .build()
             .run()

@@ -39,22 +39,13 @@ pub fn run(cfg: &ExpConfig) -> InSitu {
         ..InSituConfig::default()
     };
     let total = |r: &RunReport| r.utility_kwh() + r.wind_kwh();
-    let bin = cfg
-        .sim(Scheme::BinRan)
-        .supply(cfg.wind_supply(1.0))
-        .build()
-        .run();
+    let bin = cfg.wind_sim(Scheme::BinRan, 1.0).build().run();
     let insitu = cfg
-        .sim(Scheme::ScanRan)
-        .supply(cfg.wind_supply(1.0))
+        .wind_sim(Scheme::ScanRan, 1.0)
         .in_situ_profiling(insitu_cfg)
         .build()
         .run();
-    let prescanned = cfg
-        .sim(Scheme::ScanRan)
-        .supply(cfg.wind_supply(1.0))
-        .build()
-        .run();
+    let prescanned = cfg.wind_sim(Scheme::ScanRan, 1.0).build().run();
     let stats = insitu.profiling.expect("in-situ stats");
     InSitu {
         bin_kwh: total(&bin),

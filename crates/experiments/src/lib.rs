@@ -10,6 +10,7 @@ pub mod ablations;
 pub mod audit;
 pub mod bench_report;
 pub mod common;
+pub mod federation;
 pub mod fig10;
 pub mod fig4;
 pub mod fig5;

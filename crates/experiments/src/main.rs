@@ -7,14 +7,14 @@
 
 use iscope_experiments::common::{write_json, write_telemetry, ExpConfig, ExpScale};
 use iscope_experiments::{
-    ablations, audit, bench_report, fig10, fig4, fig5, fig6, fig7, fig8, fig9, insitu, lifetime,
-    sensitivity, tables,
+    ablations, audit, bench_report, federation, fig10, fig4, fig5, fig6, fig7, fig8, fig9, insitu,
+    lifetime, sensitivity, tables,
 };
 
 const USAGE: &str = "usage: iscope-exp <experiment> [--fast|--paper] [--audit]\n\
 experiments: table1 table2 fig4 fig5 fig6 fig7 fig8 fig9 fig10 overhead \
-insitu ablations sensitivity lifetime workload bench-report bench-smoke \
-fault-smoke audit-smoke all (default: all)\n\
+insitu ablations sensitivity lifetime workload federation bench-report \
+bench-smoke fault-smoke audit-smoke fed-smoke all (default: all)\n\
 scales: default = 240 CPUs (1/20 of the paper); --fast = bench cell; \
 --paper = the full 4800-CPU testbed\n\
 --audit: run every simulation under the strict energy-conservation \
@@ -146,6 +146,11 @@ fn main() {
         println!("{}", a.render());
         report(write_json("ablations", &a));
     });
+    run_if("federation", &mut |c| {
+        let f = federation::run(c);
+        println!("{}", f.render());
+        report(write_json("federation", &f));
+    });
     run_if("overhead", &mut |c| {
         let o = tables::overhead(c);
         println!("{}", o.render(c.fleet_size));
@@ -174,6 +179,11 @@ fn main() {
             "scale         wall {:>8.2} s  {:>12.0} events/s  {:>10.0} ns/placement",
             b.scale.wall_s, b.scale.events_per_sec, b.scale.ns_per_placement
         );
+        println!("federation    {}", b.federation_outcome);
+        println!(
+            "federation    wall {:>8.2} s  {:>12.0} events/s  {:>10.0} ns/placement",
+            b.federation.wall_s, b.federation.events_per_sec, b.federation.ns_per_placement
+        );
         match b.write() {
             Ok(p) => println!("[wrote {}]", p.display()),
             Err(e) => eprintln!("[failed to write BENCH_sim.json: {e}]"),
@@ -199,6 +209,14 @@ fn main() {
         // tight re-profiling cadence prevents every failure, and both
         // reproduce bit-identically (not part of "all").
         lifetime::fault_smoke();
+        ran += 1;
+    }
+    if which == "fed-smoke" {
+        // CI gate: a 2-site federated run closes every site's energy
+        // books under the strict auditor with faults on, and a 1-site
+        // null-router federation stays bit-identical to the plain
+        // single-site run (not part of "all").
+        federation::smoke();
         ran += 1;
     }
     if ran == 0 {
