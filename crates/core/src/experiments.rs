@@ -1,26 +1,35 @@
 //! Parallel parameter sweeps (rayon) over independent simulation cells.
 //!
 //! Every cell is seeded independently, so the parallel sweep produces
-//! exactly the same reports as a sequential loop — order of evaluation
-//! cannot leak into results.
+//! exactly the same reports as a sequential loop — results are collected
+//! at their input index, so evaluation order cannot leak into results.
+//!
+//! Worker count comes from the pool (see `vendor/rayon`): a
+//! [`ThreadPool::install`] override if active, else the `ISCOPE_THREADS`
+//! env var (`1` = sequential, the safe default on shared machines), else
+//! the machine's available parallelism.
 
-use crate::report::RunReport;
 use rayon::prelude::*;
 
-/// Runs `build_and_run` over every parameter cell in parallel and returns
-/// the reports in input order.
-pub fn sweep<P, F>(params: &[P], build_and_run: F) -> Vec<RunReport>
+pub use rayon::{
+    current_num_threads, pool_stats, reset_pool_stats, PoolStats, ThreadPool, ThreadPoolBuilder,
+};
+
+/// Runs `build_and_run` over every parameter cell on the work-stealing
+/// pool and returns the results in input order.
+pub fn sweep<P, R, F>(params: &[P], build_and_run: F) -> Vec<R>
 where
     P: Sync,
-    F: Fn(&P) -> RunReport + Sync + Send,
+    R: Send,
+    F: Fn(&P) -> R + Sync + Send,
 {
     params.par_iter().map(&build_and_run).collect()
 }
 
 /// Sequential reference implementation (used by determinism tests).
-pub fn sweep_sequential<P, F>(params: &[P], build_and_run: F) -> Vec<RunReport>
+pub fn sweep_sequential<P, R, F>(params: &[P], build_and_run: F) -> Vec<R>
 where
-    F: Fn(&P) -> RunReport,
+    F: Fn(&P) -> R,
 {
     params.iter().map(&build_and_run).collect()
 }
@@ -29,6 +38,7 @@ where
 mod tests {
     use super::*;
     use crate::config::GreenDatacenterSim;
+    use crate::report::RunReport;
     use iscope_sched::Scheme;
 
     fn run_cell(scheme: &Scheme) -> RunReport {
@@ -55,10 +65,29 @@ mod tests {
     }
 
     #[test]
+    fn parallel_equals_sequential_on_real_workers() {
+        let params = [Scheme::BinRan, Scheme::ScanEffi, Scheme::ScanFair];
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let par = pool.install(|| sweep(&params, run_cell));
+        let seq = sweep_sequential(&params, run_cell);
+        for (a, b) in par.iter().zip(&seq) {
+            assert_eq!(a.ledger, b.ledger, "worker threads changed results");
+            assert_eq!(a.deadline_misses, b.deadline_misses);
+        }
+    }
+
+    #[test]
     fn reports_come_back_in_input_order() {
         let params = [Scheme::ScanFair, Scheme::BinRan];
         let out = sweep(&params, run_cell);
         assert_eq!(out[0].scheme, "ScanFair");
         assert_eq!(out[1].scheme, "BinRan");
+    }
+
+    #[test]
+    fn sweep_is_generic_over_results() {
+        let params = [1u64, 2, 3];
+        let out: Vec<String> = sweep(&params, |p| format!("cell-{p}"));
+        assert_eq!(out, vec!["cell-1", "cell-2", "cell-3"]);
     }
 }

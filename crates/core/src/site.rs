@@ -184,6 +184,12 @@ pub(crate) struct SiteState {
     pub(crate) queues: Vec<VecDeque<usize>>,
     pub(crate) usage: Vec<SimDuration>,
     pub(crate) running: Vec<usize>,
+    /// How many running jobs sit at each DVFS level — maintained at
+    /// start/finish/fail/level-change so `rebalance_global` can prove
+    /// "nothing changed level" in O(1) and skip its O(running) filter
+    /// (at scale with abundant wind that filter never finds work but
+    /// runs on every periodic event — it was 1.6 s of the 50k run).
+    pub(crate) running_at_level: Vec<usize>,
     pub(crate) done_count: usize,
     pub(crate) deadline_misses: usize,
     pub(crate) ledger: EnergyLedger,
@@ -499,7 +505,7 @@ impl SiteState {
                 config,
             }
         });
-        let site = SiteState {
+        let mut site = SiteState {
             site_id,
             scheme_name: input.scheme_name,
             expect_more: false,
@@ -509,6 +515,7 @@ impl SiteState {
             queues: vec![VecDeque::new(); n],
             usage: vec![SimDuration::ZERO; n],
             running: Vec::new(),
+            running_at_level: vec![0; num_levels],
             done_count: 0,
             deadline_misses: 0,
             ledger: EnergyLedger::new(),
@@ -593,6 +600,7 @@ impl SiteState {
             supply: input.supply,
             cooling: input.cooling,
         };
+        site.chip_index.set_ranking(site.plan.ranking());
         (site, input.workload)
     }
 
@@ -1108,6 +1116,7 @@ impl SiteState {
             })
             .collect();
         self.plan.update_chip(chip_id, voltages, est);
+        self.chip_index.set_ranking(self.plan.ranking());
         self.refreeze_running_rows(now);
     }
 
@@ -1460,6 +1469,7 @@ impl SiteState {
             js.attempt_energy_j = 0.0;
             self.queued_jobs -= 1;
             self.running.push(idx);
+            self.running_at_level[top.0 as usize] += 1;
             self.schedule_completion(idx, now, ctx);
             self.maybe_inject_failure(idx, now, ctx);
         }
@@ -1548,6 +1558,7 @@ impl SiteState {
         }
         self.running_demand_uw -= self.jobs[idx].power_uw_at[self.jobs[idx].level.0 as usize];
         self.running.retain(|&i| i != idx);
+        self.running_at_level[self.jobs[idx].level.0 as usize] -= 1;
         let busy = now.saturating_since(self.jobs[idx].started_at);
         let chips = std::mem::take(&mut self.jobs[idx].chips);
         let mut candidates = Vec::with_capacity(chips.len());
@@ -1770,6 +1781,7 @@ impl SiteState {
             })
             .collect();
         self.plan.update_chip(ChipId(chip_idx), voltages, est);
+        self.chip_index.set_ranking(self.plan.ranking());
         self.refreeze_running_rows(now);
     }
 
@@ -1822,6 +1834,22 @@ impl SiteState {
                 }
             }
         }
+        debug_assert_eq!(
+            self.running_at_level[level.0 as usize],
+            self.running
+                .iter()
+                .filter(|&&i| self.jobs[i].level == level)
+                .count(),
+            "running_at_level count diverged from the running set"
+        );
+        if self.running_at_level[level.0 as usize] == self.running.len() {
+            // Every running job already sits at the target level: the
+            // filter below would find nothing. Proven by the maintained
+            // counts in O(1) instead of an O(running) scan — this is the
+            // steady state on every periodic event when the budget is
+            // abundant (the whole fleet pinned at top).
+            return;
+        }
         let mut to_change = std::mem::take(&mut self.level_scratch);
         to_change.clear();
         to_change.extend(
@@ -1840,6 +1868,8 @@ impl SiteState {
             let old = self.jobs[idx].level;
             self.running_demand_uw += self.jobs[idx].power_uw_at[level.0 as usize]
                 - self.jobs[idx].power_uw_at[old.0 as usize];
+            self.running_at_level[old.0 as usize] -= 1;
+            self.running_at_level[level.0 as usize] += 1;
             self.jobs[idx].level = level;
             self.schedule_completion(idx, now, ctx);
         }
@@ -1872,6 +1902,8 @@ impl SiteState {
             let old = self.jobs[idx].level;
             self.running_demand_uw += self.jobs[idx].power_uw_at[new_level.0 as usize]
                 - self.jobs[idx].power_uw_at[old.0 as usize];
+            self.running_at_level[old.0 as usize] -= 1;
+            self.running_at_level[new_level.0 as usize] += 1;
             self.jobs[idx].level = new_level;
             self.schedule_completion(idx, now, ctx);
         }
@@ -1964,6 +1996,7 @@ impl SiteState {
         self.done_count += 1;
         self.makespan = self.makespan.max(now);
         self.running.retain(|&i| i != idx);
+        self.running_at_level[self.jobs[idx].level.0 as usize] -= 1;
         let chips = self.jobs[idx].chips.clone();
         let mut candidates = Vec::with_capacity(chips.len());
         for &c in &chips {

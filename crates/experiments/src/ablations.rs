@@ -15,6 +15,7 @@
 //!    of shaping demand.
 
 use crate::common::ExpConfig;
+use iscope::experiments::sweep;
 use iscope::prelude::*;
 use iscope::{DeferralConfig, DvfsMode, RunReport};
 use iscope_energy::{smooth_against_demand, Battery, Supply};
@@ -85,22 +86,34 @@ pub fn run_all(cfg: &ExpConfig) -> Ablations {
             / 1e3
     };
 
-    // 2. DVFS modes.
-    let global = run(cfg, Scheme::ScanFair, true, DvfsMode::GlobalLevel, false);
-    let greedy = run(cfg, Scheme::ScanFair, true, DvfsMode::PerJobGreedy, false);
+    // 2–4. The six distinct simulation cells behind the DVFS, macro/micro
+    // and wear studies, as one parallel sweep. Each cell is a pure
+    // function of its parameters (seeded runs are deterministic), so the
+    // studies share cells instead of re-running identical configs.
+    let cells: [(Scheme, DvfsMode, bool); 6] = [
+        (Scheme::ScanFair, DvfsMode::GlobalLevel, false),
+        (Scheme::ScanFair, DvfsMode::PerJobGreedy, false),
+        (Scheme::BinRan, DvfsMode::GlobalLevel, false),
+        (Scheme::BinRan, DvfsMode::GlobalLevel, true),
+        (Scheme::ScanFair, DvfsMode::GlobalLevel, true),
+        (Scheme::ScanEffi, DvfsMode::GlobalLevel, false),
+    ];
+    let runs = sweep(&cells, |&(scheme, mode, defer)| {
+        run(cfg, scheme, true, mode, defer)
+    });
+    let (global, greedy) = (&runs[0], &runs[1]);
 
     // 3. Macro vs macro+micro.
     let macro_micro_cost = [
-        run(cfg, Scheme::BinRan, true, DvfsMode::GlobalLevel, false).total_cost_usd(),
-        run(cfg, Scheme::BinRan, true, DvfsMode::GlobalLevel, true).total_cost_usd(),
-        run(cfg, Scheme::ScanFair, true, DvfsMode::GlobalLevel, false).total_cost_usd(),
-        run(cfg, Scheme::ScanFair, true, DvfsMode::GlobalLevel, true).total_cost_usd(),
+        runs[2].total_cost_usd(),
+        runs[3].total_cost_usd(),
+        runs[0].total_cost_usd(),
+        runs[4].total_cost_usd(),
     ];
 
     // 4. Wear from the Fig. 9 runs.
     let aging = AgingModel::default();
-    let wear_of = |scheme: Scheme| -> WearReport {
-        let r = run(cfg, scheme, true, DvfsMode::GlobalLevel, false);
+    let wear_of = |r: &RunReport| -> WearReport {
         let voltages: Vec<f64> = fleet
             .chips
             .iter()
@@ -115,8 +128,8 @@ pub fn run_all(cfg: &ExpConfig) -> Ablations {
             0.0,
         )
     };
-    let wear_effi = wear_of(Scheme::ScanEffi);
-    let wear_fair = wear_of(Scheme::ScanFair);
+    let wear_effi = wear_of(&runs[5]);
+    let wear_fair = wear_of(&runs[0]);
     // "Needs replacement" relative to the most-worn chip across both runs
     // (absolute life fractions are tiny over a few simulated days).
     let worst = wear_effi

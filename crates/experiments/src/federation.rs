@@ -125,31 +125,48 @@ pub fn scenario(
 /// experiment config).
 type RouterMaker = (&'static str, fn(u64) -> Box<dyn Router>);
 
+/// One sweep cell: router name + constructor, site count, weather rho.
+type GridCell = (&'static str, fn(u64) -> Box<dyn Router>, usize, f64);
+
 /// Runs the sites x router x weather-correlation sweep.
 pub fn run(cfg: &ExpConfig) -> FederationSweep {
     let mk_router: [RouterMaker; 2] = [
         ("static-hash", |seed| Box::new(StaticHashRouter { seed })),
         ("follow-surplus", |_| Box::new(FollowSurplusRouter)),
     ];
+    // Flatten the sites × router × rho grid into one parallel sweep
+    // (each cell builds its own router and scenario, independently
+    // seeded), then fold the results back into row-major tables.
+    let mut grid: Vec<GridCell> = Vec::new();
+    for (name, mk) in mk_router {
+        for &sites in &SITE_POINTS {
+            for &rho in &RHO_POINTS {
+                grid.push((name, mk, sites, rho));
+            }
+        }
+    }
+    let reports = iscope::experiments::sweep(&grid, |&(_, mk, sites, rho)| {
+        run_federation(scenario(cfg, sites, rho, mk(cfg.seed)))
+    });
+
     let mut rows_wind = Vec::new();
     let mut rows_util = Vec::new();
     let mut rows_mig = Vec::new();
-    for (name, mk) in mk_router {
-        for &sites in &SITE_POINTS {
-            let label = format!("{name}@{sites}");
-            let mut wf = Vec::new();
-            let mut uk = Vec::new();
-            let mut mg = Vec::new();
-            for &rho in &RHO_POINTS {
-                let r = run_federation(scenario(cfg, sites, rho, mk(cfg.seed)));
-                wf.push(100.0 * r.wind_fraction());
-                uk.push(r.utility_kwh());
-                mg.push(r.migrations as f64);
-            }
-            rows_wind.push((label.clone(), wf));
-            rows_util.push((label.clone(), uk));
-            rows_mig.push((label, mg));
-        }
+    for (row, chunk) in grid
+        .chunks(RHO_POINTS.len())
+        .zip(reports.chunks(RHO_POINTS.len()))
+    {
+        let (name, _, sites, _) = row[0];
+        let label = format!("{name}@{sites}");
+        rows_wind.push((
+            label.clone(),
+            chunk.iter().map(|r| 100.0 * r.wind_fraction()).collect(),
+        ));
+        rows_util.push((
+            label.clone(),
+            chunk.iter().map(|r| r.utility_kwh()).collect(),
+        ));
+        rows_mig.push((label, chunk.iter().map(|r| r.migrations as f64).collect()));
     }
     let columns: Vec<String> = RHO_POINTS.iter().map(|r| format!("rho={r}")).collect();
     let table = |id: &str, title: &str, rows| ExpTable {

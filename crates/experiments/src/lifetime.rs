@@ -235,15 +235,16 @@ fn sweep_cell(cfg: &ExpConfig, frac: Option<f64>, accel: f64) -> SweepCell {
     }
 }
 
-/// Runs the full cadence × aging sweep.
+/// Runs the full cadence × aging sweep (cells in parallel, row-major
+/// accel × cadence order preserved).
 pub fn run_sweep(cfg: &ExpConfig) -> Vec<SweepCell> {
-    let mut cells = Vec::new();
+    let mut grid = Vec::new();
     for &accel in &SWEEP_ACCELS {
         for &frac in &SWEEP_CADENCES {
-            cells.push(sweep_cell(cfg, frac, accel));
+            grid.push((frac, accel));
         }
     }
-    cells
+    iscope::experiments::sweep(&grid, |&(frac, accel)| sweep_cell(cfg, frac, accel))
 }
 
 /// CI smoke gate for the fault-injection subsystem: at bench scale, a

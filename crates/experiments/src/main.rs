@@ -179,11 +179,26 @@ fn main() {
             "scale         wall {:>8.2} s  {:>12.0} events/s  {:>10.0} ns/placement",
             b.scale.wall_s, b.scale.events_per_sec, b.scale.ns_per_placement
         );
+        println!("mega          {}", b.mega_outcome);
+        println!(
+            "mega          wall {:>8.2} s  {:>12.0} events/s  {:>10.0} ns/placement",
+            b.mega.wall_s, b.mega.events_per_sec, b.mega.ns_per_placement
+        );
         println!("federation    {}", b.federation_outcome);
         println!(
             "federation    wall {:>8.2} s  {:>12.0} events/s  {:>10.0} ns/placement",
             b.federation.wall_s, b.federation.events_per_sec, b.federation.ns_per_placement
         );
+        println!(
+            "sweep-speedup {} cells: {:.2} s at 1 worker, {:.2} s at 4 -> {:.2}x \
+             (host has {} core(s))",
+            b.sweep_speedup.cells,
+            b.sweep_speedup.wall_1t_s,
+            b.sweep_speedup.wall_4t_s,
+            b.sweep_speedup.speedup_4t,
+            b.sweep_speedup.host_cores
+        );
+        println!("{}", b.pool.render());
         match b.write() {
             Ok(p) => println!("[wrote {}]", p.display()),
             Err(e) => eprintln!("[failed to write BENCH_sim.json: {e}]"),

@@ -81,28 +81,25 @@ pub fn run(cfg: &ExpConfig) -> Sensitivity {
         cfg.seed,
     );
     let top = fleet.dvfs.max_level();
-    let by_grid = GRID_POINTS
-        .iter()
-        .map(|&points| {
-            let report = Scanner::new(ScannerConfig {
-                grid_points: points,
-                ..ScannerConfig::default()
-            })
-            .profile_fleet(&fleet, cfg.seed);
-            let plan = OperatingPlan::from_scanned(&fleet, &report.measured_vmin);
-            let kw: f64 = fleet
-                .chips
-                .iter()
-                .map(|c| plan.true_power(&fleet, c.id, top))
-                .sum::<f64>()
-                / 1e3;
-            GridPoint {
-                points,
-                fleet_power_kw: kw,
-                tests_run: report.tests_run,
-            }
+    let by_grid = sweep(&GRID_POINTS, |&points| {
+        let report = Scanner::new(ScannerConfig {
+            grid_points: points,
+            ..ScannerConfig::default()
         })
-        .collect();
+        .profile_fleet(&fleet, cfg.seed);
+        let plan = OperatingPlan::from_scanned(&fleet, &report.measured_vmin);
+        let kw: f64 = fleet
+            .chips
+            .iter()
+            .map(|c| plan.true_power(&fleet, c.id, top))
+            .sum::<f64>()
+            / 1e3;
+        GridPoint {
+            points,
+            fleet_power_kw: kw,
+            tests_run: report.tests_run,
+        }
+    });
     Sensitivity { by_bins, by_grid }
 }
 

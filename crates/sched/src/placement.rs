@@ -222,13 +222,14 @@ fn admit_and_try(
     view: &ProcView<'_>,
     bufs: &mut crate::view::ScratchBufs,
 ) -> Option<PlacementDecision> {
-    let top = &mut bufs.top;
     let now_ms = view.now.as_millis();
+    let top = &mut bufs.top;
     for &c in slice {
         if view.is_blocked(c) {
             continue;
         }
-        let key = crate::index::pack(view.avail[c.0 as usize].as_millis().max(now_ms), c.0);
+        let avail_ms = view.avail[c.0 as usize].as_millis();
+        let key = crate::index::pack(avail_ms.max(now_ms), c.0);
         if top.len() < n {
             top.push(key);
             let last = top.len() - 1;
@@ -238,6 +239,18 @@ fn admit_and_try(
             sift_down(top);
         }
     }
+    try_emit(n, job, view, bufs)
+}
+
+/// The feasibility-and-emit half of [`admit_and_try`].
+fn try_emit(
+    n: usize,
+    job: &Job,
+    view: &ProcView<'_>,
+    bufs: &mut crate::view::ScratchBufs,
+) -> Option<PlacementDecision> {
+    let now_ms = view.now.as_millis();
+    let top = &mut bufs.top;
     if top.len() >= n {
         let est_start_ms = if n == 0 {
             now_ms
@@ -264,7 +277,27 @@ fn admit_and_try(
 /// earliest-available processors, and returns the first feasible set. The
 /// prefix doubles each round, so the result is (close to) the most
 /// preferred feasible set while examining O(log) candidate pools.
+///
+/// Dispatches to the block-skipping walk when the view carries
+/// [`ChipIndexes`] with this ranking registered; the plain walk stays as
+/// ground truth (cross-checked on every decision in debug builds) and
+/// serves `force_linear_placement` and foreign orderings.
 fn prefix_place(order: &[ChipId], job: &Job, view: &ProcView<'_>) -> PlacementDecision {
+    if let Some(blocks) = view.index.and_then(|idx| idx.ranked_prefix(order)) {
+        let d = prefix_place_blocks(order, job, view, blocks);
+        debug_assert_eq!(
+            d,
+            prefix_place_plain(order, job, view),
+            "block-skipping prefix walk diverged from the plain walk"
+        );
+        d
+    } else {
+        prefix_place_plain(order, job, view)
+    }
+}
+
+/// The plain prefix walk: admits every chip of every round's slice.
+fn prefix_place_plain(order: &[ChipId], job: &Job, view: &ProcView<'_>) -> PlacementDecision {
     let n = job.cpus as usize;
     assert!(
         n <= view.available_count(),
@@ -278,6 +311,108 @@ fn prefix_place(order: &[ChipId], job: &Job, view: &ProcView<'_>) -> PlacementDe
         loop {
             let k_now = k.min(order.len());
             if let Some(d) = admit_and_try(&order[taken..k_now], n, job, view, &mut bufs) {
+                return d;
+            }
+            taken = k_now;
+            if k_now == order.len() {
+                break;
+            }
+            k = k_now.saturating_mul(2);
+        }
+    }
+    best_effort(job, view)
+}
+
+/// The block-skipping prefix walk. Identical decisions to
+/// [`prefix_place_plain`] by a set argument: once the top-n heap is
+/// full, admitting a chip changes the heap only if its clamped key is
+/// below the root, and every clamped key is `>= max(raw key,
+/// pack(now, 0))` — so a whole [`RankedPrefix::BLOCK`]-aligned block
+/// whose min-bound clears the root admits nothing and can be skipped
+/// without reading a single chip. That turns the deep-walk regime (a
+/// loaded fleet where every arrival used to scan tens of thousands of
+/// ranking entries to find `n` early-enough chips) from O(prefix) per
+/// placement into O(prefix / BLOCK + competitive blocks). Each block
+/// scanned in full reports its exact current minimum back to the index,
+/// so bounds left stale-low by intervening placements cost one wasted
+/// scan, not a permanent skip failure.
+fn prefix_place_blocks(
+    order: &[ChipId],
+    job: &Job,
+    view: &ProcView<'_>,
+    mut blocks: crate::index::RankedPrefix<'_>,
+) -> PlacementDecision {
+    const BLOCK: usize = crate::index::RankedPrefix::BLOCK;
+    let n = job.cpus as usize;
+    assert!(
+        n <= view.available_count(),
+        "job wider than the in-service fleet"
+    );
+    {
+        let mut bufs = view.scratch.borrow_mut();
+        bufs.top.clear();
+        let now_floor = crate::index::pack(view.now.as_millis(), 0);
+        let id_mask = (1u64 << crate::index::ID_BITS) - 1;
+        let mut taken = 0;
+        let mut k = n;
+        loop {
+            let k_now = k.min(order.len());
+            let mut pos = taken;
+            while pos < k_now {
+                let b = pos / BLOCK;
+                let block_end = ((b + 1) * BLOCK).min(order.len());
+                let chunk_end = block_end.min(k_now);
+                let whole_block = pos == b * BLOCK && chunk_end == block_end;
+                if whole_block
+                    && bufs.top.len() == n
+                    && n > 0
+                    && blocks.block_lb(b, now_floor) >= bufs.top[0]
+                {
+                    pos = chunk_end;
+                    continue;
+                }
+                let mut busy_mn = u64::MAX;
+                let mut idle_mn = crate::index::NO_IDLE;
+                {
+                    let keys = blocks.keys();
+                    let top = &mut bufs.top;
+                    for &raw in &keys[pos..chunk_end] {
+                        debug_assert_eq!(
+                            raw,
+                            crate::index::pack(
+                                view.avail[(raw & id_mask) as usize].as_millis(),
+                                (raw & id_mask) as u32
+                            ),
+                            "ranking key array fell out of sync with the avail state"
+                        );
+                        if raw < now_floor {
+                            idle_mn = idle_mn.min((raw & id_mask) as u32);
+                        } else {
+                            busy_mn = busy_mn.min(raw);
+                        }
+                        let key = raw.max(now_floor | (raw & id_mask));
+                        if top.len() < n {
+                            if view.is_blocked(ChipId((raw & id_mask) as u32)) {
+                                continue;
+                            }
+                            top.push(key);
+                            let last = top.len() - 1;
+                            sift_up(top, last);
+                        } else if n > 0 && key < top[0] {
+                            if view.is_blocked(ChipId((raw & id_mask) as u32)) {
+                                continue;
+                            }
+                            top[0] = key;
+                            sift_down(top);
+                        }
+                    }
+                }
+                if whole_block {
+                    blocks.note_block(b, busy_mn, idle_mn);
+                }
+                pos = chunk_end;
+            }
+            if let Some(d) = try_emit(n, job, view, &mut bufs) {
                 return d;
             }
             taken = k_now;

@@ -1,30 +1,380 @@
 //! Offline stand-in for `rayon`: the same `par_iter().map().collect()`
-//! shape the workspace uses, executed sequentially.
+//! shape the workspace uses, executed on a hand-rolled work-stealing
+//! thread pool (no external deps, `std::thread` only).
 //!
-//! The simulator's sweeps are deterministic and order-independent by
-//! construction (each cell is independently seeded), so sequential
-//! execution produces byte-identical results — only wall-clock parallel
-//! speedup is lost. See `vendor/README.md`.
+//! Results are byte-identical to a sequential loop by construction: each
+//! cell's output is written back at its *input index*, so the collected
+//! order never depends on which worker ran what. The simulator's sweep
+//! cells are independently seeded and share nothing, so evaluation order
+//! cannot leak into results either way (see `vendor/README.md`).
+//!
+//! Thread-count resolution, per `collect()` call:
+//! 1. a [`ThreadPool::install`] override active on this thread, else
+//! 2. the `ISCOPE_THREADS` env var (`1` or `0` = run sequentially
+//!    inline, exactly the old stand-in's behavior), else
+//! 3. `std::thread::available_parallelism()`.
+//!
+//! Pool shape: one shared injector (FIFO) seeded with one contiguous
+//! index range per worker, plus a per-worker deque. A worker splits any
+//! range wider than its grain in half, pushing the back half onto its
+//! own deque (LIFO pop, so it keeps working cache-local), and when out
+//! of local work it takes from the injector or steals the *front* (the
+//! biggest pieces) of a peer's deque. Workers exit after a full sweep
+//! finds no work anywhere; a range already in a worker's hands is
+//! finished by that worker, so nothing is dropped. A panicking cell
+//! unwinds its worker, the survivors drain the remaining ranges, and
+//! the caller re-raises the first payload after joining — no hangs, no
+//! silently missing cells.
 
-/// Sequential "parallel" iterator adapter.
-pub struct ParIter<I>(I);
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-impl<I: Iterator> ParIter<I> {
-    /// Maps each element, preserving input order.
-    pub fn map<O, F>(self, f: F) -> ParIter<std::iter::Map<I, F>>
-    where
-        F: FnMut(I::Item) -> O,
-    {
-        ParIter(self.0.map(f))
+// ---------------------------------------------------------------------------
+// Thread-count resolution
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Active [`ThreadPool::install`] override (takes precedence over env).
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Worker count a `collect()` on this thread would use right now.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Ok(s) = std::env::var("ISCOPE_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Scoped thread-count override, mimicking rayon's `ThreadPool`.
+///
+/// There are no persistent pool threads — workers are scoped to each
+/// `collect()` call — so "installing" a pool just pins the worker count
+/// for closures run under [`ThreadPool::install`] on this thread.
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count, restoring the previous
+    /// override afterwards (including on unwind).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(OVERRIDE.with(|c| c.replace(Some(self.threads))));
+        op()
     }
 
-    /// Collects in input order.
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
+    /// The worker count runs under [`ThreadPool::install`] will use.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
     }
 }
 
-/// By-reference conversion into a (sequential) parallel iterator.
+/// Builder for [`ThreadPool`], mimicking rayon's surface.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    threads: Option<usize>,
+}
+
+/// Building a pool cannot fail here; the type exists for rayon parity.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder; without `num_threads` the pool resolves the count
+    /// at build time from env/available parallelism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pins the worker count (0 = resolve automatically, as in rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Builds the pool. Never fails; `Result` kept for rayon parity.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = match self.threads {
+            Some(0) | None => current_num_threads(),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pool observability
+// ---------------------------------------------------------------------------
+
+static PAR_CALLS: AtomicU64 = AtomicU64::new(0);
+static SEQ_CALLS: AtomicU64 = AtomicU64::new(0);
+static TASKS: AtomicU64 = AtomicU64::new(0);
+static STEALS: AtomicU64 = AtomicU64::new(0);
+static SPLITS: AtomicU64 = AtomicU64::new(0);
+static MAX_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Cumulative pool counters since process start (or the last
+/// [`reset_pool_stats`]). Workers count tasks/steals locally and flush
+/// once on exit, so the atomics cost nothing per cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// `collect()` calls that spawned workers.
+    pub par_calls: u64,
+    /// `collect()` calls that ran inline (1 thread or ≤1 item).
+    pub seq_calls: u64,
+    /// Cells evaluated (sequential calls included).
+    pub tasks: u64,
+    /// Range takes from a *peer's* deque (injector takes excluded).
+    pub steals: u64,
+    /// Range splits (back half deferred to the splitter's own deque).
+    pub splits: u64,
+    /// Widest worker crew spawned by any single call.
+    pub max_workers: usize,
+}
+
+impl PoolStats {
+    /// One-line render for bench reports.
+    pub fn render(&self) -> String {
+        format!(
+            "pool: {} par + {} seq calls, {} tasks, {} steals, {} splits, max {} workers",
+            self.par_calls, self.seq_calls, self.tasks, self.steals, self.splits, self.max_workers
+        )
+    }
+}
+
+/// Snapshots the cumulative pool counters.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        par_calls: PAR_CALLS.load(Ordering::Relaxed),
+        seq_calls: SEQ_CALLS.load(Ordering::Relaxed),
+        tasks: TASKS.load(Ordering::Relaxed),
+        steals: STEALS.load(Ordering::Relaxed),
+        splits: SPLITS.load(Ordering::Relaxed),
+        max_workers: MAX_WORKERS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the cumulative pool counters (for before/after measurements).
+pub fn reset_pool_stats() {
+    PAR_CALLS.store(0, Ordering::Relaxed);
+    SEQ_CALLS.store(0, Ordering::Relaxed);
+    TASKS.store(0, Ordering::Relaxed);
+    STEALS.store(0, Ordering::Relaxed);
+    SPLITS.store(0, Ordering::Relaxed);
+    MAX_WORKERS.store(0, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Work-stealing execution
+// ---------------------------------------------------------------------------
+
+/// Per-worker counters, flushed to the globals once on worker exit.
+#[derive(Default)]
+struct WorkerStats {
+    tasks: u64,
+    steals: u64,
+    splits: u64,
+}
+
+impl WorkerStats {
+    fn flush(&self) {
+        TASKS.fetch_add(self.tasks, Ordering::Relaxed);
+        STEALS.fetch_add(self.steals, Ordering::Relaxed);
+        SPLITS.fetch_add(self.splits, Ordering::Relaxed);
+    }
+}
+
+/// Grain size: ranges wider than this get split rather than run whole.
+/// Small enough to keep every worker fed on ragged cells (sweep cells
+/// are whole simulations — seconds each — so per-range overhead is
+/// irrelevant), large enough that trivial inputs don't thrash locks.
+fn grain(n: usize, workers: usize) -> usize {
+    (n / (workers * 4)).max(1)
+}
+
+/// Runs `f` over every item on `workers` scoped threads and returns the
+/// outputs in input order. `workers` must be ≥ 2 (callers handle the
+/// sequential case inline) and ≤ `items.len()`.
+fn run_par<'a, T, O, F>(items: &'a [T], f: &F, workers: usize) -> Vec<O>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(&'a T) -> O + Sync,
+{
+    let n = items.len();
+    // Seed the injector with one contiguous slab per worker so the
+    // no-contention fast path is a private slab each; stealing only
+    // matters once slabs go ragged.
+    let slab = n.div_ceil(workers);
+    let injector: Mutex<VecDeque<Range<usize>>> = Mutex::new(
+        (0..workers)
+            .map(|w| (w * slab).min(n)..((w + 1) * slab).min(n))
+            .filter(|r| !r.is_empty())
+            .collect(),
+    );
+    let deques: Vec<Mutex<VecDeque<Range<usize>>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+
+    PAR_CALLS.fetch_add(1, Ordering::Relaxed);
+    MAX_WORKERS.fetch_max(workers, Ordering::Relaxed);
+
+    let mut out: Vec<Option<O>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+
+    let results: Vec<Vec<(usize, O)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let injector = &injector;
+                let deques = &deques;
+                scope.spawn(move || worker_loop(w, items, f, injector, deques))
+            })
+            .collect();
+        let mut results = Vec::with_capacity(workers);
+        let mut panic = None;
+        for h in handles {
+            match h.join() {
+                Ok(r) => results.push(r),
+                Err(payload) => panic = Some(payload),
+            }
+        }
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+        results
+    });
+
+    for (ix, val) in results.into_iter().flatten() {
+        debug_assert!(out[ix].is_none(), "cell {ix} evaluated twice");
+        out[ix] = Some(val);
+    }
+    out.into_iter()
+        .map(|v| v.expect("work-stealing pool dropped a cell"))
+        .collect()
+}
+
+/// One worker: drain own deque (LIFO), then the injector (FIFO), then
+/// steal the front of peers' deques; exit after a full empty sweep.
+fn worker_loop<'a, T, O, F>(
+    me: usize,
+    items: &'a [T],
+    f: &F,
+    injector: &Mutex<VecDeque<Range<usize>>>,
+    deques: &[Mutex<VecDeque<Range<usize>>>],
+) -> Vec<(usize, O)>
+where
+    T: Sync,
+    F: Fn(&'a T) -> O,
+{
+    let workers = deques.len();
+    let grain = grain(items.len(), workers);
+    let mut stats = WorkerStats::default();
+    let mut local: Vec<(usize, O)> = Vec::new();
+    'find: loop {
+        let range = {
+            if let Some(r) = deques[me].lock().unwrap().pop_back() {
+                Some(r)
+            } else if let Some(r) = injector.lock().unwrap().pop_front() {
+                Some(r)
+            } else {
+                let mut stolen = None;
+                for step in 1..workers {
+                    let victim = (me + step) % workers;
+                    if let Some(r) = deques[victim].lock().unwrap().pop_front() {
+                        stats.steals += 1;
+                        stolen = Some(r);
+                        break;
+                    }
+                }
+                stolen
+            }
+        };
+        let Some(mut range) = range else { break 'find };
+        // Split anything wider than the grain: keep the front half (the
+        // next cache-warm indexes), defer the back half for thieves.
+        while range.len() > grain {
+            let mid = range.start + range.len() / 2;
+            deques[me].lock().unwrap().push_back(mid..range.end);
+            stats.splits += 1;
+            range = range.start..mid;
+        }
+        for ix in range {
+            local.push((ix, f(&items[ix])));
+            stats.tasks += 1;
+        }
+    }
+    stats.flush();
+    local
+}
+
+// ---------------------------------------------------------------------------
+// Iterator surface
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over a slice (by shared reference).
+pub struct ParIter<'a, T>(&'a [T]);
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element; the eventual `collect` preserves input order.
+    pub fn map<O, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        O: Send,
+        F: Fn(&'a T) -> O + Sync,
+    {
+        ParMap { items: self.0, f }
+    }
+}
+
+/// A mapped parallel iterator, pending `collect`.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, O, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(&'a T) -> O + Sync,
+{
+    /// Evaluates the map on the pool and collects in input order.
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        let n = self.items.len();
+        let workers = current_num_threads().min(n);
+        if workers <= 1 {
+            SEQ_CALLS.fetch_add(1, Ordering::Relaxed);
+            TASKS.fetch_add(n as u64, Ordering::Relaxed);
+            MAX_WORKERS.fetch_max(1, Ordering::Relaxed);
+            return self.items.iter().map(&self.f).collect();
+        }
+        run_par(self.items, &self.f, workers).into_iter().collect()
+    }
+}
+
+/// By-reference conversion into a parallel iterator.
 pub trait IntoParallelRefIterator<'a> {
     /// The iterator adapter type.
     type Iter;
@@ -33,16 +383,16 @@ pub trait IntoParallelRefIterator<'a> {
 }
 
 impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
-    type Iter = ParIter<std::slice::Iter<'a, T>>;
+    type Iter = ParIter<'a, T>;
     fn par_iter(&'a self) -> Self::Iter {
-        ParIter(self.iter())
+        ParIter(self)
     }
 }
 
 impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
-    type Iter = ParIter<std::slice::Iter<'a, T>>;
+    type Iter = ParIter<'a, T>;
     fn par_iter(&'a self) -> Self::Iter {
-        ParIter(self.as_slice().iter())
+        ParIter(self.as_slice())
     }
 }
 
@@ -54,11 +404,72 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+
+    fn pool(n: usize) -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
 
     #[test]
     fn map_collect_preserves_order() {
         let xs = [3u64, 1, 4, 1, 5];
-        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
-        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+        for threads in [1, 2, 3, 8] {
+            let doubled: Vec<u64> =
+                pool(threads).install(|| xs.par_iter().map(|&x| x * 2).collect());
+            assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_uneven_input() {
+        let xs: Vec<u64> = (0..1037).collect();
+        let seq: Vec<u64> = xs.iter().map(|&x| x.wrapping_mul(x) ^ 0xA5A5).collect();
+        for threads in [2, 4, 7] {
+            let par: Vec<u64> = pool(threads)
+                .install(|| xs.par_iter().map(|&x| x.wrapping_mul(x) ^ 0xA5A5).collect());
+            assert_eq!(par, seq);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u32> = pool(4).install(|| [].par_iter().map(|&x: &u32| x).collect());
+        assert!(none.is_empty());
+        let one: Vec<u32> = pool(4).install(|| [7u32].par_iter().map(|&x| x + 1).collect());
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn install_nests_and_restores() {
+        pool(3).install(|| {
+            assert_eq!(current_num_threads(), 3);
+            pool(5).install(|| assert_eq!(current_num_threads(), 5));
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn panicking_cell_propagates() {
+        let xs: Vec<u32> = (0..64).collect();
+        let caught = std::panic::catch_unwind(|| {
+            pool(4).install(|| {
+                let _: Vec<u32> = xs
+                    .par_iter()
+                    .map(|&x| if x == 13 { panic!("boom") } else { x })
+                    .collect();
+            })
+        });
+        assert!(caught.is_err(), "panic in a cell must reach the caller");
+    }
+
+    #[test]
+    fn stats_count_tasks() {
+        reset_pool_stats();
+        let xs: Vec<u64> = (0..100).collect();
+        let _: Vec<u64> = pool(4).install(|| xs.par_iter().map(|&x| x + 1).collect());
+        let s = pool_stats();
+        assert_eq!(s.tasks, 100);
+        assert_eq!(s.par_calls, 1);
+        assert!(s.max_workers >= 2);
     }
 }
