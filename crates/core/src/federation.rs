@@ -358,7 +358,7 @@ pub fn run_federation_instrumented(input: FederationInput) -> (FederationReport,
     let mut site_states = Vec::with_capacity(sites.len());
     for (i, mut si) in sites.into_iter().enumerate() {
         si.workload = workload.clone();
-        let (s, _) = SiteState::new(si, i as u32, false);
+        let (s, _) = SiteState::new(si, i as u32, false, None);
         site_states.push(s);
     }
     let total_jobs = workload.jobs().len();

@@ -39,6 +39,7 @@ pub mod federation;
 pub mod report;
 pub mod simulation;
 mod site;
+pub mod snapshot;
 pub mod telemetry;
 
 pub use config::{GreenDatacenterSim, SimRun};
@@ -49,9 +50,10 @@ pub use federation::{
 pub use report::{AuditReport, FaultStats, FederationReport, ProfilingStats, RunReport};
 pub use simulation::{
     run_simulation, run_simulation_instrumented, AuditConfig, DeferralConfig, DvfsMode,
-    FaultInjectionConfig, InSituConfig, PhaseTimers, ReprofileConfig, RunStats, SimInput,
-    SurplusSignal,
+    FaultInjectionConfig, InSituConfig, PhaseTimers, ReprofileConfig, RunStats, SimDriver,
+    SimInput, StreamDriver, StreamStats, SurplusSignal,
 };
+pub use snapshot::SnapshotError;
 pub use telemetry::{TelemetryConfig, TelemetryRecord};
 
 /// One-stop imports for examples and downstream users.

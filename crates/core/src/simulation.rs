@@ -20,13 +20,14 @@
 
 use crate::report::RunReport;
 use crate::site::{SiteEv, SiteState};
+use crate::snapshot::SnapshotError;
 use crate::telemetry::TelemetryConfig;
-use iscope_dcsim::{Ctx, Engine, Model, SimDuration, StopReason};
+use iscope_dcsim::{Ctx, Engine, Model, SimDuration, SimTime, StopReason};
 use iscope_energy::Supply;
 use iscope_pvmodel::{CoolingModel, FailureModel, Fleet, OperatingPlan};
 use iscope_scanner::{ReprofilePolicy, ScannerConfig};
 use iscope_sched::{Placement, RetryPolicy};
-use iscope_workload::Workload;
+use iscope_workload::{Job, JobSource, SourceError, Workload};
 
 /// Inputs of one simulation run.
 pub struct SimInput {
@@ -326,7 +327,7 @@ pub fn run_simulation(input: SimInput) -> RunReport {
 /// [`run_simulation`] plus runtime counters for the performance harness.
 pub fn run_simulation_instrumented(input: SimInput) -> (RunReport, RunStats) {
     let start = std::time::Instant::now();
-    let (site, workload) = SiteState::new(input, 0, true);
+    let (site, workload) = SiteState::new(input, 0, true, None);
     let mut sim = SingleSite { site };
     let mut engine = Engine::new().with_step_budget(200_000_000);
     for (i, j) in workload.jobs().iter().enumerate() {
@@ -355,6 +356,354 @@ pub fn run_simulation_instrumented(input: SimInput) -> (RunReport, RunStats) {
         phases: outcome.phases,
     };
     (outcome.report, stats)
+}
+
+/// Interactive single-site driver: the same run [`run_simulation`]
+/// performs, but steppable, checkpointable, and resumable. Stepping,
+/// snapshotting, and resuming never perturb event order, RNG streams, or
+/// the ledger, so `new(input) → run_until(t) → snapshot → resume →
+/// finish` produces bit-identical reports and telemetry to
+/// `new(input) → finish`.
+pub struct SimDriver {
+    sim: SingleSite,
+    engine: Engine<SiteEv>,
+    seed: u64,
+    admitted: usize,
+    start: std::time::Instant,
+}
+
+impl SimDriver {
+    /// Builds the driver with the whole workload pre-admitted (exactly
+    /// the [`run_simulation`] setup).
+    pub fn new(input: SimInput) -> SimDriver {
+        let seed = input.seed;
+        let start = std::time::Instant::now();
+        let (site, workload) = SiteState::new(input, 0, true, None);
+        let sim = SingleSite { site };
+        let mut engine = Engine::new().with_step_budget(200_000_000);
+        for (i, j) in workload.jobs().iter().enumerate() {
+            engine.prime(j.submit, SiteEv::Arrival(i));
+        }
+        for (at, ev) in sim.site.initial_events() {
+            engine.prime(at, ev);
+        }
+        let admitted = sim.site.jobs.len();
+        SimDriver {
+            sim,
+            engine,
+            seed,
+            admitted,
+            start,
+        }
+    }
+
+    /// Processes every event scheduled at or before `t`, then stops.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(te) = self.engine.peek_time() {
+            if te > t {
+                break;
+            }
+            self.engine.step(&mut self.sim);
+        }
+    }
+
+    /// Current simulation clock (the time of the last processed event).
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Serializes the paused run as a snapshot document (see
+    /// [`crate::snapshot`] for the format and v1 restrictions).
+    pub fn snapshot(&self) -> Result<String, SnapshotError> {
+        self.sim.site.capture(
+            self.seed,
+            self.engine.now(),
+            self.engine.steps(),
+            self.admitted,
+            &self.engine.pending_events(),
+        )
+    }
+
+    /// Rebuilds a paused run from a snapshot. `input` must describe the
+    /// same run the snapshot was taken from (same scheme, seed, fleet,
+    /// and instrument set — mismatches are [`SnapshotError::Mismatch`]);
+    /// the continued run is bit-identical to never having stopped.
+    pub fn resume(input: SimInput, snapshot: &str) -> Result<SimDriver, SnapshotError> {
+        Self::from_snapshot(input, snapshot, false)
+    }
+
+    /// What-if branching: rebuilds the snapshotted mid-run state under a
+    /// *different* input — scheme, placement, supply, and knobs come from
+    /// `input`, while jobs, ledgers, wear, RNG streams, and pending
+    /// events continue from the snapshot. Structural facts (fleet shape,
+    /// instrument set) must still match.
+    pub fn fork(input: SimInput, snapshot: &str) -> Result<SimDriver, SnapshotError> {
+        Self::from_snapshot(input, snapshot, true)
+    }
+
+    fn from_snapshot(
+        input: SimInput,
+        snapshot: &str,
+        fork: bool,
+    ) -> Result<SimDriver, SnapshotError> {
+        let seed = input.seed;
+        let start = std::time::Instant::now();
+        let (site, rp) = SiteState::restore_from(input, 0, snapshot, fork)?;
+        let sim = SingleSite { site };
+        let mut engine = Engine::new().with_step_budget(200_000_000);
+        // Re-priming the live events in their serialized (time, seq)
+        // order hands them consecutive fresh sequence numbers, so
+        // equal-time ties replay exactly; events scheduled after the
+        // resume point draw higher numbers, as they would have in the
+        // uninterrupted run.
+        for (at, ev) in &rp.pending {
+            engine.prime(*at, *ev);
+        }
+        engine.advance_to(rp.now);
+        engine.set_steps(rp.steps);
+        Ok(SimDriver {
+            sim,
+            engine,
+            seed,
+            admitted: rp.admitted,
+            start,
+        })
+    }
+
+    /// Runs the remaining events to completion and returns the report
+    /// plus runtime counters. Counters span this driver's lifetime only
+    /// (a resumed run reports post-resume wall time but cumulative event
+    /// counts).
+    pub fn finish(mut self) -> (RunReport, RunStats) {
+        let stop = self.engine.run(&mut self.sim);
+        assert_eq!(
+            stop,
+            StopReason::Quiescent,
+            "simulation exhausted its step budget"
+        );
+        assert_eq!(
+            self.sim.site.done_count,
+            self.sim.site.jobs.len(),
+            "simulation ended with unfinished jobs"
+        );
+        let events = self.engine.steps();
+        let outcome = self.sim.site.finalize();
+        let stats = RunStats {
+            events,
+            placements: outcome.placements,
+            wall: self.start.elapsed(),
+            phases: outcome.phases,
+        };
+        (outcome.report, stats)
+    }
+}
+
+/// Streaming counters of one [`StreamDriver`] run, for `BENCH_sim.json`.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamStats {
+    /// Jobs the source emitted (== jobs simulated).
+    pub emitted: u64,
+    /// The source's memory high-water mark: peak number of
+    /// parsed-but-not-yet-emitted jobs ever buffered, bounded by the
+    /// reorder horizon. The simulation itself holds only admitted jobs.
+    pub peak_buffered: usize,
+}
+
+/// The widest gang the builder would allow on this input's fleet — the
+/// same clamp [`crate::config::GreenDatacenterSim`] applies to
+/// materialized workloads, mirrored here for jobs admitted one by one
+/// from a stream.
+fn gang_clamp(input: &SimInput) -> u32 {
+    let mut in_service_fraction: f64 = 1.0;
+    if let Some(cfg) = &input.in_situ {
+        in_service_fraction = in_service_fraction.min(cfg.min_available_fraction);
+    }
+    if let Some(cfg) = &input.fault_injection {
+        in_service_fraction = in_service_fraction.min(1.0 - cfg.max_suspect_fraction);
+        if let Some(r) = &cfg.reprofile {
+            in_service_fraction = in_service_fraction.min(r.min_available_fraction);
+        }
+    }
+    (if in_service_fraction < 1.0 {
+        ((input.fleet.len() as f64) * in_service_fraction).floor() as u32
+    } else {
+        input.fleet.len() as u32
+    })
+    .max(1)
+}
+
+/// Single-site driver pulling jobs from a [`JobSource`] instead of a
+/// materialized workload: memory holds the admitted-jobs table plus the
+/// source's bounded reorder buffer, never the full trace.
+///
+/// The merge loop admits the source's next job whenever its submit
+/// instant is not later than the next queued event and dispatches the
+/// arrival directly — arrivals win equal-time ties exactly as
+/// pre-admitted (lowest-sequence) arrivals do, so a streaming run of a
+/// given job sequence processes events in the same order a pre-admitted
+/// run of those jobs does.
+///
+/// `input.workload` should be empty; jobs come from the source, each
+/// clamped to the same maximum gang width the builder applies, and the
+/// fault machinery's availability floor is sized to that clamp (a
+/// pre-admitted run sizes it to the workload's actual widest job, so
+/// under fault injection the two modes only match when the stream
+/// reaches the clamp).
+pub struct StreamDriver<S: JobSource> {
+    sim: SingleSite,
+    engine: Engine<SiteEv>,
+    source: S,
+    seed: u64,
+    max_gang: u32,
+    start: std::time::Instant,
+}
+
+impl<S: JobSource> StreamDriver<S> {
+    /// Builds the driver; no jobs are pulled yet.
+    pub fn new(input: SimInput, source: S) -> StreamDriver<S> {
+        let seed = input.seed;
+        let max_gang = gang_clamp(&input);
+        let (site, _workload) = SiteState::new(input, 0, false, Some(max_gang));
+        let sim = SingleSite { site };
+        let mut engine = Engine::new().with_step_budget(200_000_000);
+        for (at, ev) in sim.site.initial_events() {
+            engine.prime(at, ev);
+        }
+        StreamDriver {
+            sim,
+            engine,
+            source,
+            seed,
+            max_gang,
+            start: std::time::Instant::now(),
+        }
+    }
+
+    fn admit(&mut self, at: SimTime, mut job: Job) {
+        job.cpus = job.cpus.min(self.max_gang);
+        let idx = self.sim.site.admit(job);
+        self.engine
+            .dispatch(&mut self.sim, at, SiteEv::Arrival(idx));
+    }
+
+    /// Runs the merged stream until every event at or before `t` is
+    /// processed and every job submitting at or before `t` is admitted.
+    pub fn run_until(&mut self, t: SimTime) -> Result<(), SourceError> {
+        loop {
+            match self.source.peek_submit()? {
+                Some(ts) => {
+                    self.sim.site.expect_more = true;
+                    let te = self.engine.peek_time();
+                    if ts <= t && te.is_none_or(|te| ts <= te) {
+                        let job = self.source.next_job()?.expect("peeked a submit instant");
+                        self.admit(ts, job);
+                    } else if te.is_some_and(|te| te <= t && te < ts) {
+                        self.engine.step(&mut self.sim);
+                    } else {
+                        return Ok(());
+                    }
+                }
+                None => {
+                    self.sim.site.expect_more = false;
+                    match self.engine.peek_time() {
+                        Some(te) if te <= t => {
+                            self.engine.step(&mut self.sim);
+                        }
+                        _ => return Ok(()),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Current simulation clock (the time of the last processed event).
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Serializes the paused run. Jobs not yet admitted are *not* in the
+    /// snapshot — resuming re-creates the (deterministic) source and
+    /// skips the `admitted` already-simulated jobs.
+    pub fn snapshot(&self) -> Result<String, SnapshotError> {
+        self.sim.site.capture(
+            self.seed,
+            self.engine.now(),
+            self.engine.steps(),
+            self.sim.site.jobs.len(),
+            &self.engine.pending_events(),
+        )
+    }
+
+    /// Rebuilds a paused streaming run: `source` must be a fresh source
+    /// constructed with the original parameters; its first `admitted`
+    /// jobs are discarded to land exactly where the snapshot left off.
+    pub fn resume(
+        input: SimInput,
+        mut source: S,
+        snapshot: &str,
+    ) -> Result<StreamDriver<S>, SnapshotError> {
+        let seed = input.seed;
+        let max_gang = gang_clamp(&input);
+        let (site, rp) = SiteState::restore_from(input, 0, snapshot, false)?;
+        for k in 0..rp.admitted {
+            source
+                .next_job()
+                .map_err(|e| {
+                    SnapshotError::Mismatch(format!("source failed replaying job {k}: {e}"))
+                })?
+                .ok_or_else(|| {
+                    SnapshotError::Mismatch(format!(
+                        "source ended after {k} jobs, snapshot admitted {}",
+                        rp.admitted
+                    ))
+                })?;
+        }
+        let sim = SingleSite { site };
+        let mut engine = Engine::new().with_step_budget(200_000_000);
+        for (at, ev) in &rp.pending {
+            engine.prime(*at, *ev);
+        }
+        engine.advance_to(rp.now);
+        engine.set_steps(rp.steps);
+        Ok(StreamDriver {
+            sim,
+            engine,
+            source,
+            seed,
+            max_gang,
+            start: std::time::Instant::now(),
+        })
+    }
+
+    /// Drains the source and the event queue to completion.
+    pub fn run(mut self) -> Result<(RunReport, RunStats, StreamStats), SourceError> {
+        self.run_until(SimTime::MAX)?;
+        self.sim.site.expect_more = false;
+        let stop = self.engine.run(&mut self.sim);
+        assert_eq!(
+            stop,
+            StopReason::Quiescent,
+            "simulation exhausted its step budget"
+        );
+        assert_eq!(
+            self.sim.site.done_count,
+            self.sim.site.jobs.len(),
+            "simulation ended with unfinished jobs"
+        );
+        let events = self.engine.steps();
+        let stream = StreamStats {
+            emitted: self.source.emitted(),
+            peak_buffered: self.source.peak_buffered(),
+        };
+        let outcome = self.sim.site.finalize();
+        let stats = RunStats {
+            events,
+            placements: outcome.placements,
+            wall: self.start.elapsed(),
+            phases: outcome.phases,
+        };
+        Ok((outcome.report, stats, stream))
+    }
 }
 
 #[cfg(test)]

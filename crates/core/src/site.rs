@@ -27,16 +27,19 @@ use crate::simulation::{
     AuditConfig, DeferralConfig, DvfsMode, FaultInjectionConfig, InSituConfig, PhaseTimers,
     SimInput, SurplusSignal,
 };
+use crate::snapshot::{self, SnapshotError, Val, SNAPSHOT_VERSION};
 use crate::telemetry::{self};
-use iscope_dcsim::{Ctx, RowSampler, Sampler, SimDuration, SimRng, SimTime};
+use iscope_dcsim::{Ctx, RngSnapshot, RowSampler, Sampler, SimDuration, SimRng, SimTime};
 use iscope_energy::{EnergyLedger, Supply};
 use iscope_pvmodel::{
     microwatts_to_watts, speed_factor, watts_to_microwatts, ChipId, CoolingModel, Fleet, FreqLevel,
     OperatingPlan,
 };
 use iscope_scanner::{ProfilingRecords, Scanner, VoltageGrid};
-use iscope_sched::{match_budget, ChipIndexes, DvfsCandidate, Placement, ProcView};
-use iscope_workload::{Job, Workload};
+use iscope_sched::{
+    match_budget, validate_key_range, ChipIndexes, DvfsCandidate, Placement, ProcView,
+};
+use iscope_workload::{Job, JobId, Urgency, Workload};
 use std::collections::{BTreeSet, VecDeque};
 use std::time::Instant;
 
@@ -410,7 +413,17 @@ impl SiteState {
     /// admitted one by one as a federation routes them here. Either way
     /// the input workload still sizes the fault machinery's availability
     /// floor, and is handed back for the caller to prime arrivals from.
-    pub(crate) fn new(input: SimInput, site_id: u32, preadmit: bool) -> (SiteState, Workload) {
+    ///
+    /// `max_cpus_hint` widens that floor for callers whose jobs are not in
+    /// the input workload at construction time (streaming ingestion admits
+    /// jobs one by one against an empty workload): the fault machinery
+    /// must still guarantee room for the widest gang the source can emit.
+    pub(crate) fn new(
+        input: SimInput,
+        site_id: u32,
+        preadmit: bool,
+        max_cpus_hint: Option<u32>,
+    ) -> (SiteState, Workload) {
         let n = input.fleet.len();
         let samplers = input.trace_interval.map(|iv| {
             [
@@ -479,7 +492,8 @@ impl SiteState {
                 ),
                 None => (None, None),
             };
-            let min_in_service = (input.workload.max_cpus() as usize).max(
+            let widest_gang = input.workload.max_cpus().max(max_cpus_hint.unwrap_or(0));
+            let min_in_service = (widest_gang as usize).max(
                 reprofile.map_or(0, |r| (n as f64 * r.min_available_fraction).ceil() as usize),
             );
             FaultState {
@@ -2250,5 +2264,1303 @@ impl SiteState {
             placements: self.placements,
             phases: self.phase_ns,
         }
+    }
+}
+
+// ===========================================================================
+// Checkpoint / restore (DESIGN.md §3g)
+//
+// A snapshot serializes the *mutable* simulation state; everything that is
+// a pure function of the run inputs (configs, supply traces, placement
+// policies, scanner machinery) is rebuilt by `SiteState::new` on restore
+// and cross-checked against the snapshot header. Derived caches
+// (chain lengths, demand aggregates, chip indexes) are rebuilt from the
+// restored ground truth — all integer arithmetic, so the rebuild is
+// indistinguishable from having maintained them incrementally.
+// ===========================================================================
+
+fn v_u(n: u64) -> Val {
+    Val::Int(n as i128)
+}
+
+fn v_us(n: usize) -> Val {
+    Val::Int(n as i128)
+}
+
+fn v_time(t: SimTime) -> Val {
+    Val::Int(t.as_millis() as i128)
+}
+
+fn time_of(v: &Val, what: &str) -> Result<SimTime, SnapshotError> {
+    Ok(SimTime::from_millis(v.as_u64(what)?))
+}
+
+fn f64s_val(xs: &[f64], what: &str) -> Result<Val, SnapshotError> {
+    Ok(Val::Arr(
+        xs.iter()
+            .map(|&x| Val::float(x, what))
+            .collect::<Result<_, _>>()?,
+    ))
+}
+
+fn f64s_of(v: &Val, what: &str) -> Result<Vec<f64>, SnapshotError> {
+    v.as_arr(what)?.iter().map(|x| x.as_f64(what)).collect()
+}
+
+fn bools_val(xs: &[bool]) -> Val {
+    Val::Arr(xs.iter().map(|&b| Val::Bool(b)).collect())
+}
+
+fn bools_of(v: &Val, what: &str) -> Result<Vec<bool>, SnapshotError> {
+    v.as_arr(what)?.iter().map(|x| x.as_bool(what)).collect()
+}
+
+fn usizes_val(xs: &[usize]) -> Val {
+    Val::Arr(xs.iter().map(|&n| v_us(n)).collect())
+}
+
+/// Decodes an index list, rejecting entries at or past `bound`.
+fn indexes_of(v: &Val, what: &str, bound: usize) -> Result<Vec<usize>, SnapshotError> {
+    let out: Vec<usize> = v
+        .as_arr(what)?
+        .iter()
+        .map(|x| x.as_usize(what))
+        .collect::<Result<_, _>>()?;
+    if let Some(&bad) = out.iter().find(|&&i| i >= bound) {
+        return Err(SnapshotError::Mismatch(format!(
+            "{what}: index {bad} out of range (bound {bound})"
+        )));
+    }
+    Ok(out)
+}
+
+fn u64s_of(v: &Val, what: &str) -> Result<Vec<u64>, SnapshotError> {
+    v.as_arr(what)?.iter().map(|x| x.as_u64(what)).collect()
+}
+
+fn rng_val(rng: &SimRng, what: &str) -> Result<Val, SnapshotError> {
+    let s = rng.snapshot();
+    Ok(Val::Obj(vec![
+        (
+            "words".to_string(),
+            Val::Arr(s.words.iter().map(|&w| v_u(w)).collect()),
+        ),
+        (
+            "spare".to_string(),
+            match s.spare_normal {
+                Some(z) => Val::float(z, what)?,
+                None => Val::Null,
+            },
+        ),
+    ]))
+}
+
+fn rng_of(v: &Val, what: &str) -> Result<SimRng, SnapshotError> {
+    let word_vals = v.get("words")?.as_arr(what)?;
+    if word_vals.len() != 4 {
+        return Err(SnapshotError::Parse(format!(
+            "{what}: expected 4 state words, found {}",
+            word_vals.len()
+        )));
+    }
+    let mut words = [0u64; 4];
+    for (slot, wv) in words.iter_mut().zip(word_vals) {
+        *slot = wv.as_u64(what)?;
+    }
+    if words == [0; 4] {
+        return Err(SnapshotError::Mismatch(format!(
+            "{what}: all-zero xoshiro state is invalid"
+        )));
+    }
+    let spare_v = v.get("spare")?;
+    let spare_normal = if spare_v.is_null() {
+        None
+    } else {
+        Some(spare_v.as_f64(what)?)
+    };
+    Ok(SimRng::restore(&RngSnapshot {
+        words,
+        spare_normal,
+    }))
+}
+
+fn sampler_val(s: &Sampler) -> Result<Val, SnapshotError> {
+    let (name, interval, next_tick, current, values) = s.parts();
+    Ok(Val::Obj(vec![
+        ("name".to_string(), Val::Str(name.to_string())),
+        ("interval_ms".to_string(), v_u(interval.as_millis())),
+        ("next_tick_ms".to_string(), v_time(next_tick)),
+        (
+            "current".to_string(),
+            Val::float(current, "sampler current")?,
+        ),
+        ("values".to_string(), f64s_val(values, "sampler values")?),
+    ]))
+}
+
+fn sampler_of(v: &Val) -> Result<Sampler, SnapshotError> {
+    let interval = SimDuration::from_millis(v.get("interval_ms")?.as_u64("sampler interval")?);
+    if interval.is_zero() {
+        return Err(SnapshotError::Mismatch(
+            "sampler interval must be positive".to_string(),
+        ));
+    }
+    Ok(Sampler::from_parts(
+        v.get("name")?.as_str("sampler name")?,
+        interval,
+        time_of(v.get("next_tick_ms")?, "sampler next tick")?,
+        v.get("current")?.as_f64("sampler current")?,
+        f64s_of(v.get("values")?, "sampler values")?,
+    ))
+}
+
+fn event_val(t: SimTime, ev: &SiteEv) -> Val {
+    let body = match ev {
+        SiteEv::Arrival(i) => vec![Val::Str("arrival".into()), v_us(*i)],
+        SiteEv::Completion { job, gen } => {
+            vec![Val::Str("completion".into()), v_us(*job), v_u(*gen)]
+        }
+        SiteEv::WindSample => vec![Val::Str("wind".into())],
+        SiteEv::ProfilingCheck => vec![Val::Str("profiling_check".into())],
+        SiteEv::ProfilingDone { chip } => {
+            vec![Val::Str("profiling_done".into()), v_u(*chip as u64)]
+        }
+        SiteEv::TimingFailure { job, attempt, chip } => vec![
+            Val::Str("timing_failure".into()),
+            v_us(*job),
+            v_u(*attempt as u64),
+            v_u(*chip as u64),
+        ],
+        SiteEv::Retry { job } => vec![Val::Str("retry".into()), v_us(*job)],
+        SiteEv::ReprofileCheck => vec![Val::Str("reprofile_check".into())],
+        SiteEv::ReprofileDone { chip } => {
+            vec![Val::Str("reprofile_done".into()), v_u(*chip as u64)]
+        }
+    };
+    Val::Arr(vec![v_time(t), Val::Arr(body)])
+}
+
+fn event_of(v: &Val) -> Result<(SimTime, SiteEv), SnapshotError> {
+    let pair = v.as_arr("event")?;
+    if pair.len() != 2 {
+        return Err(SnapshotError::Parse("event must be [time, body]".into()));
+    }
+    let t = time_of(&pair[0], "event time")?;
+    let body = pair[1].as_arr("event body")?;
+    let tag = body
+        .first()
+        .ok_or_else(|| SnapshotError::Parse("empty event body".into()))?
+        .as_str("event tag")?;
+    let want_args = |n: usize| -> Result<(), SnapshotError> {
+        if body.len() != n + 1 {
+            return Err(SnapshotError::Parse(format!(
+                "event {tag:?}: expected {n} argument(s), found {}",
+                body.len() - 1
+            )));
+        }
+        Ok(())
+    };
+    let ev = match tag {
+        "arrival" => {
+            want_args(1)?;
+            SiteEv::Arrival(body[1].as_usize("arrival index")?)
+        }
+        "completion" => {
+            want_args(2)?;
+            SiteEv::Completion {
+                job: body[1].as_usize("completion job")?,
+                gen: body[2].as_u64("completion gen")?,
+            }
+        }
+        "wind" => {
+            want_args(0)?;
+            SiteEv::WindSample
+        }
+        "profiling_check" => {
+            want_args(0)?;
+            SiteEv::ProfilingCheck
+        }
+        "profiling_done" => {
+            want_args(1)?;
+            SiteEv::ProfilingDone {
+                chip: body[1].as_u32("profiling_done chip")?,
+            }
+        }
+        "timing_failure" => {
+            want_args(3)?;
+            SiteEv::TimingFailure {
+                job: body[1].as_usize("timing_failure job")?,
+                attempt: body[2].as_u32("timing_failure attempt")?,
+                chip: body[3].as_u32("timing_failure chip")?,
+            }
+        }
+        "retry" => {
+            want_args(1)?;
+            SiteEv::Retry {
+                job: body[1].as_usize("retry job")?,
+            }
+        }
+        "reprofile_check" => {
+            want_args(0)?;
+            SiteEv::ReprofileCheck
+        }
+        "reprofile_done" => {
+            want_args(1)?;
+            SiteEv::ReprofileDone {
+                chip: body[1].as_u32("reprofile_done chip")?,
+            }
+        }
+        other => return Err(SnapshotError::Parse(format!("unknown event tag {other:?}"))),
+    };
+    Ok((t, ev))
+}
+
+/// Serializes one [`JobState`] as a positional array (see `job_of` for the
+/// field order). Positional keeps the document compact — the jobs section
+/// dominates snapshot size.
+fn job_val(js: &JobState) -> Result<Val, SnapshotError> {
+    let j = &js.job;
+    Ok(Val::Arr(vec![
+        v_u(j.id.0 as u64),
+        v_time(j.submit),
+        v_u(j.cpus as u64),
+        v_u(j.runtime_at_fmax.as_millis()),
+        Val::float(j.gamma.value(), "job gamma")?,
+        v_time(j.deadline),
+        Val::Str(
+            match j.urgency {
+                Urgency::High => "high",
+                Urgency::Low => "low",
+            }
+            .to_string(),
+        ),
+        Val::Arr(js.chips.iter().map(|c| v_u(c.0 as u64)).collect()),
+        Val::Str(
+            match js.phase {
+                Phase::Waiting => "waiting",
+                Phase::Running => "running",
+                Phase::Done => "done",
+            }
+            .to_string(),
+        ),
+        v_u(js.level.0 as u64),
+        Val::float(js.remaining_nominal_s, "job remaining work")?,
+        v_time(js.last_progress),
+        v_time(js.started_at),
+        v_u(js.gen),
+        v_time(js.sched_end),
+        Val::Arr(
+            js.power_uw_at
+                .iter()
+                .map(|&p| Val::Int(p as i128))
+                .collect(),
+        ),
+        v_time(js.chain_limit),
+        v_u(js.starts as u64),
+        Val::float(js.attempt_energy_j, "job attempt energy")?,
+    ]))
+}
+
+fn job_of(v: &Val, fleet_len: usize, num_levels: usize) -> Result<JobState, SnapshotError> {
+    let a = v.as_arr("job")?;
+    if a.len() != 19 {
+        return Err(SnapshotError::Parse(format!(
+            "job record must have 19 fields, found {}",
+            a.len()
+        )));
+    }
+    let chips: Vec<ChipId> = a[7]
+        .as_arr("job chips")?
+        .iter()
+        .map(|c| c.as_u32("job chip id").map(ChipId))
+        .collect::<Result<_, _>>()?;
+    if let Some(bad) = chips.iter().find(|c| c.0 as usize >= fleet_len) {
+        return Err(SnapshotError::Mismatch(format!(
+            "job chip {} out of range (fleet {fleet_len})",
+            bad.0
+        )));
+    }
+    let level = a[9].as_u64("job level")?;
+    if level as usize >= num_levels {
+        return Err(SnapshotError::Mismatch(format!(
+            "job level {level} out of range ({num_levels} levels)"
+        )));
+    }
+    let power_uw_at: Vec<i64> = a[15]
+        .as_arr("job power row")?
+        .iter()
+        .map(|p| p.as_i64("job power row"))
+        .collect::<Result<_, _>>()?;
+    Ok(JobState {
+        job: Job {
+            id: JobId(a[0].as_u32("job id")?),
+            submit: time_of(&a[1], "job submit")?,
+            cpus: a[2].as_u32("job cpus")?,
+            runtime_at_fmax: SimDuration::from_millis(a[3].as_u64("job runtime")?),
+            gamma: iscope_pvmodel::CpuBoundness::new(a[4].as_f64("job gamma")?),
+            deadline: time_of(&a[5], "job deadline")?,
+            urgency: match a[6].as_str("job urgency")? {
+                "high" => Urgency::High,
+                "low" => Urgency::Low,
+                other => return Err(SnapshotError::Parse(format!("unknown urgency {other:?}"))),
+            },
+        },
+        chips,
+        phase: match a[8].as_str("job phase")? {
+            "waiting" => Phase::Waiting,
+            "running" => Phase::Running,
+            "done" => Phase::Done,
+            other => return Err(SnapshotError::Parse(format!("unknown phase {other:?}"))),
+        },
+        level: FreqLevel(level as u8),
+        remaining_nominal_s: a[10].as_f64("job remaining work")?,
+        last_progress: time_of(&a[11], "job last progress")?,
+        started_at: time_of(&a[12], "job started at")?,
+        gen: a[13].as_u64("job gen")?,
+        sched_end: time_of(&a[14], "job sched end")?,
+        power_uw_at,
+        chain_limit: time_of(&a[16], "job chain limit")?,
+        starts: a[17].as_u32("job starts")?,
+        attempt_energy_j: a[18].as_f64("job attempt energy")?,
+    })
+}
+
+/// Where a restored run resumes: the engine state that lives outside the
+/// [`SiteState`] (clock, step counter, admission cursor, pending events).
+pub(crate) struct ResumePoint {
+    pub(crate) now: SimTime,
+    pub(crate) steps: u64,
+    pub(crate) admitted: usize,
+    pub(crate) pending: Vec<(SimTime, SiteEv)>,
+}
+
+impl SiteState {
+    /// Serializes this site's complete mutable state as a snapshot
+    /// document (JSONL; see [`crate::snapshot`]). `seed` and `admitted`
+    /// come from the driver (the site does not know them), `now`/`steps`/
+    /// `pending` from the engine.
+    ///
+    /// v1 restrictions: in-situ profiling state (the per-core
+    /// `ProfilingRecords` grid) and per-core operating plans are not
+    /// serialized — capturing either returns
+    /// [`SnapshotError::Unsupported`].
+    pub(crate) fn capture(
+        &self,
+        seed: u64,
+        now: SimTime,
+        steps: u64,
+        admitted: usize,
+        pending: &[(SimTime, SiteEv)],
+    ) -> Result<String, SnapshotError> {
+        if self.in_situ.is_some() {
+            return Err(SnapshotError::Unsupported(
+                "in-situ profiling state is not serialized in snapshot v1".to_string(),
+            ));
+        }
+        if self.plan.is_per_core() {
+            return Err(SnapshotError::Unsupported(
+                "per-core operating plans are not serialized in snapshot v1".to_string(),
+            ));
+        }
+        let header = Val::Obj(vec![
+            ("version".to_string(), Val::Int(SNAPSHOT_VERSION as i128)),
+            ("scheme".to_string(), Val::Str(self.scheme_name.clone())),
+            ("seed".to_string(), v_u(seed)),
+            ("site_id".to_string(), v_u(self.site_id as u64)),
+            ("now_ms".to_string(), v_time(now)),
+            ("steps".to_string(), v_u(steps)),
+            ("admitted".to_string(), v_us(admitted)),
+            ("fleet_len".to_string(), v_us(self.fleet.len())),
+            ("num_levels".to_string(), v_us(self.fleet.dvfs.num_levels())),
+            ("has_faults".to_string(), Val::Bool(self.faults.is_some())),
+            ("has_audit".to_string(), Val::Bool(self.audit.is_some())),
+            (
+                "has_telemetry".to_string(),
+                Val::Bool(self.telemetry.is_some()),
+            ),
+            (
+                "has_samplers".to_string(),
+                Val::Bool(self.samplers.is_some()),
+            ),
+        ]);
+        let events = Val::Arr(pending.iter().map(|(t, ev)| event_val(*t, ev)).collect());
+        let site = Val::Obj(vec![
+            ("expect_more".to_string(), Val::Bool(self.expect_more)),
+            ("migrated_out".to_string(), v_u(self.migrated_out)),
+            ("done_count".to_string(), v_us(self.done_count)),
+            ("deadline_misses".to_string(), v_us(self.deadline_misses)),
+            ("last_account_ms".to_string(), v_time(self.last_account)),
+            (
+                "current_demand_w".to_string(),
+                Val::float(self.current_demand_w, "current demand")?,
+            ),
+            ("makespan_ms".to_string(), v_time(self.makespan)),
+            ("placements".to_string(), v_u(self.placements)),
+            ("queued_jobs".to_string(), v_u(self.queued_jobs)),
+            ("busy_queues".to_string(), v_us(self.busy_queues)),
+            ("avail_dirty".to_string(), Val::Bool(self.avail_dirty)),
+            ("rng".to_string(), rng_val(&self.rng, "simulation rng")?),
+        ]);
+        let jobs = Val::Arr(self.jobs.iter().map(job_val).collect::<Result<_, _>>()?);
+        let queues = Val::Arr(
+            self.queues
+                .iter()
+                .map(|q| Val::Arr(q.iter().map(|&i| v_us(i)).collect()))
+                .collect(),
+        );
+        let usage = Val::Arr(self.usage.iter().map(|u| v_u(u.as_millis())).collect());
+        let avail = Val::Arr(self.avail.iter().map(|&t| v_time(t)).collect());
+        let ledger = Val::Obj(vec![
+            (
+                "wind_j".to_string(),
+                Val::float(self.ledger.wind_j, "ledger wind")?,
+            ),
+            (
+                "utility_j".to_string(),
+                Val::float(self.ledger.utility_j, "ledger utility")?,
+            ),
+        ]);
+        let samplers = match &self.samplers {
+            None => Val::Null,
+            Some(ss) => Val::Arr(ss.iter().map(sampler_val).collect::<Result<_, _>>()?),
+        };
+        let (voltages, est_power) = self.plan.rows();
+        let plan = Val::Obj(vec![
+            (
+                "voltages".to_string(),
+                Val::Arr(
+                    voltages
+                        .iter()
+                        .map(|row| f64s_val(row, "plan voltages"))
+                        .collect::<Result<_, _>>()?,
+                ),
+            ),
+            (
+                "est_power".to_string(),
+                Val::Arr(
+                    est_power
+                        .iter()
+                        .map(|row| f64s_val(row, "plan est power"))
+                        .collect::<Result<_, _>>()?,
+                ),
+            ),
+        ]);
+        // Per-core Min Vdd drift only happens under fault injection (the
+        // aging model); fault-free fleets are exactly their input fleet.
+        let wear = if self.faults.is_some() {
+            Val::Arr(
+                self.fleet
+                    .chips
+                    .iter()
+                    .map(|chip| -> Result<Val, SnapshotError> {
+                        Ok(Val::Arr(
+                            chip.cores
+                                .iter()
+                                .map(|core| f64s_val(&core.vmin, "core vmin"))
+                                .collect::<Result<_, _>>()?,
+                        ))
+                    })
+                    .collect::<Result<_, _>>()?,
+            )
+        } else {
+            Val::Null
+        };
+        let faults = match &self.faults {
+            None => Val::Null,
+            Some(f) => Val::Obj(vec![
+                ("rng".to_string(), rng_val(&f.rng, "fault rng")?),
+                (
+                    "scan_rng".to_string(),
+                    rng_val(&f.scan_rng, "re-profiling rng")?,
+                ),
+                (
+                    "stress_hours".to_string(),
+                    f64s_val(&f.stress_hours, "stress hours")?,
+                ),
+                ("suspect".to_string(), bools_val(&f.suspect)),
+                ("draining".to_string(), bools_val(&f.draining)),
+                ("scanning".to_string(), bools_val(&f.scanning)),
+                (
+                    "pending_vmin".to_string(),
+                    Val::Arr(
+                        f.pending_vmin
+                            .iter()
+                            .map(|p| match p {
+                                None => Ok(Val::Null),
+                                Some(v) => f64s_val(v, "pending vmin"),
+                            })
+                            .collect::<Result<_, _>>()?,
+                    ),
+                ),
+                ("min_in_service".to_string(), v_us(f.min_in_service)),
+                (
+                    "reprofile_power_w".to_string(),
+                    Val::float(f.reprofile_power_w, "re-profile power")?,
+                ),
+                (
+                    "reprofile_energy_j".to_string(),
+                    Val::float(f.reprofile_energy_j, "re-profile energy")?,
+                ),
+                ("timing_failures".to_string(), v_u(f.timing_failures)),
+                ("retries".to_string(), v_u(f.retries)),
+                ("failed_jobs".to_string(), v_us(f.failed_jobs)),
+                (
+                    "wasted_j".to_string(),
+                    Val::float(f.wasted_j, "wasted energy")?,
+                ),
+                ("chips_rescanned".to_string(), v_u(f.chips_rescanned)),
+                (
+                    "rescan_downtime_ms".to_string(),
+                    v_u(f.rescan_downtime.as_millis()),
+                ),
+            ]),
+        };
+        let audit = match &self.audit {
+            None => Val::Null,
+            Some(a) => Val::Obj(vec![
+                (
+                    "demand_w".to_string(),
+                    Val::float(a.demand_w, "audit demand")?,
+                ),
+                ("wind_j".to_string(), Val::float(a.wind_j, "audit wind")?),
+                (
+                    "utility_j".to_string(),
+                    Val::float(a.utility_j, "audit utility")?,
+                ),
+                (
+                    "busy_ms".to_string(),
+                    Val::Arr(a.busy_ms.iter().map(|&ms| v_u(ms)).collect()),
+                ),
+                ("deadline_misses".to_string(), v_us(a.deadline_misses)),
+                ("intervals".to_string(), v_u(a.intervals)),
+                ("demand_checks".to_string(), v_u(a.demand_checks)),
+                (
+                    "violations".to_string(),
+                    Val::Arr(a.violations.iter().map(|s| Val::Str(s.clone())).collect()),
+                ),
+                ("suppressed".to_string(), v_u(a.suppressed)),
+            ]),
+        };
+        let telem = match &self.telemetry {
+            None => Val::Null,
+            Some(t) => {
+                let (interval, next_tick, current, rows) = t.sampler.parts();
+                Val::Obj(vec![
+                    ("interval_ms".to_string(), v_u(interval.as_millis())),
+                    ("next_tick_ms".to_string(), v_time(next_tick)),
+                    (
+                        "current".to_string(),
+                        f64s_val(current, "telemetry current")?,
+                    ),
+                    (
+                        "rows".to_string(),
+                        Val::Arr(
+                            rows.iter()
+                                .map(|(at, row)| -> Result<Val, SnapshotError> {
+                                    Ok(Val::Arr(vec![v_time(*at), f64s_val(row, "telemetry row")?]))
+                                })
+                                .collect::<Result<_, _>>()?,
+                        ),
+                    ),
+                ])
+            }
+        };
+        Ok(snapshot::encode_lines(&[
+            ("header", header),
+            ("events", events),
+            ("site", site),
+            ("jobs", jobs),
+            ("queues", queues),
+            ("usage", usage),
+            ("avail", avail),
+            (
+                "running",
+                Val::Arr(self.running.iter().map(|&i| v_us(i)).collect()),
+            ),
+            ("running_at_level", usizes_val(&self.running_at_level)),
+            ("deferred", usizes_val(&self.deferred)),
+            ("ledger", ledger),
+            ("samplers", samplers),
+            ("plan", plan),
+            ("wear", wear),
+            ("faults", faults),
+            ("audit", audit),
+            ("telemetry", telem),
+        ]))
+    }
+
+    /// Rebuilds a site mid-run from a snapshot document, returning the
+    /// state plus the [`ResumePoint`] the driver must re-prime the engine
+    /// from.
+    ///
+    /// With `fork = false` (resume), the snapshot must match the input
+    /// exactly — same scheme, same seed — and the continued run is
+    /// bit-identical to never having stopped. With `fork = true` (what-if
+    /// branching), scheme, placement, supply, and knobs come from the new
+    /// input while the simulation state (jobs, ledgers, wear, RNG streams,
+    /// pending events) continues from the snapshot. Structural facts
+    /// (fleet shape, which instruments are on) must match in both modes.
+    pub(crate) fn restore_from(
+        input: SimInput,
+        site_id: u32,
+        text: &str,
+        fork: bool,
+    ) -> Result<(SiteState, ResumePoint), SnapshotError> {
+        if input.in_situ.is_some() {
+            return Err(SnapshotError::Unsupported(
+                "cannot restore into a run with in-situ profiling (snapshot v1)".to_string(),
+            ));
+        }
+        if input.plan.is_per_core() {
+            return Err(SnapshotError::Unsupported(
+                "cannot restore into a per-core operating plan (snapshot v1)".to_string(),
+            ));
+        }
+        let sections = snapshot::decode_lines(text)?;
+        let header = snapshot::section(&sections, "header")?;
+        let version = header.get("version")?.as_i64("snapshot version")?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot version {version} (this build reads {SNAPSHOT_VERSION})"
+            )));
+        }
+        let fleet_len = input.fleet.len();
+        let num_levels = input.fleet.dvfs.num_levels();
+        let check = |name: &str, want: bool, got: bool| -> Result<(), SnapshotError> {
+            if want != got {
+                return Err(SnapshotError::Mismatch(format!(
+                    "snapshot {name} = {got}, input has {want}"
+                )));
+            }
+            Ok(())
+        };
+        if !fork {
+            let scheme = header.get("scheme")?.as_str("snapshot scheme")?;
+            if scheme != input.scheme_name {
+                return Err(SnapshotError::Mismatch(format!(
+                    "snapshot was taken under scheme {scheme:?}, input is {:?} \
+                     (use fork to branch)",
+                    input.scheme_name
+                )));
+            }
+            let seed = header.get("seed")?.as_u64("snapshot seed")?;
+            if seed != input.seed {
+                return Err(SnapshotError::Mismatch(format!(
+                    "snapshot was taken with seed {seed}, input has {} (use fork to branch)",
+                    input.seed
+                )));
+            }
+        }
+        let snap_fleet = header.get("fleet_len")?.as_usize("snapshot fleet size")?;
+        if snap_fleet != fleet_len {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot fleet has {snap_fleet} chips, input has {fleet_len}"
+            )));
+        }
+        let snap_levels = header.get("num_levels")?.as_usize("snapshot levels")?;
+        if snap_levels != num_levels {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot has {snap_levels} DVFS levels, input has {num_levels}"
+            )));
+        }
+        check(
+            "has_faults",
+            input.fault_injection.is_some(),
+            header.get("has_faults")?.as_bool("has_faults")?,
+        )?;
+        check(
+            "has_audit",
+            input.audit.is_some(),
+            header.get("has_audit")?.as_bool("has_audit")?,
+        )?;
+        check(
+            "has_telemetry",
+            input.telemetry.is_some(),
+            header.get("has_telemetry")?.as_bool("has_telemetry")?,
+        )?;
+        check(
+            "has_samplers",
+            input.trace_interval.is_some(),
+            header.get("has_samplers")?.as_bool("has_samplers")?,
+        )?;
+        let now = time_of(header.get("now_ms")?, "snapshot clock")?;
+        let steps = header.get("steps")?.as_u64("snapshot steps")?;
+        let admitted = header.get("admitted")?.as_usize("snapshot admitted")?;
+        let pending: Vec<(SimTime, SiteEv)> = snapshot::section(&sections, "events")?
+            .as_arr("events")?
+            .iter()
+            .map(event_of)
+            .collect::<Result<_, _>>()?;
+
+        let (mut site, _workload) = SiteState::new(input, site_id, false, None);
+
+        // --- jobs ---
+        let jobs_v = snapshot::section(&sections, "jobs")?.as_arr("jobs")?;
+        site.jobs = jobs_v
+            .iter()
+            .map(|v| job_of(v, fleet_len, num_levels))
+            .collect::<Result<_, _>>()?;
+        let num_jobs = site.jobs.len();
+        for (t, ev) in &pending {
+            let idx = match *ev {
+                SiteEv::Arrival(i) => Some(i),
+                SiteEv::Completion { job, .. } => Some(job),
+                SiteEv::TimingFailure { job, .. } => Some(job),
+                SiteEv::Retry { job } => Some(job),
+                _ => None,
+            };
+            if let Some(i) = idx {
+                if i >= num_jobs {
+                    return Err(SnapshotError::Mismatch(format!(
+                        "pending event at {} targets job {i}, table has {num_jobs}",
+                        t.as_millis()
+                    )));
+                }
+            }
+        }
+
+        // --- flat site scalars ---
+        let sv = snapshot::section(&sections, "site")?;
+        site.expect_more = sv.get("expect_more")?.as_bool("expect_more")?;
+        site.migrated_out = sv.get("migrated_out")?.as_u64("migrated_out")?;
+        site.done_count = sv.get("done_count")?.as_usize("done_count")?;
+        if site.done_count > num_jobs {
+            return Err(SnapshotError::Mismatch(format!(
+                "done_count {} exceeds job table size {num_jobs}",
+                site.done_count
+            )));
+        }
+        site.deadline_misses = sv.get("deadline_misses")?.as_usize("deadline_misses")?;
+        site.last_account = time_of(sv.get("last_account_ms")?, "last account")?;
+        site.current_demand_w = sv.get("current_demand_w")?.as_f64("current demand")?;
+        site.makespan = time_of(sv.get("makespan_ms")?, "makespan")?;
+        site.placements = sv.get("placements")?.as_u64("placements")?;
+        site.queued_jobs = sv.get("queued_jobs")?.as_u64("queued_jobs")?;
+        site.avail_dirty = sv.get("avail_dirty")?.as_bool("avail_dirty")?;
+        site.rng = rng_of(sv.get("rng")?, "simulation rng")?;
+
+        // --- queues / usage / avail / running sets ---
+        let queues_v = snapshot::section(&sections, "queues")?.as_arr("queues")?;
+        if queues_v.len() != fleet_len {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot has {} chip queues, fleet has {fleet_len}",
+                queues_v.len()
+            )));
+        }
+        site.queues = queues_v
+            .iter()
+            .map(|q| {
+                Ok(indexes_of(q, "queue entry", num_jobs)?
+                    .into_iter()
+                    .collect())
+            })
+            .collect::<Result<Vec<VecDeque<usize>>, SnapshotError>>()?;
+        let usage_ms = u64s_of(snapshot::section(&sections, "usage")?, "usage")?;
+        if usage_ms.len() != fleet_len {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot has {} usage entries, fleet has {fleet_len}",
+                usage_ms.len()
+            )));
+        }
+        site.usage = usage_ms
+            .iter()
+            .map(|&ms| SimDuration::from_millis(ms))
+            .collect();
+        let avail_v = snapshot::section(&sections, "avail")?.as_arr("avail")?;
+        if avail_v.len() != fleet_len {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot has {} avail entries, fleet has {fleet_len}",
+                avail_v.len()
+            )));
+        }
+        site.avail = avail_v
+            .iter()
+            .map(|t| time_of(t, "avail"))
+            .collect::<Result<_, _>>()?;
+        site.running = indexes_of(
+            snapshot::section(&sections, "running")?,
+            "running job",
+            num_jobs,
+        )?;
+        let ral = u64s_of(
+            snapshot::section(&sections, "running_at_level")?,
+            "running_at_level",
+        )?;
+        if ral.len() != num_levels {
+            return Err(SnapshotError::Mismatch(format!(
+                "running_at_level has {} entries, fleet has {num_levels} levels",
+                ral.len()
+            )));
+        }
+        site.running_at_level = ral.iter().map(|&n| n as usize).collect();
+        site.deferred = indexes_of(
+            snapshot::section(&sections, "deferred")?,
+            "deferred job",
+            num_jobs,
+        )?;
+
+        // --- ledger ---
+        let lv = snapshot::section(&sections, "ledger")?;
+        site.ledger.wind_j = lv.get("wind_j")?.as_f64("ledger wind")?;
+        site.ledger.utility_j = lv.get("utility_j")?.as_f64("ledger utility")?;
+
+        // --- samplers ---
+        let samplers_v = snapshot::section(&sections, "samplers")?;
+        if !samplers_v.is_null() {
+            let ss = samplers_v.as_arr("samplers")?;
+            if ss.len() != 4 {
+                return Err(SnapshotError::Mismatch(format!(
+                    "snapshot has {} power samplers, expected 4",
+                    ss.len()
+                )));
+            }
+            let mut restored = ss.iter().map(sampler_of);
+            // Length checked above, so the four unwraps cannot miss.
+            site.samplers = Some([
+                restored.next().unwrap()?,
+                restored.next().unwrap()?,
+                restored.next().unwrap()?,
+                restored.next().unwrap()?,
+            ]);
+        }
+
+        // --- operating plan (carries re-profile refreshes) ---
+        let pv = snapshot::section(&sections, "plan")?;
+        let voltages: Vec<Vec<f64>> = pv
+            .get("voltages")?
+            .as_arr("plan voltages")?
+            .iter()
+            .map(|row| f64s_of(row, "plan voltages"))
+            .collect::<Result<_, _>>()?;
+        let est_power: Vec<Vec<f64>> = pv
+            .get("est_power")?
+            .as_arr("plan est power")?
+            .iter()
+            .map(|row| f64s_of(row, "plan est power"))
+            .collect::<Result<_, _>>()?;
+        if voltages.len() != fleet_len || est_power.len() != fleet_len {
+            return Err(SnapshotError::Mismatch(format!(
+                "plan covers {} chips, fleet has {fleet_len}",
+                voltages.len()
+            )));
+        }
+        site.plan = OperatingPlan::from_rows(voltages, est_power);
+
+        // --- fleet wear (per-core Min Vdd drift under fault injection) ---
+        let wear_v = snapshot::section(&sections, "wear")?;
+        if !wear_v.is_null() {
+            let chips = wear_v.as_arr("wear")?;
+            if chips.len() != fleet_len {
+                return Err(SnapshotError::Mismatch(format!(
+                    "wear covers {} chips, fleet has {fleet_len}",
+                    chips.len()
+                )));
+            }
+            for (ci, chip_v) in chips.iter().enumerate() {
+                let cores = chip_v.as_arr("wear chip")?;
+                let chip = &mut site.fleet.chips[ci];
+                if cores.len() != chip.cores.len() {
+                    return Err(SnapshotError::Mismatch(format!(
+                        "wear for chip {ci} covers {} cores, chip has {}",
+                        cores.len(),
+                        chip.cores.len()
+                    )));
+                }
+                for (k, core_v) in cores.iter().enumerate() {
+                    let vmin = f64s_of(core_v, "core vmin")?;
+                    if vmin.len() != chip.cores[k].vmin.len() {
+                        return Err(SnapshotError::Mismatch(format!(
+                            "vmin for chip {ci} core {k} has {} levels, expected {}",
+                            vmin.len(),
+                            chip.cores[k].vmin.len()
+                        )));
+                    }
+                    chip.cores[k].vmin = vmin;
+                }
+            }
+        }
+
+        // --- fault machinery ---
+        let fv = snapshot::section(&sections, "faults")?;
+        if let Some(f) = site.faults.as_mut() {
+            let per_chip = |v: &Vec<bool>, what: &str| -> Result<(), SnapshotError> {
+                if v.len() != fleet_len {
+                    return Err(SnapshotError::Mismatch(format!(
+                        "{what} covers {} chips, fleet has {fleet_len}",
+                        v.len()
+                    )));
+                }
+                Ok(())
+            };
+            f.rng = rng_of(fv.get("rng")?, "fault rng")?;
+            f.scan_rng = rng_of(fv.get("scan_rng")?, "re-profiling rng")?;
+            f.stress_hours = f64s_of(fv.get("stress_hours")?, "stress hours")?;
+            if f.stress_hours.len() != fleet_len {
+                return Err(SnapshotError::Mismatch(format!(
+                    "stress hours cover {} chips, fleet has {fleet_len}",
+                    f.stress_hours.len()
+                )));
+            }
+            f.suspect = bools_of(fv.get("suspect")?, "suspect set")?;
+            per_chip(&f.suspect, "suspect set")?;
+            f.draining = bools_of(fv.get("draining")?, "draining set")?;
+            per_chip(&f.draining, "draining set")?;
+            f.scanning = bools_of(fv.get("scanning")?, "scanning set")?;
+            per_chip(&f.scanning, "scanning set")?;
+            f.pending_vmin = fv
+                .get("pending_vmin")?
+                .as_arr("pending vmin")?
+                .iter()
+                .map(|p| {
+                    if p.is_null() {
+                        Ok(None)
+                    } else {
+                        f64s_of(p, "pending vmin").map(Some)
+                    }
+                })
+                .collect::<Result<_, _>>()?;
+            if f.pending_vmin.len() != fleet_len {
+                return Err(SnapshotError::Mismatch(format!(
+                    "pending vmin covers {} chips, fleet has {fleet_len}",
+                    f.pending_vmin.len()
+                )));
+            }
+            f.min_in_service = fv.get("min_in_service")?.as_usize("min in service")?;
+            f.reprofile_power_w = fv.get("reprofile_power_w")?.as_f64("re-profile power")?;
+            f.reprofile_energy_j = fv.get("reprofile_energy_j")?.as_f64("re-profile energy")?;
+            f.timing_failures = fv.get("timing_failures")?.as_u64("timing failures")?;
+            f.retries = fv.get("retries")?.as_u64("retries")?;
+            f.failed_jobs = fv.get("failed_jobs")?.as_usize("failed jobs")?;
+            f.wasted_j = fv.get("wasted_j")?.as_f64("wasted energy")?;
+            f.chips_rescanned = fv.get("chips_rescanned")?.as_u64("chips rescanned")?;
+            f.rescan_downtime =
+                SimDuration::from_millis(fv.get("rescan_downtime_ms")?.as_u64("rescan downtime")?);
+        }
+
+        // --- audit shadow books ---
+        let av = snapshot::section(&sections, "audit")?;
+        if let Some(a) = site.audit.as_mut() {
+            a.demand_w = av.get("demand_w")?.as_f64("audit demand")?;
+            a.wind_j = av.get("wind_j")?.as_f64("audit wind")?;
+            a.utility_j = av.get("utility_j")?.as_f64("audit utility")?;
+            a.busy_ms = u64s_of(av.get("busy_ms")?, "audit busy time")?;
+            if a.busy_ms.len() != fleet_len {
+                return Err(SnapshotError::Mismatch(format!(
+                    "audit busy time covers {} chips, fleet has {fleet_len}",
+                    a.busy_ms.len()
+                )));
+            }
+            a.deadline_misses = av.get("deadline_misses")?.as_usize("audit misses")?;
+            a.intervals = av.get("intervals")?.as_u64("audit intervals")?;
+            a.demand_checks = av.get("demand_checks")?.as_u64("audit checks")?;
+            a.violations = av
+                .get("violations")?
+                .as_arr("audit violations")?
+                .iter()
+                .map(|s| s.as_str("audit violation").map(str::to_string))
+                .collect::<Result<_, _>>()?;
+            a.suppressed = av.get("suppressed")?.as_u64("audit suppressed")?;
+        }
+
+        // --- telemetry recorder ---
+        let tv = snapshot::section(&sections, "telemetry")?;
+        if site.telemetry.is_some() {
+            let channels = telemetry::CHANNELS_BEFORE_LEVELS + num_levels + 1;
+            let interval =
+                SimDuration::from_millis(tv.get("interval_ms")?.as_u64("telemetry interval")?);
+            if interval.is_zero() {
+                return Err(SnapshotError::Mismatch(
+                    "telemetry interval must be positive".to_string(),
+                ));
+            }
+            let next_tick = time_of(tv.get("next_tick_ms")?, "telemetry next tick")?;
+            let current = f64s_of(tv.get("current")?, "telemetry current")?;
+            if current.len() != channels {
+                return Err(SnapshotError::Mismatch(format!(
+                    "telemetry rows have {} channels, this run needs {channels}",
+                    current.len()
+                )));
+            }
+            let rows: Vec<(SimTime, Vec<f64>)> = tv
+                .get("rows")?
+                .as_arr("telemetry rows")?
+                .iter()
+                .map(|r| {
+                    let pair = r.as_arr("telemetry row")?;
+                    if pair.len() != 2 {
+                        return Err(SnapshotError::Parse(
+                            "telemetry row must be [time, values]".to_string(),
+                        ));
+                    }
+                    let row = f64s_of(&pair[1], "telemetry row")?;
+                    if row.len() != channels {
+                        return Err(SnapshotError::Mismatch(format!(
+                            "telemetry row has {} channels, this run needs {channels}",
+                            row.len()
+                        )));
+                    }
+                    Ok((time_of(&pair[0], "telemetry row time")?, row))
+                })
+                .collect::<Result<_, _>>()?;
+            site.telemetry = Some(TelemetryState {
+                sampler: RowSampler::from_parts(interval, next_tick, current, rows),
+                row_scratch: vec![0.0; channels],
+            });
+        }
+
+        // --- derived caches, rebuilt from the restored ground truth ---
+        let mut chain_len_ms = vec![0u64; fleet_len];
+        for (c, q) in site.queues.iter().enumerate() {
+            chain_len_ms[c] = q
+                .iter()
+                .skip(1)
+                .map(|&i| site.jobs[i].job.runtime_at_fmax.as_millis())
+                .sum();
+        }
+        site.chain_len_ms = chain_len_ms;
+        let busy_queues = site.queues.iter().filter(|q| !q.is_empty()).count();
+        let snap_busy = sv.get("busy_queues")?.as_usize("busy_queues")?;
+        if busy_queues != snap_busy {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot records {snap_busy} busy queues but its queues hold {busy_queues}"
+            )));
+        }
+        site.busy_queues = busy_queues;
+        site.rebuild_demand_aggregates();
+        // The chip indexes are keyed on packed (ms, id) integers whose
+        // ranges debug-builds assert; a snapshot is external input, so the
+        // restore path promotes those to checked errors (satellite of
+        // ISSUE 9) before any key is packed.
+        site.chip_index.set_ranking(site.plan.ranking());
+        for ci in 0..fleet_len {
+            validate_key_range(site.usage[ci].as_millis(), ci as u32)?;
+            validate_key_range(site.avail[ci].as_millis(), ci as u32)?;
+            site.chip_index.set_usage(ChipId(ci as u32), site.usage[ci]);
+        }
+        let queues = &site.queues;
+        site.chip_index
+            .rebuild_avail(&site.avail, |i| !queues[i].is_empty());
+
+        Ok((
+            site,
+            ResumePoint {
+                now,
+                steps,
+                admitted,
+                pending,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn render(v: &Val) -> String {
+        let mut s = String::new();
+        snapshot::render(v, &mut s);
+        s
+    }
+
+    fn arb_time() -> impl Strategy<Value = SimTime> {
+        prop_oneof![
+            (0u64..1 << 40).prop_map(SimTime::from_millis),
+            Just(SimTime::MAX),
+        ]
+    }
+
+    fn arb_event() -> impl Strategy<Value = SiteEv> {
+        prop_oneof![
+            (0usize..1 << 20).prop_map(SiteEv::Arrival),
+            ((0usize..1 << 20), any::<u64>())
+                .prop_map(|(job, gen)| SiteEv::Completion { job, gen }),
+            Just(SiteEv::WindSample),
+            Just(SiteEv::ProfilingCheck),
+            any::<u32>().prop_map(|chip| SiteEv::ProfilingDone { chip }),
+            ((0usize..1 << 20), any::<u32>(), any::<u32>())
+                .prop_map(|(job, attempt, chip)| SiteEv::TimingFailure { job, attempt, chip }),
+            (0usize..1 << 20).prop_map(|job| SiteEv::Retry { job }),
+            Just(SiteEv::ReprofileCheck),
+            any::<u32>().prop_map(|chip| SiteEv::ReprofileDone { chip }),
+        ]
+    }
+
+    /// Job states over a 64-chip, 8-level fleet — the bounds `job_of` is
+    /// asked to enforce in the roundtrip below.
+    fn arb_job_state() -> impl Strategy<Value = JobState> {
+        let finite = any::<f64>().prop_filter("finite", |f| f.is_finite());
+        (
+            (
+                any::<u32>(),
+                0u64..1 << 39,
+                1u32..4096,
+                0u64..1 << 39,
+                0.0f64..=1.0,
+                0u64..1 << 39,
+                any::<bool>(),
+            ),
+            (
+                prop::collection::vec(0u32..64, 0..8),
+                0u8..3,
+                0u8..8,
+                finite.clone(),
+                0u64..1 << 39,
+            ),
+            (
+                0u64..1 << 39,
+                any::<u64>(),
+                0u64..1 << 39,
+                prop::collection::vec(any::<i64>(), 0..8),
+                any::<u32>(),
+                finite,
+            ),
+        )
+            .prop_map(
+                |(
+                    (id, submit, cpus, runtime, gamma, deadline, high),
+                    (chips, phase, level, remaining, last_progress),
+                    (started, gen, sched_end, power, starts, energy),
+                )| {
+                    JobState {
+                        job: Job {
+                            id: JobId(id),
+                            submit: SimTime::from_millis(submit),
+                            cpus,
+                            runtime_at_fmax: SimDuration::from_millis(runtime),
+                            gamma: iscope_pvmodel::CpuBoundness::new(gamma),
+                            deadline: SimTime::from_millis(deadline),
+                            urgency: if high { Urgency::High } else { Urgency::Low },
+                        },
+                        chips: chips.into_iter().map(ChipId).collect(),
+                        phase: match phase {
+                            0 => Phase::Waiting,
+                            1 => Phase::Running,
+                            _ => Phase::Done,
+                        },
+                        level: FreqLevel(level),
+                        remaining_nominal_s: remaining,
+                        last_progress: SimTime::from_millis(last_progress),
+                        started_at: SimTime::from_millis(started),
+                        gen,
+                        sched_end: SimTime::from_millis(sched_end),
+                        power_uw_at: power,
+                        chain_limit: SimTime::MAX,
+                        starts,
+                        attempt_energy_j: energy,
+                    }
+                },
+            )
+    }
+
+    proptest! {
+        /// Pending events: encode → decode → encode is byte-stable.
+        #[test]
+        fn prop_event_roundtrip(t in arb_time(), ev in arb_event()) {
+            let first = render(&event_val(t, &ev));
+            let (t2, ev2) = event_of(&snapshot::parse(&first).unwrap()).unwrap();
+            prop_assert_eq!(t2, t);
+            prop_assert_eq!(ev2, ev);
+            prop_assert_eq!(render(&event_val(t2, &ev2)), first);
+        }
+
+        /// Job states: encode → decode → encode is byte-stable (floats
+        /// bit-exact, times/ids/rows integer-exact).
+        #[test]
+        fn prop_job_roundtrip(js in arb_job_state()) {
+            let first = render(&job_val(&js).unwrap());
+            let back = job_of(&snapshot::parse(&first).unwrap(), 64, 8).unwrap();
+            prop_assert_eq!(render(&job_val(&back).unwrap()), first);
+        }
+
+        /// RNG streams: the captured state resumes at exactly the next
+        /// draw, and the value encoding is byte-stable.
+        #[test]
+        fn prop_rng_roundtrip(seed in any::<u64>(), draws in 0usize..40, odd in any::<bool>()) {
+            let mut rng = SimRng::new(seed);
+            for _ in 0..draws {
+                rng.uniform();
+            }
+            if odd {
+                // Leave a Box–Muller spare pending.
+                rng.std_normal();
+            }
+            let first = render(&rng_val(&rng, "test rng").unwrap());
+            let mut back = rng_of(&snapshot::parse(&first).unwrap(), "test rng").unwrap();
+            prop_assert_eq!(render(&rng_val(&back, "test rng").unwrap()), first.clone());
+            // The restored stream continues bit-identically.
+            for _ in 0..8 {
+                prop_assert_eq!(back.std_normal().to_bits(), rng.std_normal().to_bits());
+            }
+        }
+
+        /// Samplers mid-stream: parts → value → parts is byte-stable.
+        #[test]
+        fn prop_sampler_roundtrip(
+            interval_ms in 1u64..1 << 30,
+            next_tick in 0u64..1 << 39,
+            current in any::<f64>().prop_filter("finite", |f| f.is_finite()),
+            values in prop::collection::vec(
+                any::<f64>().prop_filter("finite", |f| f.is_finite()), 0..16),
+        ) {
+            let s = Sampler::from_parts(
+                "demand",
+                SimDuration::from_millis(interval_ms),
+                SimTime::from_millis(next_tick),
+                current,
+                values,
+            );
+            let first = render(&sampler_val(&s).unwrap());
+            let back = sampler_of(&snapshot::parse(&first).unwrap()).unwrap();
+            prop_assert_eq!(render(&sampler_val(&back).unwrap()), first);
+        }
+    }
+
+    #[test]
+    fn event_decoder_rejects_unknown_tags() {
+        let v = snapshot::parse("[5,[\"explode\"]]").unwrap();
+        assert!(event_of(&v).is_err());
+    }
+
+    #[test]
+    fn job_decoder_rejects_out_of_range_chips_and_levels() {
+        let mut js = JobState {
+            job: Job {
+                id: JobId(1),
+                submit: SimTime::ZERO,
+                cpus: 1,
+                runtime_at_fmax: SimDuration::from_secs(1),
+                gamma: iscope_pvmodel::CpuBoundness::FULL,
+                deadline: SimTime::from_secs(10),
+                urgency: Urgency::Low,
+            },
+            chips: vec![ChipId(99)],
+            phase: Phase::Running,
+            level: FreqLevel(0),
+            remaining_nominal_s: 1.0,
+            last_progress: SimTime::ZERO,
+            started_at: SimTime::ZERO,
+            gen: 0,
+            sched_end: SimTime::ZERO,
+            power_uw_at: vec![],
+            chain_limit: SimTime::MAX,
+            starts: 1,
+            attempt_energy_j: 0.0,
+        };
+        let doc = render(&job_val(&js).unwrap());
+        let v = snapshot::parse(&doc).unwrap();
+        assert!(job_of(&v, 64, 8).is_err(), "chip 99 must be rejected");
+        js.chips = vec![ChipId(1)];
+        js.level = FreqLevel(12);
+        let doc = render(&job_val(&js).unwrap());
+        let v = snapshot::parse(&doc).unwrap();
+        assert!(job_of(&v, 64, 8).is_err(), "level 12 must be rejected");
+    }
+
+    #[test]
+    fn rng_decoder_rejects_all_zero_state() {
+        let v = snapshot::parse("{\"words\":[0,0,0,0],\"spare\":null}").unwrap();
+        assert!(rng_of(&v, "test rng").is_err());
     }
 }

@@ -1,0 +1,787 @@
+//! Checkpoint/restore substrate: a hand-rolled JSON value codec and the
+//! JSONL snapshot document format (DESIGN.md §3g).
+//!
+//! A snapshot captures one site's complete mutable simulation state —
+//! pending events, RNG streams, job table, queues, ledgers, fault and
+//! quarantine machinery, sampler cursors — so a run can be stopped,
+//! serialized, and resumed **bit-identically**: the resumed run's report
+//! and telemetry bytes match an uninterrupted run of the same input.
+//!
+//! The vendored `serde_json` stand-in can render but not parse
+//! (vendor/README.md), so both directions are hand-rolled here around a
+//! small JSON value tree ([`Val`]). Floats are written with `Display`'s
+//! shortest-round-trip decimal form (the same idiom the telemetry codec
+//! uses), which parses back to the identical bits — encode → decode →
+//! encode is byte-stable, and the property tests below pin that.
+//!
+//! Document layout: one JSON object per line, `{"section":"<name>",
+//! "data":<value>}`. The first section is always `header` (version,
+//! scheme, seed, clock, step and admission counters); the remaining
+//! sections are produced and consumed by `SiteState::capture` /
+//! `SiteState::restore_parts` in `site.rs`, which owns the field-level
+//! schema. Section order is fixed, so equal states produce equal bytes.
+
+use std::fmt;
+
+/// Current snapshot document version. Bumped on any schema change; the
+/// decoder rejects versions it does not know.
+pub const SNAPSHOT_VERSION: i64 = 1;
+
+/// Why a snapshot could not be taken, parsed, or restored.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotError {
+    /// The live state uses a feature the v1 format does not carry (in-situ
+    /// profiling records, per-core operating plans).
+    Unsupported(String),
+    /// The document is not valid snapshot JSONL.
+    Parse(String),
+    /// The document is well-formed but inconsistent with the inputs it is
+    /// being restored against (wrong seed, fleet shape, counters out of
+    /// range, packed-key overflow).
+    Mismatch(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Unsupported(m) => write!(f, "snapshot unsupported: {m}"),
+            SnapshotError::Parse(m) => write!(f, "snapshot parse error: {m}"),
+            SnapshotError::Mismatch(m) => write!(f, "snapshot mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<iscope_sched::KeyRangeError> for SnapshotError {
+    fn from(e: iscope_sched::KeyRangeError) -> Self {
+        SnapshotError::Mismatch(e.to_string())
+    }
+}
+
+/// A JSON value. Integers and floats are kept apart so integer state
+/// (times in ms, counters, fixed-point µW) round-trips exactly without
+/// passing through f64.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Val {
+    /// JSON `null`.
+    Null,
+    /// JSON `true` / `false`.
+    Bool(bool),
+    /// A number with no fraction or exponent in its rendered form.
+    Int(i128),
+    /// A finite floating-point number (non-finite values are rejected at
+    /// construction — JSON cannot carry them).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Val>),
+    /// An object with preserved key order (render order is authoring
+    /// order, so equal trees render to equal bytes).
+    Obj(Vec<(String, Val)>),
+}
+
+impl Val {
+    /// Wraps a float, rejecting non-finite values at the boundary.
+    pub(crate) fn float(v: f64, what: &str) -> Result<Val, SnapshotError> {
+        if !v.is_finite() {
+            return Err(SnapshotError::Unsupported(format!(
+                "{what} is {v} (non-finite floats cannot be serialized)"
+            )));
+        }
+        Ok(Val::Float(v))
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Val::Null => "null",
+            Val::Bool(_) => "bool",
+            Val::Int(_) => "int",
+            Val::Float(_) => "float",
+            Val::Str(_) => "string",
+            Val::Arr(_) => "array",
+            Val::Obj(_) => "object",
+        }
+    }
+
+    /// Looks up `key` in an object, with a path-carrying error.
+    pub(crate) fn get(&self, key: &str) -> Result<&Val, SnapshotError> {
+        self.opt(key)
+            .ok_or_else(|| SnapshotError::Parse(format!("missing key {key:?}")))
+    }
+
+    /// Looks up `key` in an object, `None` when absent (or not an object).
+    pub(crate) fn opt(&self, key: &str) -> Option<&Val> {
+        match self {
+            Val::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_int(&self, what: &str) -> Result<i128, SnapshotError> {
+        match self {
+            Val::Int(v) => Ok(*v),
+            other => Err(type_err(what, "int", other)),
+        }
+    }
+
+    pub(crate) fn as_i64(&self, what: &str) -> Result<i64, SnapshotError> {
+        i64::try_from(self.as_int(what)?)
+            .map_err(|_| SnapshotError::Mismatch(format!("{what} out of i64 range")))
+    }
+
+    pub(crate) fn as_u64(&self, what: &str) -> Result<u64, SnapshotError> {
+        u64::try_from(self.as_int(what)?)
+            .map_err(|_| SnapshotError::Mismatch(format!("{what} out of u64 range")))
+    }
+
+    pub(crate) fn as_u32(&self, what: &str) -> Result<u32, SnapshotError> {
+        u32::try_from(self.as_int(what)?)
+            .map_err(|_| SnapshotError::Mismatch(format!("{what} out of u32 range")))
+    }
+
+    pub(crate) fn as_usize(&self, what: &str) -> Result<usize, SnapshotError> {
+        usize::try_from(self.as_int(what)?)
+            .map_err(|_| SnapshotError::Mismatch(format!("{what} out of usize range")))
+    }
+
+    pub(crate) fn as_f64(&self, what: &str) -> Result<f64, SnapshotError> {
+        match self {
+            Val::Float(v) => Ok(*v),
+            other => Err(type_err(what, "float", other)),
+        }
+    }
+
+    pub(crate) fn as_bool(&self, what: &str) -> Result<bool, SnapshotError> {
+        match self {
+            Val::Bool(v) => Ok(*v),
+            other => Err(type_err(what, "bool", other)),
+        }
+    }
+
+    pub(crate) fn as_str(&self, what: &str) -> Result<&str, SnapshotError> {
+        match self {
+            Val::Str(s) => Ok(s),
+            other => Err(type_err(what, "string", other)),
+        }
+    }
+
+    pub(crate) fn as_arr(&self, what: &str) -> Result<&[Val], SnapshotError> {
+        match self {
+            Val::Arr(items) => Ok(items),
+            other => Err(type_err(what, "array", other)),
+        }
+    }
+
+    pub(crate) fn is_null(&self) -> bool {
+        matches!(self, Val::Null)
+    }
+}
+
+fn type_err(what: &str, want: &str, got: &Val) -> SnapshotError {
+    SnapshotError::Parse(format!("{what}: expected {want}, found {}", got.kind()))
+}
+
+/// Renders a value as compact JSON (no whitespace). Deterministic: object
+/// keys stay in authoring order, floats use the shortest decimal that
+/// parses back to the same bits.
+pub(crate) fn render(v: &Val, out: &mut String) {
+    match v {
+        Val::Null => out.push_str("null"),
+        Val::Bool(true) => out.push_str("true"),
+        Val::Bool(false) => out.push_str("false"),
+        Val::Int(n) => out.push_str(&n.to_string()),
+        Val::Float(f) => {
+            debug_assert!(f.is_finite(), "Val::float rejects non-finite values");
+            let s = format!("{f}");
+            out.push_str(&s);
+            if !(s.contains('.') || s.contains('e') || s.contains('E')) {
+                out.push_str(".0");
+            }
+        }
+        Val::Str(s) => render_string(s, out),
+        Val::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render(item, out);
+            }
+            out.push(']');
+        }
+        Val::Obj(fields) => {
+            out.push('{');
+            for (i, (k, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_string(k, out);
+                out.push(':');
+                render(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Maximum nesting the parser accepts; snapshot documents nest a handful
+/// of levels, so this only guards against hostile input.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parses one JSON document (a full value; trailing whitespace allowed).
+pub(crate) fn parse(text: &str) -> Result<Val, SnapshotError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(SnapshotError::Parse(format!(
+            "trailing garbage at byte {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), SnapshotError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(SnapshotError::Parse(format!(
+                "expected {what} at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Val) -> Result<Val, SnapshotError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(SnapshotError::Parse(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Val, SnapshotError> {
+        if depth > MAX_DEPTH {
+            return Err(SnapshotError::Parse("nesting too deep".into()));
+        }
+        match self.peek() {
+            Some(b'n') => self.lit("null", Val::Null),
+            Some(b't') => self.lit("true", Val::Bool(true)),
+            Some(b'f') => self.lit("false", Val::Bool(false)),
+            Some(b'"') => self.string().map(Val::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(SnapshotError::Parse(format!(
+                "unexpected byte at {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Val, SnapshotError> {
+        self.eat(b'[', "'['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Val::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Val::Arr(items));
+                }
+                _ => {
+                    return Err(SnapshotError::Parse(format!(
+                        "expected ',' or ']' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Val, SnapshotError> {
+        self.eat(b'{', "'{'")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Val::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "':'")?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Val::Obj(fields));
+                }
+                _ => {
+                    return Err(SnapshotError::Parse(format!(
+                        "expected ',' or '}}' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, SnapshotError> {
+        self.eat(b'"', "'\"'")?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain bytes in one go.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| SnapshotError::Parse("invalid UTF-8 in string".into()))?;
+                out.push_str(chunk);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| {
+                        SnapshotError::Parse("unterminated escape at end of input".into())
+                    })?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                self.eat(b'\\', "'\\' of surrogate pair")?;
+                                self.eat(b'u', "'u' of surrogate pair")?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(SnapshotError::Parse(
+                                        "invalid low surrogate".into(),
+                                    ));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| {
+                                SnapshotError::Parse("invalid unicode escape".into())
+                            })?);
+                        }
+                        _ => {
+                            return Err(SnapshotError::Parse(format!(
+                                "invalid escape at byte {}",
+                                self.pos - 1
+                            )))
+                        }
+                    }
+                }
+                _ => {
+                    return Err(SnapshotError::Parse(
+                        "unterminated or control byte in string".into(),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, SnapshotError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(SnapshotError::Parse("truncated \\u escape".into()));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| SnapshotError::Parse("invalid \\u escape".into()))?;
+        let v = u32::from_str_radix(s, 16)
+            .map_err(|_| SnapshotError::Parse("invalid \\u escape".into()))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Val, SnapshotError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    // '+' / '-' only continue a number inside an exponent;
+                    // a '-' starting the next array element must not be
+                    // swallowed. The exponent markers set the float flag.
+                    if (b == b'+' || b == b'-')
+                        && !matches!(self.bytes.get(self.pos - 1), Some(b'e') | Some(b'E'))
+                    {
+                        break;
+                    }
+                    if b == b'.' || b == b'e' || b == b'E' {
+                        is_float = true;
+                    }
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| SnapshotError::Parse("invalid number".into()))?;
+        if is_float {
+            let v: f64 = s
+                .parse()
+                .map_err(|_| SnapshotError::Parse(format!("invalid float {s:?}")))?;
+            if !v.is_finite() {
+                return Err(SnapshotError::Parse(format!("float {s:?} overflows f64")));
+            }
+            Ok(Val::Float(v))
+        } else {
+            let v: i128 = s
+                .parse()
+                .map_err(|_| SnapshotError::Parse(format!("invalid integer {s:?}")))?;
+            Ok(Val::Int(v))
+        }
+    }
+}
+
+/// Renders named sections as the snapshot JSONL document (one
+/// `{"section":name,"data":value}` object per line, trailing newline).
+pub(crate) fn encode_lines(sections: &[(&str, Val)]) -> String {
+    let mut out = String::new();
+    for (name, data) in sections {
+        let line = Val::Obj(vec![
+            ("section".to_string(), Val::Str((*name).to_string())),
+            ("data".to_string(), data.clone()),
+        ]);
+        render(&line, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a snapshot JSONL document back into its named sections. Blank
+/// lines are skipped; section names must be unique.
+pub(crate) fn decode_lines(text: &str) -> Result<Vec<(String, Val)>, SnapshotError> {
+    let mut sections: Vec<(String, Val)> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(line).map_err(|e| SnapshotError::Parse(format!("line {}: {e}", i + 1)))?;
+        let name = v
+            .get("section")
+            .and_then(|s| s.as_str("section"))
+            .map_err(|e| SnapshotError::Parse(format!("line {}: {e}", i + 1)))?
+            .to_string();
+        let data = v
+            .get("data")
+            .map_err(|e| SnapshotError::Parse(format!("line {}: {e}", i + 1)))?
+            .clone();
+        if sections.iter().any(|(n, _)| *n == name) {
+            return Err(SnapshotError::Parse(format!(
+                "line {}: duplicate section {name:?}",
+                i + 1
+            )));
+        }
+        sections.push((name, data));
+    }
+    if sections.is_empty() {
+        return Err(SnapshotError::Parse("empty snapshot document".into()));
+    }
+    Ok(sections)
+}
+
+/// Finds a named section in a decoded document.
+pub(crate) fn section<'a>(
+    sections: &'a [(String, Val)],
+    name: &str,
+) -> Result<&'a Val, SnapshotError> {
+    sections
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| SnapshotError::Parse(format!("missing section {name:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn render_str(v: &Val) -> String {
+        let mut s = String::new();
+        render(v, &mut s);
+        s
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Val::Null,
+            Val::Bool(true),
+            Val::Bool(false),
+            Val::Int(0),
+            Val::Int(-7),
+            Val::Int(u64::MAX as i128),
+            Val::Float(0.5),
+            Val::Float(-0.0),
+            Val::Float(1.0 / 3.0),
+            Val::Float(1e-300),
+            Val::Str("hello \"quoted\" \\ line\nbreak\ttab".into()),
+            Val::Str("unicode: ✓ €".into()),
+        ] {
+            let s = render_str(&v);
+            let back = parse(&s).unwrap();
+            assert_eq!(back, v, "round trip of {s}");
+            assert_eq!(render_str(&back), s, "re-render of {s}");
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for f in [
+            0.1,
+            1.0 / 3.0,
+            -98_765.432_1,
+            1e300,
+            5.0,
+            -0.0,
+            f64::MIN_POSITIVE,
+        ] {
+            let s = render_str(&Val::Float(f));
+            match parse(&s).unwrap() {
+                Val::Float(b) => assert_eq!(b.to_bits(), f.to_bits(), "bits of {s}"),
+                other => panic!("{s} parsed as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        let s = render_str(&Val::Float(5.0));
+        assert_eq!(s, "5.0");
+        assert_eq!(parse(&s).unwrap(), Val::Float(5.0));
+        // ... and integers stay integers.
+        assert_eq!(parse("5").unwrap(), Val::Int(5));
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = Val::Obj(vec![
+            ("a".into(), Val::Arr(vec![Val::Int(1), Val::Null])),
+            (
+                "b".into(),
+                Val::Obj(vec![("c".into(), Val::Arr(vec![Val::Float(2.5)]))]),
+            ),
+            ("empty_arr".into(), Val::Arr(vec![])),
+            ("empty_obj".into(), Val::Obj(vec![])),
+        ]);
+        let s = render_str(&v);
+        assert_eq!(parse(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn non_finite_floats_are_rejected_at_construction() {
+        assert!(Val::float(f64::NAN, "x").is_err());
+        assert!(Val::float(f64::INFINITY, "x").is_err());
+        assert!(Val::float(1.5, "x").is_ok());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "nul",
+            "\"unterminated",
+            "1 2",
+            "[1]]",
+            "{\"a\":1,}",
+            "--1",
+            "\"bad \\x escape\"",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn negative_numbers_in_arrays_do_not_merge() {
+        assert_eq!(
+            parse("[1,-2,-3.5]").unwrap(),
+            Val::Arr(vec![Val::Int(1), Val::Int(-2), Val::Float(-3.5)])
+        );
+    }
+
+    #[test]
+    fn exponent_signs_parse() {
+        assert_eq!(parse("1e-3").unwrap(), Val::Float(1e-3));
+        assert_eq!(parse("1E+3").unwrap(), Val::Float(1e3));
+        assert_eq!(
+            parse("[1e-3,2]").unwrap(),
+            Val::Arr(vec![Val::Float(1e-3), Val::Int(2)])
+        );
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(parse("\"\\u0041\"").unwrap(), Val::Str("A".into()));
+        assert_eq!(parse("\"\\ud83d\\ude00\"").unwrap(), Val::Str("😀".into()));
+        assert!(parse("\"\\ud83d\"").is_err(), "lone high surrogate");
+    }
+
+    #[test]
+    fn document_sections_round_trip() {
+        let doc = encode_lines(&[
+            ("header", Val::Obj(vec![("version".into(), Val::Int(1))])),
+            ("events", Val::Arr(vec![Val::Int(3)])),
+        ]);
+        assert_eq!(doc.lines().count(), 2);
+        let back = decode_lines(&doc).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(
+            section(&back, "header").unwrap().get("version").unwrap(),
+            &Val::Int(1)
+        );
+        assert!(section(&back, "missing").is_err());
+        assert_eq!(
+            encode_lines(&[("header", back[0].1.clone()), ("events", back[1].1.clone()),]),
+            doc,
+            "encode -> decode -> encode is byte-stable"
+        );
+    }
+
+    #[test]
+    fn duplicate_sections_are_rejected() {
+        let doc = encode_lines(&[("a", Val::Null), ("a", Val::Null)]);
+        assert!(decode_lines(&doc).is_err());
+    }
+
+    /// Strategy over arbitrary JSON trees with finite floats — the value
+    /// space the snapshot writer can emit.
+    fn arb_val() -> impl Strategy<Value = Val> {
+        let leaf = prop_oneof![
+            Just(Val::Null),
+            any::<bool>().prop_map(Val::Bool),
+            // The writer's integer sources are u64/i64/usize counters.
+            any::<i64>().prop_map(|v| Val::Int(v as i128)),
+            any::<u64>().prop_map(|v| Val::Int(v as i128)),
+            // Finite floats only; the writer rejects the rest.
+            any::<f64>()
+                .prop_filter("finite", |f| f.is_finite())
+                .prop_map(Val::Float),
+            "[ -~]*".prop_map(Val::Str),
+            "\\PC*".prop_map(Val::Str),
+        ];
+        leaf.prop_recursive(4, 64, 8, |inner| {
+            prop_oneof![
+                prop::collection::vec(inner.clone(), 0..8).prop_map(Val::Arr),
+                prop::collection::vec(("[a-z_]{1,8}", inner), 0..8).prop_map(Val::Obj),
+            ]
+        })
+    }
+
+    proptest! {
+        /// encode → decode → encode is byte-stable for every tree the
+        /// writer can produce (the snapshot determinism contract).
+        #[test]
+        fn prop_encode_decode_encode_is_byte_stable(v in arb_val()) {
+            let first = render_str(&v);
+            let back = parse(&first).unwrap();
+            prop_assert_eq!(&back, &v, "structural round trip");
+            let second = render_str(&back);
+            prop_assert_eq!(first, second, "byte-stable re-encode");
+        }
+
+        /// Float bits survive the decimal round trip exactly.
+        #[test]
+        fn prop_float_bits_survive(f in any::<f64>().prop_filter("finite", |f| f.is_finite())) {
+            let s = render_str(&Val::Float(f));
+            match parse(&s).unwrap() {
+                Val::Float(b) => prop_assert_eq!(b.to_bits(), f.to_bits()),
+                other => prop_assert!(false, "parsed as {:?}", other),
+            }
+        }
+    }
+}

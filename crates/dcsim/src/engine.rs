@@ -107,6 +107,63 @@ impl<E> Engine<E> {
         self.steps
     }
 
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Pops and dispatches exactly one event. Returns false when the queue
+    /// is empty (nothing was dispatched). The horizon is not consulted —
+    /// callers stepping manually check [`Engine::peek_time`] themselves.
+    pub fn step<M: Model<E>>(&mut self, model: &mut M) -> bool {
+        let Some((_, event)) = self.queue.pop() else {
+            return false;
+        };
+        self.steps += 1;
+        let mut ctx = Ctx {
+            queue: &mut self.queue,
+        };
+        model.on_event(&mut ctx, event);
+        true
+    }
+
+    /// Dispatches `event` to the model at time `at` directly, bypassing the
+    /// queue. The clock advances to `at` first, so the handler observes the
+    /// same `now` as if the event had been popped.
+    ///
+    /// This is how the streaming driver injects arrivals: an arrival
+    /// dispatched here when `at <= peek_time()` fires *before* every queued
+    /// event at the same timestamp — exactly the order a pre-primed run
+    /// gives arrivals, whose sequence numbers predate all runtime events.
+    pub fn dispatch<M: Model<E>>(&mut self, model: &mut M, at: SimTime, event: E) {
+        self.queue.advance_to(at);
+        self.steps += 1;
+        let mut ctx = Ctx {
+            queue: &mut self.queue,
+        };
+        model.on_event(&mut ctx, event);
+    }
+
+    /// Advances the clock without processing anything (restore path).
+    pub fn advance_to(&mut self, at: SimTime) {
+        self.queue.advance_to(at);
+    }
+
+    /// Live pending events in firing order (see
+    /// [`EventQueue::pending_events`]).
+    pub fn pending_events(&self) -> Vec<(SimTime, E)>
+    where
+        E: Clone,
+    {
+        self.queue.pending_events()
+    }
+
+    /// Overwrites the processed-event counter (restore path, so step
+    /// accounting continues from the captured run).
+    pub fn set_steps(&mut self, steps: u64) {
+        self.steps = steps;
+    }
+
     /// Runs the model until quiescence, the horizon, or the step budget.
     pub fn run<M: Model<E>>(&mut self, model: &mut M) -> StopReason {
         loop {

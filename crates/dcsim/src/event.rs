@@ -122,6 +122,41 @@ impl<E> EventQueue<E> {
         Some((s.time, s.event))
     }
 
+    /// Advances the clock to `at` without popping anything.
+    ///
+    /// Used by checkpoint restore (re-prime pending events, then move the
+    /// clock to the captured instant) and by direct event dispatch in the
+    /// streaming driver. Never rewinds: debug builds panic on a past `at`,
+    /// release builds clamp to the current time.
+    pub fn advance_to(&mut self, at: SimTime) {
+        debug_assert!(at >= self.now, "advance_to {at} before now {}", self.now);
+        self.now = self.now.max(at);
+    }
+
+    /// Snapshot view of every live pending event, sorted by firing order
+    /// (`(time, seq)` — the exact order they would pop in).
+    ///
+    /// Re-scheduling these, in order, into a fresh queue reproduces the
+    /// original firing sequence: the old events get the fresh queue's
+    /// lowest sequence numbers and anything scheduled later at an equal
+    /// timestamp still fires after them, exactly as it would have in the
+    /// uninterrupted run.
+    pub fn pending_events(&self) -> Vec<(SimTime, E)>
+    where
+        E: Clone,
+    {
+        let mut live: Vec<&Scheduled<E>> = self
+            .heap
+            .iter()
+            .map(|Reverse(s)| s)
+            .filter(|s| self.live.contains(&s.seq))
+            .collect();
+        live.sort_by_key(|s| (s.time, s.seq));
+        live.into_iter()
+            .map(|s| (s.time, s.event.clone()))
+            .collect()
+    }
+
     /// Drops cancelled entries sitting at the top of the heap.
     fn skip_dead(&mut self) {
         while let Some(Reverse(s)) = self.heap.peek() {

@@ -29,7 +29,7 @@ pub mod trace;
 
 pub use engine::{Ctx, Engine, Model, StopReason};
 pub use event::{EventHandle, EventQueue};
-pub use rng::SimRng;
+pub use rng::{RngSnapshot, SimRng};
 pub use site::SiteTagged;
 pub use stats::{Histogram, Running, TimeWeighted};
 pub use time::{SimDuration, SimTime};

@@ -22,6 +22,18 @@ pub struct SimRng {
     spare_normal: Option<f64>,
 }
 
+/// Complete captured state of a [`SimRng`]: the four xoshiro256++ words
+/// plus the Box–Muller spare. Restoring this resumes the stream at exactly
+/// the next draw — checkpoint/restore must not lose the cached normal or
+/// every subsequent normal draw shifts by one sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RngSnapshot {
+    /// Raw xoshiro256++ state words.
+    pub words: [u64; 4],
+    /// Cached second Box–Muller output, if one is pending.
+    pub spare_normal: Option<f64>,
+}
+
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
@@ -176,6 +188,22 @@ impl SimRng {
     /// Raw 64-bit draw (for deriving further seeds).
     pub fn next_seed(&mut self) -> u64 {
         self.inner.next_u64()
+    }
+
+    /// Captures the generator's full state for checkpointing.
+    pub fn snapshot(&self) -> RngSnapshot {
+        RngSnapshot {
+            words: self.inner.state(),
+            spare_normal: self.spare_normal,
+        }
+    }
+
+    /// Rebuilds a generator that continues the captured stream exactly.
+    pub fn restore(snap: &RngSnapshot) -> Self {
+        SimRng {
+            inner: StdRng::from_state(snap.words),
+            spare_normal: snap.spare_normal,
+        }
     }
 }
 

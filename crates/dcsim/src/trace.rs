@@ -120,6 +120,36 @@ impl Sampler {
     pub fn current(&self) -> f64 {
         self.current
     }
+
+    /// Captured state for checkpointing: `(name, interval, next tick,
+    /// held value, emitted samples)`.
+    pub fn parts(&self) -> (&str, SimDuration, SimTime, f64, &[f64]) {
+        (
+            &self.name,
+            self.interval,
+            self.next_tick,
+            self.current,
+            &self.values,
+        )
+    }
+
+    /// Rebuilds a sampler mid-stream from captured state (restore path).
+    pub fn from_parts(
+        name: impl Into<String>,
+        interval: SimDuration,
+        next_tick: SimTime,
+        current: f64,
+        values: Vec<f64>,
+    ) -> Self {
+        assert!(!interval.is_zero(), "sampling interval must be positive");
+        Sampler {
+            name: name.into(),
+            interval,
+            next_tick,
+            current,
+            values,
+        }
+    }
 }
 
 /// Samples several piecewise-constant signals at one shared fixed interval.
@@ -182,6 +212,33 @@ impl RowSampler {
     /// Values currently held.
     pub fn current(&self) -> &[f64] {
         &self.current
+    }
+
+    /// Captured state for checkpointing: `(interval, next tick, held
+    /// values, emitted rows)`.
+    #[allow(clippy::type_complexity)]
+    pub fn parts(&self) -> (SimDuration, SimTime, &[f64], &[(SimTime, Vec<f64>)]) {
+        (self.interval, self.next_tick, &self.current, &self.rows)
+    }
+
+    /// Rebuilds a sampler mid-stream from captured state (restore path).
+    pub fn from_parts(
+        interval: SimDuration,
+        next_tick: SimTime,
+        current: Vec<f64>,
+        rows: Vec<(SimTime, Vec<f64>)>,
+    ) -> Self {
+        assert!(!interval.is_zero(), "sampling interval must be positive");
+        assert!(
+            !current.is_empty(),
+            "row sampler needs at least one channel"
+        );
+        RowSampler {
+            interval,
+            next_tick,
+            current,
+            rows,
+        }
     }
 }
 

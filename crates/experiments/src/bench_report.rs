@@ -17,9 +17,10 @@ use iscope::experiments::{pool_stats, reset_pool_stats, sweep, PoolStats, Thread
 use iscope::prelude::*;
 use iscope::{
     run_federation_instrumented, FederationReport, FollowSurplusRouter, PhaseTimers, RunReport,
-    RunStats,
+    RunStats, SimInput, StreamDriver, StreamStats,
 };
 use iscope_sched::Scheme;
+use iscope_workload::SyntheticSource;
 
 /// One benchmark measurement, normalized from [`RunStats`].
 #[derive(Debug, Clone, Copy)]
@@ -159,6 +160,10 @@ pub struct BenchReport {
     pub mega: BenchNumbers,
     /// Hot-path phase breakdown of the mega-scale run.
     pub mega_phases: PhaseTimers,
+    /// Streaming-ingestion counters of the mega run: jobs emitted by the
+    /// source and its buffer high-water mark — the proof the 2M-job
+    /// trace was never materialized as one vector.
+    pub mega_stream: StreamStats,
     /// Federated run: the default experiment cell split over 4 sites
     /// under the follow-surplus router, half-correlated weather, faults
     /// on — the event clock now multiplexes four `SiteState`s plus the
@@ -258,15 +263,17 @@ pub fn scale_sim() -> GreenDatacenterSim {
 /// the scaling trajectory: per-placement cost must stay flat from
 /// `scale` to `mega`, which only holds while index repairs cost O(dirt)
 /// rather than O(fleet).
-pub fn mega_sim() -> GreenDatacenterSim {
+///
+/// Unlike the smaller scenarios, the mega run **streams** its trace: the
+/// input carries an empty workload and the 2M jobs are pulled from a
+/// [`SyntheticSource`] as the clock advances, so the full job vector is
+/// never materialized and the source's buffer high-water mark
+/// (`StreamStats::peak_buffered`) is recorded in `BENCH_sim.json`.
+pub fn mega_parts() -> (SimInput, SyntheticSource) {
     let fleet = 200_000usize;
-    GreenDatacenterSim::builder()
+    let sim = GreenDatacenterSim::builder()
         .fleet_size(fleet)
-        .synthetic_trace(SyntheticTrace {
-            num_jobs: 2_000_000,
-            max_cpus: 512,
-            ..SyntheticTrace::default()
-        })
+        .workload(Workload::new(vec![]))
         .scheme(Scheme::ScanFair)
         .supply(Supply::hybrid_farm(
             &WindFarm::default(),
@@ -274,12 +281,23 @@ pub fn mega_sim() -> GreenDatacenterSim {
             fleet as f64 / 4800.0,
             42,
         ))
-        .seed(42)
+        .seed(42);
+    let source = SyntheticSource::new(
+        SyntheticTrace {
+            num_jobs: 2_000_000,
+            max_cpus: 512,
+            ..SyntheticTrace::default()
+        },
+        Shaper::default(),
+        42,
+    );
+    (sim.build().into_input(), source)
 }
 
 /// One scenario's result in the parallel dispatch below.
 enum Cell {
     Single(Box<(RunReport, RunStats)>),
+    Stream(Box<(RunReport, RunStats, StreamStats)>),
     Fed(Box<(FederationReport, RunStats)>),
 }
 
@@ -304,7 +322,13 @@ pub fn run() -> BenchReport {
         )),
         2 => Cell::Single(Box::new(dvfs_stress_sim().build().run_instrumented())),
         3 => Cell::Single(Box::new(scale_sim().build().run_instrumented())),
-        4 => Cell::Single(Box::new(mega_sim().build().run_instrumented())),
+        4 => {
+            let (input, source) = mega_parts();
+            let out = StreamDriver::new(input, source)
+                .run()
+                .expect("synthetic sources cannot fail");
+            Cell::Stream(Box::new(out))
+        }
         _ => Cell::Fed(Box::new(run_federation_instrumented(federation::scenario(
             &cfg,
             4,
@@ -321,7 +345,10 @@ pub fn run() -> BenchReport {
     let (_, fig_stats) = single();
     let (dvfs_report, dvfs_stats) = single();
     let (scale_report, scale_stats) = single();
-    let (mega_report, mega_stats) = single();
+    let (mega_report, mega_stats, mega_stream) = match results.next() {
+        Some(Cell::Stream(b)) => *b,
+        _ => unreachable!("scenario order fixed above"),
+    };
     let (fed_report, fed_stats) = match results.next() {
         Some(Cell::Fed(b)) => *b,
         _ => unreachable!("scenario order fixed above"),
@@ -337,6 +364,7 @@ pub fn run() -> BenchReport {
         scale_phases: scale_stats.phases,
         mega: mega_stats.into(),
         mega_phases: mega_stats.phases,
+        mega_stream,
         federation: fed_stats.into(),
         federation_phases: fed_stats.phases,
         headline_outcome: report.summary(),
@@ -511,6 +539,62 @@ pub fn smoke() {
         );
         println!("bench-smoke OK: scale ns/placement within budget");
     }
+
+    // Leg 4: streaming-ingestion parity. The same synthetic jobs, once
+    // materialized and pre-admitted and once pulled incrementally from
+    // the streaming source, must produce bit-identical reports — and the
+    // source's buffer high-water mark must stay far below the job count
+    // (the streamed run never rebuilds the materialized vector).
+    use iscope_workload::JobSource;
+    let fleet = 300usize;
+    let trace = || SyntheticTrace {
+        num_jobs: 2_000,
+        max_cpus: 16,
+        ..SyntheticTrace::default()
+    };
+    let builder = |w: Workload| {
+        GreenDatacenterSim::builder()
+            .fleet_size(fleet)
+            .workload(w)
+            .scheme(Scheme::ScanFair)
+            .supply(Supply::hybrid_farm(
+                &WindFarm::default(),
+                SimDuration::from_hours(96),
+                fleet as f64 / 4800.0 * 0.25,
+                42,
+            ))
+            .seed(42)
+    };
+    let mut probe = SyntheticSource::new(trace(), Shaper::default(), 42);
+    let mut jobs = Vec::new();
+    while let Some(j) = probe.next_job().expect("synthetic sources cannot fail") {
+        jobs.push(j);
+    }
+    let preadmitted = builder(Workload::new(jobs)).build().run();
+    let (streamed, _, stream) = StreamDriver::new(
+        builder(Workload::new(vec![])).build().into_input(),
+        SyntheticSource::new(trace(), Shaper::default(), 42),
+    )
+    .run()
+    .expect("synthetic sources cannot fail");
+    assert_eq!(stream.emitted, 2_000, "bench-smoke: streamed job count");
+    assert!(
+        stream.peak_buffered <= 16,
+        "bench-smoke: streaming source buffered {} jobs (expected a handful)",
+        stream.peak_buffered
+    );
+    assert_eq!(
+        preadmitted.ledger, streamed.ledger,
+        "bench-smoke: streaming ingestion changed the energy ledger"
+    );
+    assert_eq!(preadmitted.makespan, streamed.makespan);
+    assert_eq!(preadmitted.deadline_misses, streamed.deadline_misses);
+    assert_eq!(preadmitted.usage_hours, streamed.usage_hours);
+    println!(
+        "bench-smoke OK: streamed run bit-identical to pre-admitted \
+         ({} jobs, peak {} buffered)",
+        stream.emitted, stream.peak_buffered
+    );
 }
 
 fn phases_line(p: &PhaseTimers) -> String {
@@ -562,7 +646,8 @@ impl BenchReport {
              \"scale\": \"50000 procs, 200000 jobs (max 512-wide), ScanFair, hybrid wind \
              x10.4 (per-CPU standard), seed 42\",\n    \
              \"mega\": \"200000 procs, 2000000 jobs (max 512-wide), ScanFair, hybrid wind \
-             x41.7 (per-CPU standard), seed 42\",\n    \
+             x41.7 (per-CPU standard), seed 42, streamed from a synthetic source (no \
+             materialized job vector)\",\n    \
              \"federation\": \"4 sites x 60 procs, 1000 jobs, follow-surplus router, \
              rho=0.5 correlated wind, faults on, seed 42\",\n    \
              \"sweep_speedup\": \"6-cell smoke sweep (300 procs, 2000 jobs each), pool \
@@ -603,6 +688,11 @@ impl BenchReport {
         out.push_str(&format!(
             "  \"mega_phases\": {},\n",
             phases_json(&self.mega_phases, "  ")
+        ));
+        out.push_str(&format!(
+            "  \"mega_streaming\": {{\n    \"streamed\": true,\n    \
+             \"jobs_emitted\": {},\n    \"peak_buffered\": {}\n  }},\n",
+            self.mega_stream.emitted, self.mega_stream.peak_buffered,
         ));
         out.push_str(&format!(
             "  \"federation\": {},\n",

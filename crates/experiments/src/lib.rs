@@ -18,7 +18,9 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fork;
 pub mod insitu;
 pub mod lifetime;
+pub mod resume;
 pub mod sensitivity;
 pub mod tables;

@@ -1,0 +1,164 @@
+//! `iscope-exp resume-smoke` — CI gate over checkpoint/restore
+//! (DESIGN.md §3g).
+//!
+//! The acceptance bar from the snapshot work, enforced in release mode
+//! on every push:
+//!
+//! 1. for **all five schemes × three seeds, fault injection on**, a run
+//!    paused at half its makespan, serialized, and resumed is
+//!    byte-identical to the uninterrupted run — whole `RunReport` via
+//!    the serializer and telemetry JSONL bytes;
+//! 2. the **streaming** ingestion path (synthetic source pulled behind
+//!    the arrival horizon) passes the same pause/resume bar;
+//! 3. a **fork** of the snapshot under the unchanged input equals the
+//!    plain resume — branching is a superset of resuming, not a
+//!    different machine.
+
+use iscope::prelude::*;
+use iscope::{
+    AuditConfig, FaultInjectionConfig, RunReport, SimDriver, SimInput, StreamDriver,
+    TelemetryConfig,
+};
+use iscope_dcsim::SimTime;
+use iscope_workload::{Shaper, SyntheticSource, SyntheticTrace, Workload};
+
+const FLEET: usize = 48;
+const JOBS: usize = 160;
+
+fn scenario(scheme: Scheme, seed: u64) -> GreenDatacenterSim {
+    GreenDatacenterSim::builder()
+        .fleet_size(FLEET)
+        .scheme(scheme)
+        .synthetic_trace(SyntheticTrace {
+            num_jobs: JOBS,
+            max_cpus: 16,
+            ..SyntheticTrace::default()
+        })
+        .supply(Supply::hybrid_farm(
+            &WindFarm::default(),
+            SimDuration::from_hours(96),
+            FLEET as f64 / 4800.0,
+            seed,
+        ))
+        .seed(seed)
+        .audit(AuditConfig::default())
+        .telemetry(TelemetryConfig::default())
+        .fault_injection(FaultInjectionConfig {
+            model: iscope_pvmodel::FailureModel {
+                time_acceleration: 1500.0,
+                jitter_v_sd: 0.0002,
+                ..iscope_pvmodel::FailureModel::default()
+            },
+            ..FaultInjectionConfig::default()
+        })
+}
+
+fn input(sim: &GreenDatacenterSim) -> SimInput {
+    sim.clone().build().into_input()
+}
+
+fn assert_bytes_identical(unbroken: &RunReport, resumed: &RunReport, label: &str) {
+    let a = serde_json::to_string(unbroken).expect("render unbroken report");
+    let b = serde_json::to_string(resumed).expect("render resumed report");
+    assert_eq!(a, b, "resume-smoke: {label}: reports diverge");
+    let a_jsonl = iscope::telemetry::render_jsonl(unbroken.telemetry.as_deref().unwrap_or(&[]));
+    let b_jsonl = iscope::telemetry::render_jsonl(resumed.telemetry.as_deref().unwrap_or(&[]));
+    assert_eq!(
+        a_jsonl, b_jsonl,
+        "resume-smoke: {label}: telemetry JSONL bytes diverge"
+    );
+}
+
+/// Runs the gate; panics on any divergence.
+pub fn smoke() {
+    // 1. Pre-admitted matrix: schemes × seeds, faults on.
+    let mut total_failures = 0;
+    for scheme in Scheme::ALL {
+        for seed in [1, 2, 3] {
+            let sim = scenario(scheme, seed);
+            let (unbroken, _) = SimDriver::new(input(&sim)).finish();
+            let mid = SimTime::from_millis(unbroken.makespan.as_millis() / 2);
+            let mut paused = SimDriver::new(input(&sim));
+            paused.run_until(mid);
+            let snapshot = paused.snapshot().expect("capture mid-run");
+            drop(paused);
+            let (resumed, _) = SimDriver::resume(input(&sim), &snapshot)
+                .expect("restore snapshot")
+                .finish();
+            assert_bytes_identical(&unbroken, &resumed, &format!("{scheme:?} seed {seed}"));
+            total_failures += unbroken
+                .faults
+                .as_ref()
+                .expect("fault stats present")
+                .timing_failures;
+            // 3. Fork under the unchanged input must equal the resume.
+            if scheme == Scheme::ScanFair && seed == 1 {
+                let (forked, _) = SimDriver::fork(input(&sim), &snapshot)
+                    .expect("fork snapshot")
+                    .finish();
+                assert_bytes_identical(&resumed, &forked, "fork-control vs resume");
+            }
+            println!(
+                "resume-smoke {scheme:<9} seed {seed}: ok ({} snapshot bytes)",
+                snapshot.len()
+            );
+        }
+    }
+    assert!(
+        total_failures > 0,
+        "resume-smoke: fault legs never exercised a failure"
+    );
+
+    // 2. Streaming leg: jobs pulled from the source, pause mid-stream.
+    let stream_parts = |seed: u64| {
+        let sim = GreenDatacenterSim::builder()
+            .fleet_size(FLEET)
+            .scheme(Scheme::ScanFair)
+            .workload(Workload::new(vec![]))
+            .supply(Supply::hybrid_farm(
+                &WindFarm::default(),
+                SimDuration::from_hours(96),
+                FLEET as f64 / 4800.0,
+                seed,
+            ))
+            .seed(seed)
+            .audit(AuditConfig::default())
+            .telemetry(TelemetryConfig::default());
+        let source = SyntheticSource::new(
+            SyntheticTrace {
+                num_jobs: 300,
+                max_cpus: 16,
+                ..SyntheticTrace::default()
+            },
+            Shaper::default(),
+            seed,
+        );
+        (input(&sim), source)
+    };
+    let (in_a, src_a) = stream_parts(2);
+    let (unbroken, _, stream) = StreamDriver::new(in_a, src_a)
+        .run()
+        .expect("uninterrupted streaming run");
+    assert_eq!(stream.emitted, 300, "resume-smoke: streamed job count");
+    let mid = SimTime::from_millis(unbroken.makespan.as_millis() / 2);
+    let (in_b, src_b) = stream_parts(2);
+    let mut paused = StreamDriver::new(in_b, src_b);
+    paused.run_until(mid).expect("stream to midpoint");
+    let snapshot = paused.snapshot().expect("capture streaming run");
+    drop(paused);
+    let (in_c, src_c) = stream_parts(2);
+    let (resumed, _, _) = StreamDriver::resume(in_c, src_c, &snapshot)
+        .expect("restore streaming snapshot")
+        .run()
+        .expect("resumed streaming run");
+    assert_bytes_identical(&unbroken, &resumed, "streaming");
+
+    println!(
+        "resume-smoke OK: {} schemes x 3 seeds byte-identical across a mid-run \
+         restore (faults on, {total_failures} timing failures exercised); \
+         streaming pause/resume identical; fork-control equals resume; peak \
+         buffered arrivals in the streaming leg: {}",
+        Scheme::ALL.len(),
+        stream.peak_buffered
+    );
+}

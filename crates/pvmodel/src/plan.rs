@@ -303,6 +303,26 @@ impl OperatingPlan {
         &self.ranking
     }
 
+    /// The plan's per-chip rows, for checkpointing: `(voltages,
+    /// est_power)`. The ranking and the cached top-level sum are *not*
+    /// exposed — they are pure functions of these rows and are recomputed
+    /// bit-identically on restore by [`OperatingPlan::from_rows`].
+    pub fn rows(&self) -> (&[Vec<f64>], &[Vec<f64>]) {
+        (&self.voltages, &self.est_power)
+    }
+
+    /// Rebuilds a chip-wide plan from captured rows (restore path).
+    ///
+    /// Runs the same assembly as the constructors: ranking sorted by
+    /// `(est_power[chip][top], id)` and the top-level sum taken in chip
+    /// index order, so the rebuilt plan is bit-identical to the captured
+    /// one. Per-core plans are not restorable this way (checkpointing
+    /// rejects them before it gets here).
+    pub fn from_rows(voltages: Vec<Vec<f64>>, est_power: Vec<Vec<f64>>) -> OperatingPlan {
+        assert_eq!(voltages.len(), est_power.len(), "one row pair per chip");
+        Self::assemble(voltages, est_power)
+    }
+
     /// Number of chips covered.
     pub fn len(&self) -> usize {
         self.voltages.len()

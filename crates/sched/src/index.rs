@@ -67,6 +67,58 @@ pub(crate) fn pack(ms: u64, id: u32) -> u64 {
     (ms << ID_BITS) | id as u64
 }
 
+/// A `(timestamp, chip id)` pair that cannot be packed without wrapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyRangeError {
+    /// Timestamp in milliseconds that was checked.
+    pub ms: u64,
+    /// Chip id that was checked.
+    pub id: u32,
+    /// Which half of the pair overflowed.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for KeyRangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} overflows the packed index key (ms = {}, id = {}): \
+             limits are {} ms and {} chips",
+            self.what,
+            self.ms,
+            self.id,
+            (1u64 << (64 - ID_BITS)) - 1,
+            1u64 << ID_BITS,
+        )
+    }
+}
+
+impl std::error::Error for KeyRangeError {}
+
+/// Release-mode checked variant of the [`pack`] range test, for
+/// *untrusted* inputs — snapshot restore in particular. The hot placement
+/// path keeps its `debug_assert!`s (the simulator constructs those keys
+/// from values it already bounded); a corrupt or hand-edited snapshot
+/// instead fails loudly here rather than silently wrapping a chip id or
+/// timestamp into someone else's key space.
+pub fn validate_key_range(ms: u64, id: u32) -> Result<(), KeyRangeError> {
+    if ms >= 1 << (64 - ID_BITS) {
+        return Err(KeyRangeError {
+            ms,
+            id,
+            what: "timestamp",
+        });
+    }
+    if u64::from(id) >= 1 << ID_BITS {
+        return Err(KeyRangeError {
+            ms,
+            id,
+            what: "chip id",
+        });
+    }
+    Ok(())
+}
+
 pub(crate) fn unpack_id(key: u64) -> u32 {
     (key & ((1 << ID_BITS) - 1)) as u32
 }

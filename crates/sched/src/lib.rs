@@ -25,7 +25,7 @@ pub mod scheme;
 pub mod view;
 
 pub use dvfs::{match_budget, DvfsCandidate, MatchOutcome};
-pub use index::{ChipIndexes, IndexCursor, LeastUsed};
+pub use index::{validate_key_range, ChipIndexes, IndexCursor, KeyRangeError, LeastUsed};
 pub use placement::{
     EfficiencyPlacement, FairPlacement, Placement, PlacementDecision, RandomPlacement,
 };

@@ -25,7 +25,7 @@ pub enum Urgency {
 }
 
 /// A rigid parallel job.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Job {
     /// Identifier.
     pub id: JobId,

@@ -87,43 +87,54 @@ impl Shaper {
     pub fn shape(&self, raw: &[RawJob], seed: u64) -> Workload {
         self.validate();
         let mut rng = SimRng::derive(seed, "shaper");
-        let sd = self.factor_variance.sqrt();
         let jobs: Vec<Job> = raw
             .iter()
             .enumerate()
-            .map(|(i, r)| {
-                let submit = iscope_dcsim::SimTime::from_millis(
-                    (r.submit.as_millis() as f64 / self.arrival_rate).round() as u64,
-                );
-                let urgency = if rng.chance(self.hu_fraction) {
-                    Urgency::High
-                } else {
-                    Urgency::Low
-                };
-                let mean = match urgency {
-                    Urgency::High => self.hu_factor_mean,
-                    Urgency::Low => self.lu_factor_mean,
-                };
-                let factor = rng.normal(mean, sd).max(self.factor_floor);
-                let deadline = submit + r.runtime.mul_f64(factor);
-                let gamma = CpuBoundness::new(rng.normal_clamped(
-                    self.gamma_mean,
-                    self.gamma_sd,
-                    self.gamma_clamp.0,
-                    self.gamma_clamp.1,
-                ));
-                Job {
-                    id: JobId(i as u32),
-                    submit,
-                    cpus: r.cpus,
-                    runtime_at_fmax: r.runtime,
-                    gamma,
-                    deadline,
-                    urgency,
-                }
-            })
+            .map(|(i, r)| self.shape_one(r, i as u32, &mut rng))
             .collect();
         Workload::new(jobs)
+    }
+
+    /// Shapes one raw job, consuming exactly the draws [`Shaper::shape`]
+    /// consumes for it (urgency, deadline factor, gamma — in that order).
+    ///
+    /// This is the unit both ingestion paths share: `shape` folds it over
+    /// a materialized trace, the streaming sources
+    /// ([`crate::source::JobSource`] impls) call it per job as the trace
+    /// is pulled. A streaming source that feeds raw jobs in the same
+    /// order as the materialized trace therefore produces bit-identical
+    /// [`Job`]s.
+    pub fn shape_one(&self, r: &RawJob, id: u32, rng: &mut SimRng) -> Job {
+        let sd = self.factor_variance.sqrt();
+        let submit = iscope_dcsim::SimTime::from_millis(
+            (r.submit.as_millis() as f64 / self.arrival_rate).round() as u64,
+        );
+        let urgency = if rng.chance(self.hu_fraction) {
+            Urgency::High
+        } else {
+            Urgency::Low
+        };
+        let mean = match urgency {
+            Urgency::High => self.hu_factor_mean,
+            Urgency::Low => self.lu_factor_mean,
+        };
+        let factor = rng.normal(mean, sd).max(self.factor_floor);
+        let deadline = submit + r.runtime.mul_f64(factor);
+        let gamma = CpuBoundness::new(rng.normal_clamped(
+            self.gamma_mean,
+            self.gamma_sd,
+            self.gamma_clamp.0,
+            self.gamma_clamp.1,
+        ));
+        Job {
+            id: JobId(id),
+            submit,
+            cpus: r.cpus,
+            runtime_at_fmax: r.runtime,
+            gamma,
+            deadline,
+            urgency,
+        }
     }
 }
 

@@ -38,9 +38,13 @@ impl WorkloadStats {
             .iter()
             .map(|j| j.runtime_at_fmax.as_secs_f64())
             .collect();
-        runtimes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        // Total order instead of `partial_cmp(..).expect("finite")`: the
+        // values here derive from integer millisecond/CPU counts today,
+        // but a percentile summary must never be able to abort the
+        // process — NaNs (if any ever appear) sort to the end.
+        runtimes.sort_by(f64::total_cmp);
         let mut cpus: Vec<f64> = w.jobs().iter().map(|j| j.cpus as f64).collect();
-        cpus.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        cpus.sort_by(f64::total_cmp);
         let q = |v: &[f64]| {
             [
                 quantile_sorted(v, 0.10),

@@ -90,50 +90,70 @@ impl std::fmt::Display for SwfError {
 
 impl std::error::Error for SwfError {}
 
+/// Parses one SWF line. Returns `None` for comments and blank lines.
+///
+/// `line_no` is the 1-based line number used in error messages. Numeric
+/// fields must be finite: `f64::from_str` happily accepts `NaN` and
+/// `inf`, and a NaN submit or run time would poison every downstream
+/// sort and percentile (the old `WorkloadStats` percentile panic), so
+/// malformed values are rejected here at the boundary.
+pub fn parse_swf_line(raw: &str, line_no: usize) -> Result<Option<SwfRecord>, SwfError> {
+    let line = raw.trim();
+    if line.is_empty() || line.starts_with(';') {
+        return Ok(None);
+    }
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    if fields.len() < 11 {
+        return Err(SwfError {
+            line: line_no,
+            message: format!("expected >= 11 fields, found {}", fields.len()),
+        });
+    }
+    let f = |i: usize| -> Result<f64, SwfError> {
+        let v: f64 = fields[i].parse().map_err(|e| SwfError {
+            line: line_no,
+            message: format!("field {}: {e}", i + 1),
+        })?;
+        if !v.is_finite() {
+            return Err(SwfError {
+                line: line_no,
+                message: format!("field {}: non-finite value {v}", i + 1),
+            });
+        }
+        Ok(v)
+    };
+    let g = |i: usize| -> Result<i64, SwfError> {
+        fields[i].parse().map_err(|e| SwfError {
+            line: line_no,
+            message: format!("field {}: {e}", i + 1),
+        })
+    };
+    let job_number = g(0)?;
+    if job_number < 0 {
+        return Err(SwfError {
+            line: line_no,
+            message: format!("field 1: negative job number {job_number}"),
+        });
+    }
+    Ok(Some(SwfRecord {
+        job_number: job_number as u64,
+        submit_s: f(1)?,
+        wait_s: f(2)?,
+        run_s: f(3)?,
+        allocated_procs: g(4)?,
+        requested_procs: g(7)?,
+        requested_s: f(8)?,
+        status: g(10)?,
+    }))
+}
+
 /// Parses SWF text into records, skipping `;` comments and blank lines.
 pub fn parse_swf(text: &str) -> Result<Vec<SwfRecord>, SwfError> {
     let mut out = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with(';') {
-            continue;
+        if let Some(rec) = parse_swf_line(raw, idx + 1)? {
+            out.push(rec);
         }
-        let fields: Vec<&str> = line.split_whitespace().collect();
-        if fields.len() < 11 {
-            return Err(SwfError {
-                line: idx + 1,
-                message: format!("expected >= 11 fields, found {}", fields.len()),
-            });
-        }
-        let f = |i: usize| -> Result<f64, SwfError> {
-            fields[i].parse().map_err(|e| SwfError {
-                line: idx + 1,
-                message: format!("field {}: {e}", i + 1),
-            })
-        };
-        let g = |i: usize| -> Result<i64, SwfError> {
-            fields[i].parse().map_err(|e| SwfError {
-                line: idx + 1,
-                message: format!("field {}: {e}", i + 1),
-            })
-        };
-        let job_number = g(0)?;
-        if job_number < 0 {
-            return Err(SwfError {
-                line: idx + 1,
-                message: format!("field 1: negative job number {job_number}"),
-            });
-        }
-        out.push(SwfRecord {
-            job_number: job_number as u64,
-            submit_s: f(1)?,
-            wait_s: f(2)?,
-            run_s: f(3)?,
-            allocated_procs: g(4)?,
-            requested_procs: g(7)?,
-            requested_s: f(8)?,
-            status: g(10)?,
-        });
     }
     Ok(out)
 }
@@ -230,6 +250,20 @@ mod tests {
         let bad = "1 0 0 xyz 4 -1 -1 4 100 -1 1";
         let err = parse_swf(bad).unwrap_err();
         assert!(err.message.contains("field 4"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_finite_fields() {
+        // f64::from_str accepts these spellings; the parser must not.
+        for bad in [
+            "1 NaN 0 60 4 -1 -1 4 100 -1 1",
+            "1 0 0 nan 4 -1 -1 4 100 -1 1",
+            "1 0 0 inf 4 -1 -1 4 100 -1 1",
+            "1 0 0 60 4 -1 -1 4 -inf -1 1",
+        ] {
+            let err = parse_swf(bad).unwrap_err();
+            assert!(err.message.contains("non-finite"), "{bad}: {err}");
+        }
     }
 
     #[test]

@@ -119,7 +119,7 @@ impl SyntheticTrace {
     }
 
     /// Samples a power-of-two processor request with geometric decay.
-    fn sample_cpus(&self, rng: &mut SimRng) -> u32 {
+    pub(crate) fn sample_cpus(&self, rng: &mut SimRng) -> u32 {
         let max_k = (31 - self.max_cpus.leading_zeros()) as usize; // floor(log2)
         let weights: Vec<f64> = (0..=max_k)
             .map(|k| self.size_decay.powi(k as i32))
@@ -136,7 +136,7 @@ impl SyntheticTrace {
     }
 
     /// Samples a clamped log-normal runtime.
-    fn sample_runtime(&self, rng: &mut SimRng) -> SimDuration {
+    pub(crate) fn sample_runtime(&self, rng: &mut SimRng) -> SimDuration {
         let mu = self.runtime_median_s.ln();
         let secs = rng
             .lognormal(mu, self.runtime_sigma)
@@ -147,22 +147,27 @@ impl SyntheticTrace {
 
 /// Converts parsed SWF records into raw jobs, dropping unusable records
 /// and rebasing submit times so the first job arrives at `t = 0`.
+///
+/// Records are stable-sorted by their *raw* submit seconds (file order
+/// breaks ties) before the millisecond conversion. This is the canonical
+/// order of an SWF trace: the streaming source
+/// ([`crate::source::SwfSource`]) reproduces exactly this order within
+/// its reorder horizon, so both ingestion paths shape identical jobs.
 pub fn raw_jobs_from_swf(records: &[SwfRecord]) -> Vec<RawJob> {
-    let usable: Vec<&SwfRecord> = records.iter().filter(|r| r.is_usable()).collect();
+    let mut usable: Vec<&SwfRecord> = records.iter().filter(|r| r.is_usable()).collect();
     let origin = usable
         .iter()
         .map(|r| r.submit_s)
         .fold(f64::INFINITY, f64::min);
-    let mut jobs: Vec<RawJob> = usable
+    usable.sort_by(|a, b| a.submit_s.total_cmp(&b.submit_s));
+    usable
         .iter()
         .map(|r| RawJob {
             submit: SimTime::from_secs_f64(r.submit_s - origin),
             cpus: r.procs().expect("usable records have procs"),
             runtime: SimDuration::from_secs_f64(r.run_s),
         })
-        .collect();
-    jobs.sort_by_key(|j| j.submit);
-    jobs
+        .collect()
 }
 
 #[cfg(test)]

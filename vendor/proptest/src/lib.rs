@@ -45,9 +45,10 @@ pub mod test_runner {
 }
 
 pub mod prelude {
-    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate as prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 
 /// Drives `body` over `cases` deterministic inputs, labelling any failure
@@ -125,6 +126,18 @@ macro_rules! __proptest_bind {
     ($rng:expr, $name:ident in $strat:expr $(, $($rest:tt)*)?) => {
         let $name = $crate::strategy::Strategy::generate(&$strat, $rng);
         $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+}
+
+/// Uniform choice among strategies generating the same type. Upstream's
+/// `weight => strategy` arms are not supported — all arms are equally
+/// likely.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
     };
 }
 

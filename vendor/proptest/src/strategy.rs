@@ -4,6 +4,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use std::marker::PhantomData;
 use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
 
 /// Deterministic per-case generator. Case `i` of a named property draws
 /// the same stream on every run, so failures reproduce without a
@@ -55,6 +56,126 @@ pub trait Strategy {
         F: Fn(Self::Value) -> O,
     {
         Map { inner: self, f }
+    }
+
+    /// Rejects generated values failing `pred`, redrawing until one
+    /// passes (no shrinking here, so this is a plain retry loop).
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Type-erases this strategy behind a shared, clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves, `branch`
+    /// wraps an inner strategy one level deeper. Each of the `depth`
+    /// levels flips between recursing and bottoming out at a leaf; the
+    /// upstream `desired_size` / `expected_branch_size` tuning knobs are
+    /// accepted but unused.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            strat = Union::new(vec![leaf.clone(), branch(strat).boxed()]).boxed();
+        }
+        strat
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({:?}) rejected 10000 consecutive values",
+            self.reason
+        );
+    }
+}
+
+/// Shared, type-erased strategy handle (output of [`Strategy::boxed`]).
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Uniform choice among same-typed strategies (the `prop_oneof!` macro).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `options`; panics if empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
     }
 }
 
@@ -110,8 +231,22 @@ impl Arbitrary for bool {
     }
 }
 
+impl Arbitrary for f64 {
+    /// Uniform over bit patterns (includes NaNs and infinities — filter
+    /// with `prop_filter` when finiteness matters).
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
 /// The `any::<T>()` strategy object.
 pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
 
 impl<T: Arbitrary> Strategy for Any<T> {
     type Value = T;
@@ -283,7 +418,20 @@ fn parse_pattern(pat: &str) -> Vec<Atom> {
     let mut atoms = Vec::new();
     let mut i = 0;
     while i < chars.len() {
-        let choices = if chars[i] == '[' {
+        let choices = if chars[i] == '\\' {
+            // Escapes: `\PC` (printable, i.e. non-control, characters) is
+            // the only class this workspace's tests draw from. A handful
+            // of multi-byte code points ride along so string consumers
+            // see non-ASCII input.
+            if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                i += 3;
+                let mut set: Vec<char> = (' '..='~').collect();
+                set.extend(['é', 'ß', 'λ', 'Щ', '中', '✓']);
+                set
+            } else {
+                panic!("unsupported escape in pattern {pat:?}");
+            }
+        } else if chars[i] == '[' {
             let close = chars[i..]
                 .iter()
                 .position(|&c| c == ']')

@@ -186,6 +186,26 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state words, for checkpointing.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from previously captured state words.
+        ///
+        /// An all-zero state is a fixed point of the core; it cannot be
+        /// produced by `seed_from_u64` or by stepping, so reject it the
+        /// same way seeding does rather than resurrect a stuck stream.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            let mut s = s;
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]
