@@ -9,7 +9,7 @@ use crate::telemetry::TelemetryConfig;
 use iscope_dcsim::SimDuration;
 use iscope_energy::Supply;
 use iscope_pvmodel::{CoolingModel, DvfsConfig, Fleet, VariationParams};
-use iscope_sched::Scheme;
+use iscope_sched::{CarbonConfig, Scheme};
 use iscope_workload::{Job, Shaper, SyntheticTrace, Workload};
 
 /// Builder for a [`run`](SimRun::run)-able green-datacenter simulation.
@@ -50,6 +50,7 @@ pub struct GreenDatacenterSim {
     force_linear_placement: bool,
     audit: Option<AuditConfig>,
     telemetry: Option<TelemetryConfig>,
+    carbon: Option<CarbonConfig>,
 }
 
 impl GreenDatacenterSim {
@@ -83,6 +84,7 @@ impl GreenDatacenterSim {
             force_linear_placement: false,
             audit: None,
             telemetry: None,
+            carbon: None,
         }
     }
 
@@ -259,6 +261,16 @@ impl GreenDatacenterSim {
         self
     }
 
+    /// Enables carbon/price-aware scheduling: flexible arrivals are
+    /// deferred and/or running flexible gangs suspended while the
+    /// utility's carbon intensity or spot price is above the configured
+    /// thresholds ([`iscope_sched::carbon`]). A config with no threshold
+    /// set is inert — the run is bit-identical to never calling this.
+    pub fn carbon(mut self, cfg: CarbonConfig) -> Self {
+        self.carbon = Some(cfg);
+        self
+    }
+
     /// Enables runtime fault injection (the closed staleness loop):
     /// running jobs age their chips, drifted Min Vdd raises timing
     /// failures, failed gangs retry with backoff, and an optional
@@ -353,6 +365,7 @@ impl GreenDatacenterSim {
                 force_linear_placement: self.force_linear_placement,
                 audit: self.audit,
                 telemetry: self.telemetry,
+                carbon: self.carbon,
             },
         }
     }

@@ -54,19 +54,33 @@ pub struct SiteView<'a> {
     pub queued_jobs: u64,
     /// Number of processors at the site.
     pub fleet_size: usize,
+    /// Energy currently held in the site's battery (J); 0 without one.
+    /// The view used to omit battery state entirely, which made the
+    /// router blind to dispatchable stored energy — a charged battery
+    /// counted for nothing in surplus comparisons.
+    pub battery_stored_j: f64,
+    /// Battery discharge-rate ceiling (W); 0 without a battery.
+    pub battery_max_discharge_w: f64,
 }
 
 impl SiteView<'_> {
     /// Forecast renewable surplus (W) over `span`: the persistence
-    /// forecast of the site's wind trace minus its current demand.
-    /// Utility-only sites forecast zero supply.
+    /// forecast of the site's wind trace, plus the stored battery energy
+    /// spread over the span (capped by the discharge rate), minus the
+    /// site's current demand. Utility-only sites forecast zero supply.
     pub fn forecast_surplus_w(&self, now: SimTime, span: SimDuration) -> f64 {
         let forecast = self
             .supply
             .wind
             .as_ref()
             .map_or(0.0, |t| forecast_wind_over(t, now, span));
-        forecast - self.demand_w
+        let span_s = span.as_secs_f64();
+        let battery_w = if span_s > 0.0 && self.battery_stored_j > 0.0 {
+            (self.battery_stored_j / span_s).min(self.battery_max_discharge_w)
+        } else {
+            0.0
+        };
+        forecast + battery_w - self.demand_w
     }
 }
 
@@ -244,6 +258,11 @@ fn site_views(sites: &[SiteState]) -> Vec<SiteView<'_>> {
             demand_w: s.current_demand_w,
             queued_jobs: s.queued_jobs,
             fleet_size: s.fleet.len(),
+            battery_stored_j: s.battery.as_ref().map_or(0.0, |b| b.stored_j),
+            battery_max_discharge_w: s
+                .battery
+                .as_ref()
+                .map_or(0.0, |b| b.battery.max_discharge_w),
         })
         .collect()
 }
@@ -515,6 +534,8 @@ mod tests {
                 demand_w: 0.0,
                 queued_jobs: 0,
                 fleet_size: 8,
+                battery_stored_j: 0.0,
+                battery_max_discharge_w: 0.0,
             })
             .collect()
     }

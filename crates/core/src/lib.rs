@@ -47,7 +47,9 @@ pub use federation::{
     correlated_wind_supplies, run_federation, run_federation_instrumented, FederationInput,
     FollowSurplusRouter, NullRouter, Router, SiteView, StaticHashRouter,
 };
-pub use report::{AuditReport, FaultStats, FederationReport, ProfilingStats, RunReport};
+pub use report::{
+    AuditReport, CarbonStats, FaultStats, FederationReport, ProfilingStats, RunReport,
+};
 pub use simulation::{
     run_simulation, run_simulation_instrumented, AuditConfig, DeferralConfig, DvfsMode,
     FaultInjectionConfig, InSituConfig, PhaseTimers, ReprofileConfig, RunStats, SimDriver,
@@ -61,9 +63,10 @@ pub mod prelude {
     pub use crate::config::GreenDatacenterSim;
     pub use crate::report::RunReport;
     pub use iscope_dcsim::{SimDuration, SimTime};
-    pub use iscope_energy::{PowerTrace, PriceBook, Supply, WindFarm};
+    pub use iscope_energy::{Battery, PowerTrace, PriceBook, SignalTrace, Supply, WindFarm};
     pub use iscope_pvmodel::{CoolingModel, DvfsConfig, Fleet, OperatingPlan, VariationParams};
     pub use iscope_scanner::{Scanner, ScannerConfig, TestKind};
+    pub use iscope_sched::CarbonConfig;
     pub use iscope_sched::Scheme;
     pub use iscope_workload::{Shaper, SyntheticTrace, Workload};
 }

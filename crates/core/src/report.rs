@@ -2,7 +2,7 @@
 //! experiment harness.
 
 use iscope_dcsim::{Running, SimTime, TimeSeries};
-use iscope_energy::{EnergyLedger, PriceBook};
+use iscope_energy::{CostSplit, EnergyLedger, PriceBook};
 use serde::{Deserialize, Serialize};
 
 /// The measured outcome of one simulation run.
@@ -14,6 +14,11 @@ pub struct RunReport {
     pub ledger: EnergyLedger,
     /// Prices used for the cost columns.
     pub prices: PriceBook,
+    /// Time-integrated money and emissions: `∫ price(t) × utility_W(t) dt`
+    /// and `∫ intensity(t) × utility_W(t) dt` booked exactly over the
+    /// event intervals. Without price/carbon traces this degenerates to
+    /// `kWh × flat price` (bit-exactly) and zero gCO2.
+    pub costs: CostSplit,
     /// Number of jobs simulated.
     pub jobs: usize,
     /// Jobs that finished after their deadline.
@@ -31,6 +36,9 @@ pub struct RunReport {
     /// Runtime fault-injection statistics, when the timing-failure model
     /// was enabled.
     pub faults: Option<FaultStats>,
+    /// Carbon/price-aware policy statistics, when an active
+    /// [`iscope_sched::CarbonConfig`] drove deferral or suspend/resume.
+    pub carbon: Option<CarbonStats>,
     /// What the invariant auditor found, when auditing was enabled.
     pub audit: Option<AuditReport>,
     /// Fixed-cadence telemetry samples, when telemetry recording was
@@ -114,6 +122,16 @@ impl FederationReport {
         self.sites.iter().map(|s| s.utility_cost_usd()).sum()
     }
 
+    /// Utility-mix emissions across sites, grams of CO2.
+    pub fn gco2(&self) -> f64 {
+        self.sites.iter().map(|s| s.gco2()).sum()
+    }
+
+    /// Time-integrated cost across sites, USD.
+    pub fn integrated_cost_usd(&self) -> f64 {
+        self.sites.iter().map(|s| s.integrated_cost_usd()).sum()
+    }
+
     /// One-line rollup for logs and tables.
     pub fn summary(&self) -> String {
         format!(
@@ -161,6 +179,20 @@ impl AuditReport {
     pub fn clean(&self) -> bool {
         self.violations.is_empty() && self.suppressed_violations == 0
     }
+}
+
+/// What the carbon/price-aware policy did to a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CarbonStats {
+    /// Arrivals held back because the signal was above the deferral
+    /// threshold (counted once, at arrival).
+    pub deferrals: u64,
+    /// Running gangs preempted because the signal crossed the suspension
+    /// threshold (a gang may be suspended more than once).
+    pub suspensions: u64,
+    /// Energy burned by suspended attempts, kWh (already in the ledger;
+    /// broken out here as the policy's waste).
+    pub wasted_kwh: f64,
 }
 
 /// What the in-situ scanner accomplished during a run.
@@ -213,7 +245,8 @@ impl RunReport {
         self.ledger.wind_kwh()
     }
 
-    /// Cost of the utility share, USD.
+    /// Cost of the utility share, USD (flat book price; see
+    /// [`RunReport::costs`] for the time-integrated booking).
     pub fn utility_cost_usd(&self) -> f64 {
         self.ledger.utility_cost_usd(&self.prices)
     }
@@ -221,6 +254,18 @@ impl RunReport {
     /// Total (wind + utility) energy cost, USD.
     pub fn total_cost_usd(&self) -> f64 {
         self.ledger.total_cost_usd(&self.prices)
+    }
+
+    /// Utility-mix emissions over the run, grams of CO2 (zero unless a
+    /// carbon-intensity trace was attached to the supply).
+    pub fn gco2(&self) -> f64 {
+        self.costs.gco2
+    }
+
+    /// Time-integrated total cost, USD: the exactly-booked utility
+    /// integral plus the flat-priced wind share.
+    pub fn integrated_cost_usd(&self) -> f64 {
+        self.costs.total_usd()
     }
 
     /// Variance of per-processor utilization time (hours²) — the Fig. 9
@@ -288,6 +333,11 @@ mod tests {
                 utility_j: 3.6e9, // 1000 kWh
             },
             prices: PriceBook::paper_default(),
+            costs: CostSplit {
+                utility_usd: 130.0,
+                wind_usd: 100.0,
+                gco2: 420_000.0,
+            },
             jobs: 100,
             deadline_misses: 3,
             makespan: SimTime::from_secs(86_400),
@@ -295,6 +345,7 @@ mod tests {
             power_series: vec![],
             profiling: None,
             faults: None,
+            carbon: None,
             audit: None,
             telemetry: None,
         }
@@ -307,6 +358,8 @@ mod tests {
         assert!((r.wind_kwh() - 2000.0).abs() < 1e-9);
         assert!((r.utility_cost_usd() - 130.0).abs() < 1e-9);
         assert!((r.total_cost_usd() - 230.0).abs() < 1e-9);
+        assert!((r.gco2() - 420_000.0).abs() < 1e-9);
+        assert!((r.integrated_cost_usd() - 230.0).abs() < 1e-9);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use iscope_dcsim::{Ctx, Engine, Model, SimDuration, SimTime, StopReason};
 use iscope_energy::Supply;
 use iscope_pvmodel::{CoolingModel, FailureModel, Fleet, OperatingPlan};
 use iscope_scanner::{ReprofilePolicy, ScannerConfig};
-use iscope_sched::{Placement, RetryPolicy};
+use iscope_sched::{CarbonConfig, Placement, RetryPolicy};
 use iscope_workload::{Job, JobSource, SourceError, Workload};
 
 /// Inputs of one simulation run.
@@ -100,6 +100,12 @@ pub struct SimInput {
     /// ([`crate::telemetry`]). Passive sample-and-hold — enabling it
     /// never perturbs event order, RNG streams, or the ledger.
     pub telemetry: Option<TelemetryConfig>,
+    /// Optional carbon/price-aware scheduling policy
+    /// ([`iscope_sched::carbon`]): defer flexible arrivals and/or
+    /// suspend running flexible gangs while the utility signal is above
+    /// its thresholds. `None` — or a config with no threshold set — leaves
+    /// every code path bit-identical to a carbon-unaware run.
+    pub carbon: Option<CarbonConfig>,
 }
 
 /// Switches the run-wide invariant auditor on.

@@ -30,14 +30,14 @@ use crate::simulation::{
 use crate::snapshot::{self, SnapshotError, Val, SNAPSHOT_VERSION};
 use crate::telemetry::{self};
 use iscope_dcsim::{Ctx, RngSnapshot, RowSampler, Sampler, SimDuration, SimRng, SimTime};
-use iscope_energy::{EnergyLedger, Supply};
+use iscope_energy::{BatteryState, CostMeter, CostSplit, EnergyLedger, Supply};
 use iscope_pvmodel::{
     microwatts_to_watts, speed_factor, watts_to_microwatts, ChipId, CoolingModel, Fleet, FreqLevel,
     OperatingPlan,
 };
 use iscope_scanner::{ProfilingRecords, Scanner, VoltageGrid};
 use iscope_sched::{
-    match_budget, validate_key_range, ChipIndexes, DvfsCandidate, Placement, ProcView,
+    match_budget, validate_key_range, CarbonConfig, ChipIndexes, DvfsCandidate, Placement, ProcView,
 };
 use iscope_workload::{Job, JobId, Urgency, Workload};
 use std::collections::{BTreeSet, VecDeque};
@@ -84,6 +84,11 @@ pub(crate) enum SiteEv {
     ReprofileDone {
         chip: u32,
     },
+    /// Periodic carbon/price signal check: suspend dirty-running gangs,
+    /// release deferred jobs whose hold expired. Scheduled only when an
+    /// *active* [`iscope_sched::CarbonConfig`] is present, so carbon-off
+    /// runs see an unchanged event stream.
+    CarbonSample,
 }
 
 /// The scheduling capability a [`SiteState`] needs from its host clock:
@@ -274,8 +279,33 @@ pub(crate) struct SiteState {
     pub(crate) audit: Option<AuditState>,
     /// Fixed-cadence telemetry recorder, when enabled.
     pub(crate) telemetry: Option<TelemetryState>,
+    /// Exact time integrators for utility cost and carbon: booked on the
+    /// same event intervals as the ledger, observational (never read by
+    /// scheduling decisions).
+    pub(crate) costs: CostMeter,
+    /// Carbon/price-aware policy state. `Some` only when the input config
+    /// has at least one threshold set — an inert config is dropped at
+    /// construction, so every carbon gate below reduces to the
+    /// carbon-free form.
+    pub(crate) carbon: Option<CarbonState>,
+    /// On-site storage model, stepped against wind surplus/deficit each
+    /// accounting interval. Observational: the ledger never sees it; the
+    /// federation router reads its charge as dispatchable surplus.
+    pub(crate) battery: Option<BatteryState>,
     /// Wall-clock nanoseconds spent per hot-path phase.
     pub(crate) phase_ns: PhaseTimers,
+}
+
+/// Runtime state of the carbon/price-aware policy (deferral +
+/// suspend/resume counters around an active [`CarbonConfig`]).
+pub(crate) struct CarbonState {
+    pub(crate) config: CarbonConfig,
+    /// Arrivals held in the deferred pool because the signal was dirty.
+    pub(crate) deferrals: u64,
+    /// Running gangs preempted by the suspend threshold.
+    pub(crate) suspensions: u64,
+    /// Energy (J) burned by suspended attempts.
+    pub(crate) wasted_j: f64,
 }
 
 /// Runtime state of the invariant auditor: an independent shadow of the
@@ -306,6 +336,10 @@ pub(crate) struct AuditState {
     demand_checks: u64,
     /// Scratch for the per-level recomputation.
     by_level_scratch: Vec<i64>,
+    /// Independent re-integration of `∫ price(t) × draw_W(t) dt` and
+    /// `∫ intensity(t) × utility_W(t) dt`, booked from the auditor's own
+    /// demand snapshot — never from the engine meters it cross-checks.
+    costs: CostMeter,
     /// Recorded invariant breaches (detail capped; see `suppressed`).
     violations: Vec<String>,
     /// Breaches beyond the detail cap.
@@ -568,12 +602,13 @@ impl SiteState {
                     intervals: 0,
                     demand_checks: 0,
                     by_level_scratch: vec![0; num_levels],
+                    costs: input.supply.cost_meter(),
                     violations: Vec::new(),
                     suppressed: 0,
                 }
             }),
             telemetry: input.telemetry.map(|config| {
-                let channels = telemetry::CHANNELS_BEFORE_LEVELS + num_levels + 1;
+                let channels = telemetry::CHANNELS_BEFORE_LEVELS + num_levels + 3;
                 let mut sampler = RowSampler::new(config.interval, channels, 0.0);
                 // Seed the t = 0 row: wind budget is live from the start,
                 // everything else is zero until the first event.
@@ -585,6 +620,17 @@ impl SiteState {
                     row_scratch: row,
                 }
             }),
+            costs: input.supply.cost_meter(),
+            carbon: input.carbon.filter(CarbonConfig::active).map(|config| {
+                config.validate();
+                CarbonState {
+                    config,
+                    deferrals: 0,
+                    suspensions: 0,
+                    wasted_j: 0.0,
+                }
+            }),
+            battery: input.supply.battery.map(BatteryState::empty),
             phase_ns: PhaseTimers::default(),
             faults,
             fault_blocked_scratch: Vec::with_capacity(n),
@@ -639,6 +685,12 @@ impl SiteState {
             if let Some(r) = &faults.config.reprofile {
                 evs.push((SimTime::ZERO + r.check_interval, SiteEv::ReprofileCheck));
             }
+        }
+        if let Some(carbon) = &self.carbon {
+            evs.push((
+                SimTime::ZERO + carbon.config.check_interval,
+                SiteEv::CarbonSample,
+            ));
         }
         evs
     }
@@ -736,6 +788,21 @@ impl SiteState {
         if dt > 0.0 {
             let wind = self.supply.wind_power_at(self.last_account);
             self.ledger.draw(self.current_demand_w, wind, dt);
+            // Time-integrated cost/carbon over the identical interval and
+            // utility share. The wind split is recomputed with the exact
+            // operands `EnergyLedger::draw` used, so a constant price
+            // signal stays bit-identical to `utility_kwh × price`.
+            let wind_w = self.current_demand_w.min(wind);
+            self.supply.book_utility(
+                &mut self.costs,
+                self.last_account,
+                now,
+                dt,
+                self.current_demand_w - wind_w,
+            );
+            if let Some(b) = self.battery.as_mut() {
+                b.step(wind - self.current_demand_w, dt);
+            }
             if let Some(insitu) = &mut self.in_situ {
                 insitu.profiling_energy_note_j += insitu.profiling_power_w * dt;
             }
@@ -750,6 +817,14 @@ impl SiteState {
                 let covered = audit.demand_w.min(wind);
                 audit.wind_j += covered * dt;
                 audit.utility_j += (audit.demand_w - covered) * dt;
+                let audit_utility_w = audit.demand_w - covered;
+                self.supply.book_utility(
+                    &mut audit.costs,
+                    self.last_account,
+                    now,
+                    dt,
+                    audit_utility_w,
+                );
                 audit.intervals += 1;
                 // Busy-time shadow: every chip of every running job was
                 // busy for this whole interval (start/finish/fail are
@@ -953,13 +1028,21 @@ impl SiteState {
             .faults
             .as_ref()
             .map_or(0.0, |f| f.suspect.iter().filter(|&&s| s).count() as f64);
+        // Cumulative cost/carbon previews (open segment included, meters
+        // untouched) — the `site`-tagged channels the carbon sweep reads.
+        row[telemetry::CHANNELS_BEFORE_LEVELS + levels + 1] = self.costs.carbon.preview();
+        row[telemetry::CHANNELS_BEFORE_LEVELS + levels + 2] = self.costs.price.preview();
         tel.sampler.record(now, row);
         self.telemetry = Some(tel);
     }
 
     /// Advances a running job's remaining work to `now`.
     fn advance_progress(&mut self, idx: usize, now: SimTime) {
-        let faults_on = self.faults.is_some();
+        // Attempt energy matters wherever an attempt can die mid-flight:
+        // fault injection, and carbon suspension (which charges the lost
+        // attempt to the policy's waste counter).
+        let track_attempt_energy =
+            self.faults.is_some() || self.carbon.as_ref().is_some_and(|c| c.config.suspends());
         let js = &mut self.jobs[idx];
         if js.phase != Phase::Running {
             return;
@@ -969,7 +1052,7 @@ impl SiteState {
             let f = self.fleet.dvfs.freq_ghz(js.level);
             let rate = speed_factor(js.job.gamma, f, self.fleet.dvfs.f_max());
             js.remaining_nominal_s = (js.remaining_nominal_s - dt * rate).max(0.0);
-            if faults_on {
+            if track_attempt_energy {
                 // Settle the attempt's energy at the level it actually ran
                 // (callers advance before mutating the level), so a failed
                 // attempt knows exactly what it burned.
@@ -1191,10 +1274,16 @@ impl SiteState {
         })
     }
 
+    /// Whether an arrival should wait in the deferred pool: either the
+    /// GreenSlot-style wind test or the carbon/price threshold asks it to.
+    fn should_defer(&self, idx: usize, now: SimTime) -> bool {
+        self.wind_defer(idx, now) || self.carbon_defer(idx, now)
+    }
+
     /// GreenSlot-style deferral test: hold the job back if wind is short
     /// right now and waiting one more budget interval still leaves it able
     /// to finish in time.
-    fn should_defer(&self, idx: usize, now: SimTime) -> bool {
+    fn wind_defer(&self, idx: usize, now: SimTime) -> bool {
         let Some(cfg) = self.deferral else {
             return false;
         };
@@ -1210,6 +1299,32 @@ impl SiteState {
             .saturating_since(SimTime::ZERO + j.runtime_at_fmax + cfg.slack_margin);
         let next_check = now + self.supply.wind_interval().unwrap_or(SimDuration::ZERO);
         next_check <= SimTime::ZERO + latest_release
+    }
+
+    /// Carbon/price deferral test: hold a temporally-flexible job while
+    /// the utility signal is above the deferral threshold, with a
+    /// deadline-pressure release valve — the job is only held while it can
+    /// wait one more check interval and still finish with `slack_margin`
+    /// to spare.
+    fn carbon_defer(&self, idx: usize, now: SimTime) -> bool {
+        let Some(carbon) = &self.carbon else {
+            return false;
+        };
+        let cfg = &carbon.config;
+        if !cfg.defers() {
+            return false;
+        }
+        let j = &self.jobs[idx].job;
+        if j.urgency == Urgency::High {
+            return false; // urgent jobs are not temporally flexible
+        }
+        if !cfg.should_defer(self.supply.intensity_at(now), self.supply.price_at(now)) {
+            return false;
+        }
+        let latest_release = j
+            .deadline
+            .saturating_since(SimTime::ZERO + j.runtime_at_fmax + cfg.slack_margin);
+        now + cfg.check_interval <= SimTime::ZERO + latest_release
     }
 
     /// Releases deferred jobs whose wait is over: wind returned, or their
@@ -1306,9 +1421,13 @@ impl SiteState {
     /// one-pass assumption the cross-check relies on, so deferral runs
     /// always replay (as they always have). Fault injection both kills
     /// running jobs mid-attempt and re-places retries out of arrival
-    /// order, so it always replays too.
+    /// order, so it always replays too — and an active carbon policy can
+    /// do both (deferral holds, suspension kills), so it joins them.
     fn avail_incremental(&self) -> bool {
-        self.deferral.is_none() && self.faults.is_none() && !self.force_replay_avail
+        self.deferral.is_none()
+            && self.faults.is_none()
+            && self.carbon.is_none()
+            && !self.force_replay_avail
     }
 
     /// Refreshes the per-chip availability projection. On the incremental
@@ -1651,6 +1770,70 @@ impl SiteState {
                 audit.deadline_misses += 1;
             }
         }
+        self.try_start(&candidates, now, ctx);
+    }
+
+    /// The utility mix went dirty: checkpoint-free preempt a running gang
+    /// so it re-runs under a cleaner signal. Reuses `fail_job`'s kill +
+    /// requeue teardown, minus the fault bookkeeping — no quarantine, no
+    /// retry cap (the deadline valve in the caller bounds re-entries), and
+    /// the lost attempt's energy is charged to the carbon waste ledger.
+    fn suspend_job(&mut self, idx: usize, now: SimTime, ctx: &mut impl SiteCtx) {
+        self.advance_progress(idx, now); // settles the attempt's energy
+        for l in 0..self.demand_uw_at_level.len() {
+            self.demand_uw_at_level[l] -= self.jobs[idx].power_uw_at[l];
+        }
+        self.running_demand_uw -= self.jobs[idx].power_uw_at[self.jobs[idx].level.0 as usize];
+        self.running.retain(|&i| i != idx);
+        self.running_at_level[self.jobs[idx].level.0 as usize] -= 1;
+        let busy = now.saturating_since(self.jobs[idx].started_at);
+        let chips = std::mem::take(&mut self.jobs[idx].chips);
+        let mut candidates = Vec::with_capacity(chips.len());
+        for &c in &chips {
+            let ci = c.0 as usize;
+            self.usage[ci] += busy;
+            if !self.force_linear_placement {
+                self.chip_index.set_usage(c, self.usage[ci]);
+            }
+            self.apply_wear(ci, busy);
+            let q = &mut self.queues[ci];
+            debug_assert_eq!(q.front(), Some(&idx), "suspended job was not at head");
+            q.pop_front();
+            if let Some(&next) = self.queues[ci].front() {
+                self.chain_len_ms[ci] -= self.jobs[next].job.runtime_at_fmax.as_millis();
+                candidates.push(next);
+            } else {
+                debug_assert_eq!(
+                    self.chain_len_ms[ci], 0,
+                    "drained queue with nonzero chain length"
+                );
+                self.busy_queues -= 1;
+                if !self.force_linear_placement {
+                    self.chip_index.chip_idle(c);
+                }
+                if let Some(insitu) = &self.in_situ {
+                    if !insitu.profiled[ci] && !insitu.blocked[ci] {
+                        self.idle_unprofiled.insert(c.0);
+                    }
+                }
+            }
+        }
+        let js = &mut self.jobs[idx];
+        js.gen += 1; // invalidates the live Completion event
+        js.phase = Phase::Waiting;
+        js.remaining_nominal_s = js.job.runtime_at_fmax.as_secs_f64(); // work is lost
+        js.chain_limit = SimTime::MAX;
+        let wasted = std::mem::replace(&mut js.attempt_energy_j, 0.0);
+        let starts = js.starts;
+        let carbon = self
+            .carbon
+            .as_mut()
+            .expect("suspend_job without a carbon policy");
+        carbon.suspensions += 1;
+        carbon.wasted_j += wasted;
+        self.queued_jobs += 1; // back to waiting until the resume fires
+        let delay = carbon.config.retry.backoff(starts);
+        ctx.schedule(now + delay, SiteEv::Retry { job: idx });
         self.try_start(&candidates, now, ctx);
     }
 
@@ -2064,6 +2247,11 @@ impl SiteState {
             SiteEv::Arrival(idx) => {
                 self.queued_jobs += 1;
                 if self.should_defer(idx, now) {
+                    if self.carbon_defer(idx, now) {
+                        if let Some(carbon) = &mut self.carbon {
+                            carbon.deferrals += 1;
+                        }
+                    }
                     self.deferred.push(idx);
                 } else {
                     self.place_job(idx, now);
@@ -2133,7 +2321,59 @@ impl SiteState {
                 self.reprofile_done(chip, now);
                 self.rebalance(now, ctx);
             }
+            SiteEv::CarbonSample => {
+                // Rebalance only when the sample acted: an idle sample
+                // must not perturb the DVFS trajectory, or runs whose
+                // thresholds are never crossed would drift from the
+                // carbon-off schedule.
+                if self.carbon_sample(now, ctx) {
+                    self.rebalance(now, ctx);
+                }
+                if self.done_count < self.jobs.len() || self.expect_more {
+                    if let Some(carbon) = &self.carbon {
+                        ctx.schedule(now + carbon.config.check_interval, SiteEv::CarbonSample);
+                    }
+                }
+            }
         }
+    }
+
+    /// The periodic carbon/price re-evaluation: preempt running flexible
+    /// gangs if the signal crossed the suspend threshold (deadline valve:
+    /// backoff + a fresh full run + `slack_margin` must still fit), then
+    /// give deferred arrivals a chance to release if it dropped below the
+    /// deferral threshold. Returns whether anything was suspended or
+    /// released (callers rebalance only then).
+    fn carbon_sample(&mut self, now: SimTime, ctx: &mut impl SiteCtx) -> bool {
+        let Some(carbon) = &self.carbon else {
+            return false;
+        };
+        let cfg = carbon.config;
+        let mut acted = false;
+        if cfg.suspends()
+            && cfg.should_suspend(self.supply.intensity_at(now), self.supply.price_at(now))
+        {
+            let victims: Vec<usize> = self
+                .running
+                .iter()
+                .copied()
+                .filter(|&idx| {
+                    let j = &self.jobs[idx].job;
+                    if j.urgency != Urgency::Low {
+                        return false;
+                    }
+                    let delay = cfg.retry.backoff(self.jobs[idx].starts);
+                    now + delay + j.runtime_at_fmax + cfg.slack_margin <= j.deadline
+                })
+                .collect();
+            acted |= !victims.is_empty();
+            for idx in victims {
+                self.suspend_job(idx, now, ctx);
+            }
+        }
+        let held = self.deferred.len();
+        self.release_deferred(now, ctx);
+        acted | (self.deferred.len() != held)
     }
 
     /// Closes the books at the site's final instant and assembles its
@@ -2161,6 +2401,12 @@ impl SiteState {
                 .map(|(at, row)| telemetry::record_from_row(at, &row, num_levels, site_id))
                 .collect::<Vec<_>>()
         });
+        let (utility_usd, gco2) = self.costs.finish();
+        let costs = CostSplit {
+            utility_usd,
+            wind_usd: self.ledger.wind_cost_usd(&prices),
+            gco2,
+        };
         let audit = self.audit.take().map(|mut a| {
             // Final cross-checks against the closed books.
             let ledger_total = self.ledger.wind_j + self.ledger.utility_j;
@@ -2205,6 +2451,25 @@ impl SiteState {
                     self.deadline_misses, a.deadline_misses
                 ));
             }
+            // Re-integrated ∫ price(t) × draw_W(t) dt and
+            // ∫ intensity(t) × utility_W(t) dt from the audit's own
+            // demand recount must match the booked meters.
+            let (audit_usd, audit_gco2) = a.costs.finish();
+            let usd_rel = (audit_usd - costs.utility_usd).abs() / costs.utility_usd.abs().max(1.0);
+            if usd_rel > a.config.tolerance {
+                a.violation(format!(
+                    "utility cost diverged: booked {} USD, audit {audit_usd} USD (rel {usd_rel:e})",
+                    costs.utility_usd
+                ));
+            }
+            let gco2_rel = (audit_gco2 - costs.gco2).abs() / costs.gco2.abs().max(1.0);
+            if gco2_rel > a.config.tolerance {
+                a.violation(format!(
+                    "carbon ledger diverged: booked {} gCO2, audit {audit_gco2} gCO2 \
+                     (rel {gco2_rel:e})",
+                    costs.gco2
+                ));
+            }
             let report = AuditReport {
                 intervals: a.intervals,
                 demand_checks: a.demand_checks,
@@ -2245,10 +2510,16 @@ impl SiteState {
             rescan_downtime_hours: f.rescan_downtime.as_hours_f64(),
             rescan_energy_kwh: f.reprofile_energy_j / 3.6e6,
         });
+        let carbon = self.carbon.as_ref().map(|c| crate::report::CarbonStats {
+            deferrals: c.deferrals,
+            suspensions: c.suspensions,
+            wasted_kwh: c.wasted_j / 3.6e6,
+        });
         let report = RunReport {
             scheme,
             ledger: self.ledger,
             prices,
+            costs,
             jobs: self.jobs.len(),
             deadline_misses: self.deadline_misses,
             makespan: self.makespan,
@@ -2256,6 +2527,7 @@ impl SiteState {
             power_series,
             profiling,
             faults,
+            carbon,
             audit,
             telemetry: telemetry_records,
         };
@@ -2414,6 +2686,65 @@ fn sampler_of(v: &Val) -> Result<Sampler, SnapshotError> {
     ))
 }
 
+fn meter_val(m: &iscope_energy::SignalMeter, what: &str) -> Result<Val, SnapshotError> {
+    Ok(Val::Obj(vec![
+        ("seg_value".to_string(), Val::float(m.seg_value, what)?),
+        ("seg_j".to_string(), Val::float(m.seg_j, what)?),
+        ("total".to_string(), Val::float(m.total, what)?),
+    ]))
+}
+
+fn meter_restore(
+    m: &mut iscope_energy::SignalMeter,
+    v: &Val,
+    what: &str,
+) -> Result<(), SnapshotError> {
+    m.set_parts(
+        v.get("seg_value")?.as_f64(what)?,
+        v.get("seg_j")?.as_f64(what)?,
+        v.get("total")?.as_f64(what)?,
+    );
+    Ok(())
+}
+
+/// Identity of a price/carbon signal trace: enough to reject a resume
+/// against a different signal without serializing the whole trace (the
+/// trace itself is a run input, rebuilt from the new `SimInput`).
+fn trace_identity(t: Option<&iscope_energy::SignalTrace>) -> Val {
+    match t {
+        None => Val::Null,
+        Some(tr) => Val::Obj(vec![
+            ("interval_ms".to_string(), v_u(tr.interval.as_millis())),
+            ("len".to_string(), v_us(tr.len())),
+            ("fingerprint".to_string(), v_u(tr.fingerprint())),
+        ]),
+    }
+}
+
+fn check_trace_identity(
+    t: Option<&iscope_energy::SignalTrace>,
+    v: &Val,
+    what: &str,
+) -> Result<(), SnapshotError> {
+    match (t, v.is_null()) {
+        (None, true) => Ok(()),
+        (Some(tr), false) => {
+            let interval = SimDuration::from_millis(v.get("interval_ms")?.as_u64(what)?);
+            let len = v.get("len")?.as_usize(what)?;
+            let fp = v.get("fingerprint")?.as_u64(what)?;
+            if interval != tr.interval || len != tr.len() || fp != tr.fingerprint() {
+                return Err(SnapshotError::Mismatch(format!(
+                    "snapshot was taken under a different {what} trace"
+                )));
+            }
+            Ok(())
+        }
+        _ => Err(SnapshotError::Mismatch(format!(
+            "snapshot {what} trace presence differs from input"
+        ))),
+    }
+}
+
 fn event_val(t: SimTime, ev: &SiteEv) -> Val {
     let body = match ev {
         SiteEv::Arrival(i) => vec![Val::Str("arrival".into()), v_us(*i)],
@@ -2436,6 +2767,7 @@ fn event_val(t: SimTime, ev: &SiteEv) -> Val {
         SiteEv::ReprofileDone { chip } => {
             vec![Val::Str("reprofile_done".into()), v_u(*chip as u64)]
         }
+        SiteEv::CarbonSample => vec![Val::Str("carbon".into())],
     };
     Val::Arr(vec![v_time(t), Val::Arr(body)])
 }
@@ -2509,6 +2841,10 @@ fn event_of(v: &Val) -> Result<(SimTime, SiteEv), SnapshotError> {
             SiteEv::ReprofileDone {
                 chip: body[1].as_u32("reprofile_done chip")?,
             }
+        }
+        "carbon" => {
+            want_args(0)?;
+            SiteEv::CarbonSample
         }
         other => return Err(SnapshotError::Parse(format!("unknown event tag {other:?}"))),
     };
@@ -2682,6 +3018,16 @@ impl SiteState {
                 "has_samplers".to_string(),
                 Val::Bool(self.samplers.is_some()),
             ),
+            ("has_carbon".to_string(), Val::Bool(self.carbon.is_some())),
+            (
+                "has_price_trace".to_string(),
+                Val::Bool(self.supply.utility_price.is_some()),
+            ),
+            (
+                "has_carbon_trace".to_string(),
+                Val::Bool(self.supply.carbon.is_some()),
+            ),
+            ("has_battery".to_string(), Val::Bool(self.battery.is_some())),
         ]);
         let events = Val::Arr(pending.iter().map(|(t, ev)| event_val(*t, ev)).collect());
         let site = Val::Obj(vec![
@@ -2822,6 +3168,14 @@ impl SiteState {
                     "demand_w".to_string(),
                     Val::float(a.demand_w, "audit demand")?,
                 ),
+                (
+                    "price_meter".to_string(),
+                    meter_val(&a.costs.price, "audit price meter")?,
+                ),
+                (
+                    "carbon_meter".to_string(),
+                    meter_val(&a.costs.carbon, "audit carbon meter")?,
+                ),
                 ("wind_j".to_string(), Val::float(a.wind_j, "audit wind")?),
                 (
                     "utility_j".to_string(),
@@ -2865,6 +3219,44 @@ impl SiteState {
                 ])
             }
         };
+        let costs = Val::Obj(vec![
+            (
+                "price_meter".to_string(),
+                meter_val(&self.costs.price, "price meter")?,
+            ),
+            (
+                "carbon_meter".to_string(),
+                meter_val(&self.costs.carbon, "carbon meter")?,
+            ),
+        ]);
+        let carbon = match &self.carbon {
+            None => Val::Null,
+            Some(c) => Val::Obj(vec![
+                ("deferrals".to_string(), v_u(c.deferrals)),
+                ("suspensions".to_string(), v_u(c.suspensions)),
+                (
+                    "wasted_j".to_string(),
+                    Val::float(c.wasted_j, "carbon waste")?,
+                ),
+            ]),
+        };
+        let battery = match &self.battery {
+            None => Val::Null,
+            Some(b) => Val::Obj(vec![(
+                "stored_j".to_string(),
+                Val::float(b.stored_j, "battery charge")?,
+            )]),
+        };
+        let traces = Val::Obj(vec![
+            (
+                "price".to_string(),
+                trace_identity(self.supply.utility_price.as_ref()),
+            ),
+            (
+                "carbon".to_string(),
+                trace_identity(self.supply.carbon.as_ref()),
+            ),
+        ]);
         Ok(snapshot::encode_lines(&[
             ("header", header),
             ("events", events),
@@ -2886,6 +3278,10 @@ impl SiteState {
             ("faults", faults),
             ("audit", audit),
             ("telemetry", telem),
+            ("costs", costs),
+            ("carbon", carbon),
+            ("battery", battery),
+            ("traces", traces),
         ]))
     }
 
@@ -2983,6 +3379,44 @@ impl SiteState {
             input.trace_interval.is_some(),
             header.get("has_samplers")?.as_bool("has_samplers")?,
         )?;
+        check(
+            "has_carbon",
+            input.carbon.filter(CarbonConfig::active).is_some(),
+            header.get("has_carbon")?.as_bool("has_carbon")?,
+        )?;
+        check(
+            "has_price_trace",
+            input.supply.utility_price.is_some(),
+            header.get("has_price_trace")?.as_bool("has_price_trace")?,
+        )?;
+        check(
+            "has_carbon_trace",
+            input.supply.carbon.is_some(),
+            header
+                .get("has_carbon_trace")?
+                .as_bool("has_carbon_trace")?,
+        )?;
+        check(
+            "has_battery",
+            input.supply.battery.is_some(),
+            header.get("has_battery")?.as_bool("has_battery")?,
+        )?;
+        // Like the wind trace, the price/carbon signals are run inputs: a
+        // resume against different ones would silently rewrite history, so
+        // only forks may swap them.
+        if !fork {
+            let trv = snapshot::section(&sections, "traces")?;
+            check_trace_identity(
+                input.supply.utility_price.as_ref(),
+                trv.get("price")?,
+                "utility price",
+            )?;
+            check_trace_identity(
+                input.supply.carbon.as_ref(),
+                trv.get("carbon")?,
+                "carbon intensity",
+            )?;
+        }
         let now = time_of(header.get("now_ms")?, "snapshot clock")?;
         let steps = header.get("steps")?.as_u64("snapshot steps")?;
         let admitted = header.get("admitted")?.as_usize("snapshot admitted")?;
@@ -3253,6 +3687,16 @@ impl SiteState {
             a.deadline_misses = av.get("deadline_misses")?.as_usize("audit misses")?;
             a.intervals = av.get("intervals")?.as_u64("audit intervals")?;
             a.demand_checks = av.get("demand_checks")?.as_u64("audit checks")?;
+            meter_restore(
+                &mut a.costs.price,
+                av.get("price_meter")?,
+                "audit price meter",
+            )?;
+            meter_restore(
+                &mut a.costs.carbon,
+                av.get("carbon_meter")?,
+                "audit carbon meter",
+            )?;
             a.violations = av
                 .get("violations")?
                 .as_arr("audit violations")?
@@ -3265,7 +3709,7 @@ impl SiteState {
         // --- telemetry recorder ---
         let tv = snapshot::section(&sections, "telemetry")?;
         if site.telemetry.is_some() {
-            let channels = telemetry::CHANNELS_BEFORE_LEVELS + num_levels + 1;
+            let channels = telemetry::CHANNELS_BEFORE_LEVELS + num_levels + 3;
             let interval =
                 SimDuration::from_millis(tv.get("interval_ms")?.as_u64("telemetry interval")?);
             if interval.is_zero() {
@@ -3306,6 +3750,25 @@ impl SiteState {
                 sampler: RowSampler::from_parts(interval, next_tick, current, rows),
                 row_scratch: vec![0.0; channels],
             });
+        }
+
+        // --- cost/carbon meters, policy counters, battery charge ---
+        let cv = snapshot::section(&sections, "costs")?;
+        meter_restore(&mut site.costs.price, cv.get("price_meter")?, "price meter")?;
+        meter_restore(
+            &mut site.costs.carbon,
+            cv.get("carbon_meter")?,
+            "carbon meter",
+        )?;
+        let carbon_v = snapshot::section(&sections, "carbon")?;
+        if let Some(c) = site.carbon.as_mut() {
+            c.deferrals = carbon_v.get("deferrals")?.as_u64("carbon deferrals")?;
+            c.suspensions = carbon_v.get("suspensions")?.as_u64("carbon suspensions")?;
+            c.wasted_j = carbon_v.get("wasted_j")?.as_f64("carbon waste")?;
+        }
+        let battery_v = snapshot::section(&sections, "battery")?;
+        if let Some(b) = site.battery.as_mut() {
+            b.stored_j = battery_v.get("stored_j")?.as_f64("battery charge")?;
         }
 
         // --- derived caches, rebuilt from the restored ground truth ---
@@ -3384,6 +3847,7 @@ mod snapshot_tests {
             (0usize..1 << 20).prop_map(|job| SiteEv::Retry { job }),
             Just(SiteEv::ReprofileCheck),
             any::<u32>().prop_map(|chip| SiteEv::ReprofileDone { chip }),
+            Just(SiteEv::CarbonSample),
         ]
     }
 

@@ -5,7 +5,8 @@
 //! a passive multi-channel sample-and-hold recorder
 //! ([`iscope_dcsim::RowSampler`]) that emits one [`TelemetryRecord`] per
 //! tick: renewable supply, fleet demand, utility draw, queue depth,
-//! per-level DVFS occupancy, and the quarantined-chip count. Recording is
+//! per-level DVFS occupancy, the quarantined-chip count, and the
+//! cumulative emissions/cost integrals. Recording is
 //! sample-and-hold off the existing demand-refresh path — no events are
 //! scheduled, so enabling telemetry never perturbs event order, RNG
 //! streams, or the energy ledger.
@@ -63,6 +64,12 @@ pub struct TelemetryRecord {
     pub level_jobs: Vec<u64>,
     /// Chips currently quarantined as suspect by the fault machinery.
     pub quarantined: u64,
+    /// Cumulative utility-mix emissions booked so far, grams of CO2
+    /// (`∫ intensity(t) × utility_W(t) dt` up to the tick; 0 without a
+    /// carbon trace).
+    pub gco2: f64,
+    /// Cumulative time-integrated utility cost booked so far, USD.
+    pub cost_usd: f64,
 }
 
 /// Number of [`iscope_dcsim::RowSampler`] channels ahead of the per-level
@@ -77,7 +84,7 @@ pub(crate) fn record_from_row(
     levels: usize,
     site: u64,
 ) -> TelemetryRecord {
-    debug_assert_eq!(row.len(), CHANNELS_BEFORE_LEVELS + levels + 1);
+    debug_assert_eq!(row.len(), CHANNELS_BEFORE_LEVELS + levels + 3);
     TelemetryRecord {
         site,
         t_s: at.as_secs_f64(),
@@ -90,6 +97,8 @@ pub(crate) fn record_from_row(
             .map(|&v| v as u64)
             .collect(),
         quarantined: row[CHANNELS_BEFORE_LEVELS + levels] as u64,
+        gco2: row[CHANNELS_BEFORE_LEVELS + levels + 1],
+        cost_usd: row[CHANNELS_BEFORE_LEVELS + levels + 2],
     }
 }
 
@@ -109,7 +118,7 @@ fn render_f64(v: f64) -> String {
 pub fn render_line(r: &TelemetryRecord) -> String {
     let levels: Vec<String> = r.level_jobs.iter().map(|v| v.to_string()).collect();
     format!(
-        "{{\"site\":{},\"t_s\":{},\"supply_w\":{},\"demand_w\":{},\"utility_w\":{},\"queue_depth\":{},\"level_jobs\":[{}],\"quarantined\":{}}}",
+        "{{\"site\":{},\"t_s\":{},\"supply_w\":{},\"demand_w\":{},\"utility_w\":{},\"queue_depth\":{},\"level_jobs\":[{}],\"quarantined\":{},\"gco2\":{},\"cost_usd\":{}}}",
         r.site,
         render_f64(r.t_s),
         render_f64(r.supply_w),
@@ -118,6 +127,8 @@ pub fn render_line(r: &TelemetryRecord) -> String {
         r.queue_depth,
         levels.join(","),
         r.quarantined,
+        render_f64(r.gco2),
+        render_f64(r.cost_usd),
     )
 }
 
@@ -158,11 +169,15 @@ pub fn parse_line(line: &str) -> Result<TelemetryRecord, String> {
         queue_depth: u64::MAX,
         level_jobs: Vec::new(),
         quarantined: u64::MAX,
+        gco2: 0.0,     // absent in pre-carbon JSONL: nothing was booked
+        cost_usd: 0.0, // absent in pre-carbon JSONL: nothing was booked
     };
     let mut seen_levels = false;
     for (key, value) in split_fields(body)? {
         match key {
             "site" => r.site = parse_int(value)?,
+            "gco2" => r.gco2 = parse_num(value)?,
+            "cost_usd" => r.cost_usd = parse_num(value)?,
             "t_s" => r.t_s = parse_num(value)?,
             "supply_w" => r.supply_w = parse_num(value)?,
             "demand_w" => r.demand_w = parse_num(value)?,
@@ -263,6 +278,8 @@ mod tests {
             queue_depth: 7,
             level_jobs: vec![0, 1, 0, 3, 9],
             quarantined: 2,
+            gco2: 1234.5,
+            cost_usd: 0.875,
         }
     }
 
@@ -330,6 +347,17 @@ mod tests {
         let line = "{\"t_s\":0.0,\"supply_w\":1.0,\"demand_w\":1.0,\"utility_w\":0.0,\
                     \"queue_depth\":0,\"level_jobs\":[0],\"quarantined\":0}";
         assert_eq!(parse_line(line).unwrap().site, 0);
+    }
+
+    #[test]
+    fn pre_carbon_lines_parse_with_zero_integrals() {
+        // JSONL written before the gco2/cost channels existed carries
+        // neither key; those runs booked nothing.
+        let line = "{\"t_s\":0.0,\"supply_w\":1.0,\"demand_w\":1.0,\"utility_w\":0.0,\
+                    \"queue_depth\":0,\"level_jobs\":[0],\"quarantined\":0}";
+        let r = parse_line(line).unwrap();
+        assert_eq!(r.gco2, 0.0);
+        assert_eq!(r.cost_usd, 0.0);
     }
 
     #[test]

@@ -8,8 +8,12 @@
 //! * [`trace`] — sampled [`PowerTrace`] signals with NREL-style CSV I/O
 //!   and the SWP scaling knob.
 //! * [`supply`] — utility-only vs hybrid [`Supply`] configurations.
-//! * [`cost`] — the [`EnergyLedger`] wind/utility split and USD pricing
-//!   (0.13 utility / 0.05 wind per kWh, sensitivity at 0.005).
+//! * [`signal`] — utility-side scalar signals ([`SignalTrace`]): carbon
+//!   intensity (gCO2/kWh) and time-of-use / spot price (USD/kWh).
+//! * [`cost`] — the [`EnergyLedger`] wind/utility split, USD pricing
+//!   (0.13 utility / 0.05 wind per kWh, sensitivity at 0.005), and the
+//!   exact time integrators ([`SignalMeter`]/[`CostMeter`]) for varying
+//!   price and carbon signals.
 //! * [`battery`] — optional on-site storage for the battery-vs-matching
 //!   trade-off the paper's §II.A motivates.
 //! * [`solar`] — synthetic PV generation (clear-sky arc x AR(1) clouds),
@@ -20,14 +24,16 @@
 pub mod battery;
 pub mod cost;
 pub mod forecast;
+pub mod signal;
 pub mod solar;
 pub mod supply;
 pub mod trace;
 pub mod wind;
 
 pub use battery::{smooth_against_demand, Battery, BatteryState};
-pub use cost::{EnergyLedger, PriceBook, J_PER_KWH};
+pub use cost::{CostMeter, CostSplit, EnergyLedger, PriceBook, SignalMeter, J_PER_KWH};
 pub use forecast::{forecast_wind_over, persistence_rmse, PersistenceForecast};
+pub use signal::SignalTrace;
 pub use solar::SolarFarm;
 pub use supply::Supply;
 pub use trace::PowerTrace;

@@ -9,6 +9,7 @@
 pub mod ablations;
 pub mod audit;
 pub mod bench_report;
+pub mod carbon;
 pub mod common;
 pub mod federation;
 pub mod fig10;

@@ -156,6 +156,7 @@ fn one_variant(cfg: &ExpConfig, rescan: bool) -> Vec<Round> {
             force_linear_placement: false,
             audit: cfg.audit.then(iscope::AuditConfig::default),
             telemetry: None,
+            carbon: None,
         });
         // Advance the calendar: each chip wears by its busy hours scaled
         // to the stride, at its plan voltage.

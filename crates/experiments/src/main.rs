@@ -7,14 +7,15 @@
 
 use iscope_experiments::common::{write_json, write_telemetry, ExpConfig, ExpScale};
 use iscope_experiments::{
-    ablations, audit, bench_report, federation, fig10, fig4, fig5, fig6, fig7, fig8, fig9, fork,
-    insitu, lifetime, resume, sensitivity, tables,
+    ablations, audit, bench_report, carbon, federation, fig10, fig4, fig5, fig6, fig7, fig8, fig9,
+    fork, insitu, lifetime, resume, sensitivity, tables,
 };
 
 const USAGE: &str = "usage: iscope-exp <experiment> [--fast|--paper] [--audit]\n\
 experiments: table1 table2 fig4 fig5 fig6 fig7 fig8 fig9 fig10 overhead \
-insitu ablations sensitivity lifetime workload federation fork bench-report \
-bench-smoke fault-smoke audit-smoke fed-smoke resume-smoke all (default: all)\n\
+insitu ablations sensitivity lifetime workload federation fork carbon \
+bench-report bench-smoke fault-smoke audit-smoke fed-smoke resume-smoke \
+carbon-smoke all (default: all)\n\
 scales: default = 240 CPUs (1/20 of the paper); --fast = bench cell; \
 --paper = the full 4800-CPU testbed\n\
 --audit: run every simulation under the strict energy-conservation \
@@ -156,6 +157,11 @@ fn main() {
         println!("{}", f.render());
         report(write_json("fork", &f));
     });
+    run_if("carbon", &mut |c| {
+        let f = carbon::run(c);
+        println!("{}", f.render());
+        report(write_json("carbon", &f));
+    });
     run_if("overhead", &mut |c| {
         let o = tables::overhead(c);
         println!("{}", o.render(c.fleet_size));
@@ -237,6 +243,13 @@ fn main() {
         // null-router federation stays bit-identical to the plain
         // single-site run (not part of "all").
         federation::smoke();
+        ran += 1;
+    }
+    if which == "carbon-smoke" {
+        // CI gate: the carbon/price sweep fires both policies under the
+        // strict auditor and the carbon-off path stays byte-identical to
+        // neutral-config and constant-price runs (not part of "all").
+        carbon::smoke();
         ran += 1;
     }
     if which == "resume-smoke" {

@@ -139,6 +139,7 @@ fn run_with_bins(cfg: &ExpConfig, bins: usize) -> iscope::RunReport {
         force_linear_placement: false,
         audit: cfg.audit.then(iscope::AuditConfig::default),
         telemetry: None,
+        carbon: None,
     })
 }
 

@@ -14,9 +14,12 @@
 //!   deadlines allow, restore when the renewable budget recovers.
 //! * [`recovery`] — bounded-retry policy for gangs killed by runtime
 //!   timing failures.
+//! * [`carbon`] — carbon/price-aware deferral and suspend/resume policy
+//!   composing with any base scheme ([`CarbonConfig`]).
 
 #![warn(missing_docs)]
 
+pub mod carbon;
 pub mod dvfs;
 pub mod index;
 pub mod placement;
@@ -24,6 +27,7 @@ pub mod recovery;
 pub mod scheme;
 pub mod view;
 
+pub use carbon::CarbonConfig;
 pub use dvfs::{match_budget, DvfsCandidate, MatchOutcome};
 pub use index::{validate_key_range, ChipIndexes, IndexCursor, KeyRangeError, LeastUsed};
 pub use placement::{

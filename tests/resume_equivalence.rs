@@ -18,6 +18,7 @@ use iscope::{
     TelemetryConfig,
 };
 use iscope_dcsim::{SimDuration, SimTime};
+use iscope_energy::SignalTrace;
 use iscope_pvmodel::FailureModel;
 use iscope_workload::{JobSource, SyntheticSource, SyntheticTrace, Workload};
 
@@ -264,6 +265,105 @@ fn corrupt_snapshots_error_instead_of_wrapping() {
         "\"rng\":{\"words\":[0,0,0,0],\"spare\":null,\"x\":[",
     );
     assert!(SimDriver::resume(input(&sim), &zeroed).is_err());
+}
+
+/// A diurnal carbon trace plus a time-of-use price trace, wide enough to
+/// cross the thresholds below in both directions.
+fn carbon_signals() -> (SignalTrace, SignalTrace) {
+    let iv = SimDuration::from_mins(30);
+    let span = SimDuration::from_hours(96);
+    (
+        SignalTrace::diurnal(iv, span, 420.0, 180.0, 18.0),
+        SignalTrace::time_of_use(iv, span, 0.08, 0.30, 16.0, 21.0),
+    )
+}
+
+/// A policy that both defers arrivals and suspends running gangs.
+fn carbon_policy() -> iscope_sched::CarbonConfig {
+    iscope_sched::CarbonConfig {
+        defer_intensity_above: Some(450.0),
+        suspend_intensity_above: Some(540.0),
+        ..iscope_sched::CarbonConfig::default()
+    }
+}
+
+#[test]
+fn carbon_runs_resume_bit_identical() {
+    // The carbon path adds state the snapshot must carry: the cost/carbon
+    // meters' open segments, the policy counters, the pending
+    // CarbonSample/Retry events, and the trace identities.
+    let (carbon, price) = carbon_signals();
+    // Utility-only: with a wind budget the schemes keep utility draw at
+    // zero, which would leave nothing for the meters to book.
+    let sim = base(Scheme::ScanFair, 42)
+        .supply(
+            Supply::utility_only()
+                .with_carbon(carbon)
+                .with_utility_price(price),
+        )
+        .carbon(carbon_policy());
+    let (unbroken, resumed) = unbroken_and_resumed(&sim);
+    let stats = unbroken.carbon.expect("carbon stats present");
+    assert!(
+        stats.deferrals > 0 || stats.suspensions > 0,
+        "carbon leg must actually exercise the policy"
+    );
+    assert!(unbroken.costs.gco2 > 0.0, "emissions must be booked");
+    assert_identical(&unbroken, &resumed, "ScanFair+carbon");
+}
+
+#[test]
+fn restore_rejects_carbon_mismatches() {
+    let (carbon, price) = carbon_signals();
+    let supply = Supply::hybrid_farm(&WindFarm::default(), SimDuration::from_hours(96), 1.0, 7)
+        .with_carbon(carbon.clone())
+        .with_utility_price(price);
+    let sim = base(Scheme::ScanFair, 42)
+        .supply(supply.clone())
+        .carbon(carbon_policy());
+    let mut paused = SimDriver::new(input(&sim));
+    paused.run_until(hours(12));
+    let snapshot = paused.snapshot().expect("capture");
+    // Dropping the policy: the snapshot carries carbon state the input
+    // would never consume.
+    let err = SimDriver::resume(input(&base(Scheme::ScanFair, 42).supply(supply)), &snapshot)
+        .err()
+        .expect("policy mismatch must fail");
+    assert!(matches!(err, SnapshotError::Mismatch(_)), "{err}");
+    // Swapping the price trace for a different one: same shape, different
+    // values — the fingerprint must catch it.
+    let other_price = SignalTrace::time_of_use(
+        SimDuration::from_mins(30),
+        SimDuration::from_hours(96),
+        0.09,
+        0.30,
+        16.0,
+        21.0,
+    );
+    let swapped = base(Scheme::ScanFair, 42)
+        .supply(
+            Supply::hybrid_farm(&WindFarm::default(), SimDuration::from_hours(96), 1.0, 7)
+                .with_carbon(carbon)
+                .with_utility_price(other_price),
+        )
+        .carbon(carbon_policy());
+    let err = SimDriver::resume(input(&swapped), &snapshot)
+        .err()
+        .expect("trace swap must fail");
+    assert!(matches!(err, SnapshotError::Mismatch(_)), "{err}");
+    // Dropping the carbon trace entirely: presence flag mismatch.
+    let traceless = base(Scheme::ScanFair, 42)
+        .supply(Supply::hybrid_farm(
+            &WindFarm::default(),
+            SimDuration::from_hours(96),
+            1.0,
+            7,
+        ))
+        .carbon(carbon_policy());
+    let err = SimDriver::resume(input(&traceless), &snapshot)
+        .err()
+        .expect("trace removal must fail");
+    assert!(matches!(err, SnapshotError::Mismatch(_)), "{err}");
 }
 
 /// Streaming scenario: empty input workload, jobs pulled from a
